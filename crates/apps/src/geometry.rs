@@ -1,0 +1,219 @@
+//! 2D computational-geometry primitives for mesh refinement.
+//!
+//! Predicates use straightforward `f64` determinant evaluation with a
+//! relative-epsilon guard rather than full adaptive-precision
+//! arithmetic (Shewchuk); inputs in this workspace are random or
+//! structured point sets where near-degeneracies are vanishingly rare,
+//! and every consumer treats the guard band conservatively. This
+//! substitution is recorded in DESIGN.md.
+
+/// A point in the plane.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct from coordinates.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: Point) -> f64 {
+        self.dist2(other).sqrt()
+    }
+
+    /// Squared distance (no sqrt).
+    pub fn dist2(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// Sign classification of a predicate value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise (positive area).
+    Ccw,
+    /// Clockwise (negative area).
+    Cw,
+    /// Collinear within the epsilon guard.
+    Collinear,
+}
+
+/// Twice the signed area of triangle `abc` (positive = CCW).
+pub fn signed_area2(a: Point, b: Point, c: Point) -> f64 {
+    (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+}
+
+/// Orientation of the ordered triple `abc`.
+pub fn orient2d(a: Point, b: Point, c: Point) -> Orientation {
+    let det = signed_area2(a, b, c);
+    // Relative guard: scale epsilon by the magnitude of the products.
+    let mag = (b.x - a.x).abs() * (c.y - a.y).abs() + (b.y - a.y).abs() * (c.x - a.x).abs();
+    let eps = 1e-12 * mag.max(1e-300);
+    if det > eps {
+        Orientation::Ccw
+    } else if det < -eps {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+/// Is `p` strictly inside the circumcircle of CCW triangle `abc`?
+///
+/// Standard 3×3 lifted determinant; positive means inside for CCW
+/// input.
+pub fn in_circle(a: Point, b: Point, c: Point, p: Point) -> bool {
+    let ax = a.x - p.x;
+    let ay = a.y - p.y;
+    let bx = b.x - p.x;
+    let by = b.y - p.y;
+    let cx = c.x - p.x;
+    let cy = c.y - p.y;
+    let a2 = ax * ax + ay * ay;
+    let b2 = bx * bx + by * by;
+    let c2 = cx * cx + cy * cy;
+    let det = a2 * (bx * cy - by * cx) - b2 * (ax * cy - ay * cx) + c2 * (ax * by - ay * bx);
+    let mag = a2.abs() * (bx * cy).abs().max((by * cx).abs())
+        + b2.abs() * (ax * cy).abs().max((ay * cx).abs())
+        + c2.abs() * (ax * by).abs().max((ay * bx).abs());
+    det > 1e-12 * mag.max(1e-300)
+}
+
+/// Circumcenter of triangle `abc`; `None` if (near-)degenerate.
+pub fn circumcenter(a: Point, b: Point, c: Point) -> Option<Point> {
+    let d = 2.0 * signed_area2(a, b, c);
+    if d.abs() < 1e-14 {
+        return None;
+    }
+    let a2 = a.x * a.x + a.y * a.y;
+    let b2 = b.x * b.x + b.y * b.y;
+    let c2 = c.x * c.x + c.y * c.y;
+    let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+    let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+    Some(Point::new(ux, uy))
+}
+
+/// Centroid (always strictly inside a non-degenerate triangle).
+pub fn centroid(a: Point, b: Point, c: Point) -> Point {
+    Point::new((a.x + b.x + c.x) / 3.0, (a.y + b.y + c.y) / 3.0)
+}
+
+/// Triangle area (non-negative).
+pub fn area(a: Point, b: Point, c: Point) -> f64 {
+    signed_area2(a, b, c).abs() / 2.0
+}
+
+/// Smallest interior angle in radians (0 for degenerate input).
+pub fn min_angle(a: Point, b: Point, c: Point) -> f64 {
+    let la = b.dist(c);
+    let lb = a.dist(c);
+    let lc = a.dist(b);
+    if la <= 0.0 || lb <= 0.0 || lc <= 0.0 {
+        return 0.0;
+    }
+    // Law of cosines per corner; clamp for numeric safety.
+    let angle = |opp: f64, s1: f64, s2: f64| {
+        (((s1 * s1 + s2 * s2 - opp * opp) / (2.0 * s1 * s2)).clamp(-1.0, 1.0)).acos()
+    };
+    angle(la, lb, lc).min(angle(lb, la, lc)).min(angle(lc, la, lb))
+}
+
+/// Is `p` inside (or on the boundary of) CCW triangle `abc`?
+pub fn point_in_triangle(a: Point, b: Point, c: Point, p: Point) -> bool {
+    let o1 = signed_area2(a, b, p);
+    let o2 = signed_area2(b, c, p);
+    let o3 = signed_area2(c, a, p);
+    o1 >= -1e-12 && o2 >= -1e-12 && o3 >= -1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Point = Point { x: 0.0, y: 0.0 };
+    const B: Point = Point { x: 1.0, y: 0.0 };
+    const C: Point = Point { x: 0.0, y: 1.0 };
+
+    #[test]
+    fn orientation() {
+        assert_eq!(orient2d(A, B, C), Orientation::Ccw);
+        assert_eq!(orient2d(A, C, B), Orientation::Cw);
+        assert_eq!(
+            orient2d(A, B, Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn areas() {
+        assert!((area(A, B, C) - 0.5).abs() < 1e-15);
+        assert!((signed_area2(A, B, C) - 1.0).abs() < 1e-15);
+        assert!((signed_area2(A, C, B) + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn incircle_basics() {
+        // Circumcircle of the right triangle has center (0.5, 0.5),
+        // radius √0.5 ≈ 0.707.
+        assert!(in_circle(A, B, C, Point::new(0.5, 0.5)));
+        assert!(!in_circle(A, B, C, Point::new(2.0, 2.0)));
+        // A point on the circle (the fourth corner of the square) is
+        // not *strictly* inside.
+        assert!(!in_circle(A, B, C, Point::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn circumcenter_right_triangle() {
+        let cc = circumcenter(A, B, C).unwrap();
+        assert!((cc.x - 0.5).abs() < 1e-12);
+        assert!((cc.y - 0.5).abs() < 1e-12);
+        // Equidistance.
+        assert!((cc.dist(A) - cc.dist(B)).abs() < 1e-12);
+        assert!((cc.dist(A) - cc.dist(C)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circumcenter_degenerate_is_none() {
+        assert!(circumcenter(A, B, Point::new(2.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn centroid_is_inside() {
+        let g = centroid(A, B, C);
+        assert!(point_in_triangle(A, B, C, g));
+        assert!((g.x - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_angle_values() {
+        // Right isoceles: angles 90/45/45.
+        assert!((min_angle(A, B, C) - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        // Equilateral: 60 degrees.
+        let e = Point::new(0.5, 3f64.sqrt() / 2.0);
+        assert!((min_angle(A, B, e) - std::f64::consts::FRAC_PI_3).abs() < 1e-9);
+        // Degenerate.
+        assert_eq!(min_angle(A, A, B), 0.0);
+    }
+
+    #[test]
+    fn point_in_triangle_edges() {
+        assert!(point_in_triangle(A, B, C, Point::new(0.25, 0.25)));
+        assert!(point_in_triangle(A, B, C, Point::new(0.5, 0.0))); // on edge
+        assert!(!point_in_triangle(A, B, C, Point::new(0.7, 0.7)));
+        assert!(!point_in_triangle(A, B, C, Point::new(-0.1, 0.0)));
+    }
+
+    #[test]
+    fn distances() {
+        assert!((A.dist(B) - 1.0).abs() < 1e-15);
+        assert!((B.dist2(C) - 2.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,278 @@
+//! Single-source shortest paths by speculative edge relaxation —
+//! a LonStar-suite workload (the benchmark suite the paper uses for
+//! its parallelism profiles).
+//!
+//! One task per node whose tentative distance recently improved: relax
+//! all outgoing edges; any neighbour whose distance drops is re-spawned
+//! (chaotic Bellman–Ford, the unordered formulation of delta-stepping
+//! with an infinite delta). A task's conflict neighbourhood is its node
+//! plus its neighbours' distance slots, so conflicts mirror the input
+//! graph — and the *work profile* starts serial (one source), balloons
+//! as the frontier expands, then collapses: the inverse-spike shape
+//! that stresses the controller in both directions.
+//!
+//! Validated against sequential Dijkstra.
+
+use optpar_graph::{ConflictGraph, CsrGraph, NodeId};
+use optpar_runtime::{Abort, LockSpace, Operator, SpecStore, TaskCtx};
+use rand::Rng;
+use std::collections::BinaryHeap;
+
+/// Distance value for "unreached".
+pub const UNREACHED: u64 = u64::MAX;
+
+/// Per-edge weights aligned with `graph.edge_list()` order (symmetric:
+/// the same weight applies in both directions).
+#[derive(Clone, Debug)]
+pub struct SsspInput {
+    /// The undirected graph.
+    pub graph: CsrGraph,
+    /// `weight_of[(u, v)]` for canonical `u < v` edges, stored densely
+    /// in edge-list order.
+    pub weights: Vec<u64>,
+    /// The source node.
+    pub source: NodeId,
+}
+
+impl SsspInput {
+    /// Random positive weights in `1..=max_w`.
+    pub fn random<R: Rng + ?Sized>(
+        graph: CsrGraph,
+        source: NodeId,
+        max_w: u64,
+        rng: &mut R,
+    ) -> Self {
+        let m = graph.edge_count();
+        let weights = (0..m).map(|_| rng.random_range(1..=max_w)).collect();
+        SsspInput {
+            graph,
+            weights,
+            source,
+        }
+    }
+
+    /// Dense (per-node-sorted) weight lookup table: for each node, the
+    /// weights aligned with its neighbour slice.
+    fn weight_table(&self) -> Vec<Vec<u64>> {
+        use std::collections::HashMap;
+        let mut wmap: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+        for ((u, v), &w) in self.graph.edge_list().into_iter().zip(&self.weights) {
+            wmap.insert((u, v), w);
+        }
+        (0..self.graph.node_count() as NodeId)
+            .map(|u| {
+                self.graph
+                    .neighbors_slice(u)
+                    .iter()
+                    .map(|&v| {
+                        let key = if u < v { (u, v) } else { (v, u) };
+                        wmap[&key]
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Sequential Dijkstra reference.
+    pub fn dijkstra(&self) -> Vec<u64> {
+        let wt = self.weight_table();
+        let n = self.graph.node_count();
+        let mut dist = vec![UNREACHED; n];
+        dist[self.source as usize] = 0;
+        // Max-heap on Reverse(d).
+        let mut heap = BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u64, self.source)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue; // stale entry
+            }
+            for (i, &v) in self.graph.neighbors_slice(u).iter().enumerate() {
+                let nd = d + wt[u as usize][i];
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// The speculative SSSP operator.
+pub struct SsspOp {
+    /// The input instance.
+    pub input: SsspInput,
+    /// Tentative distances.
+    pub dist: SpecStore<u64>,
+    /// Per-node weight table (immutable).
+    weights: Vec<Vec<u64>>,
+}
+
+impl SsspOp {
+    /// Build stores and locks; the initial work-set is just the source.
+    pub fn new(input: SsspInput) -> (LockSpace, SsspOp) {
+        let n = input.graph.node_count();
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let mut init = vec![UNREACHED; n];
+        init[input.source as usize] = 0;
+        let dist = SpecStore::new(r, init, n);
+        let weights = input.weight_table();
+        (
+            space,
+            SsspOp {
+                input,
+                dist,
+                weights,
+            },
+        )
+    }
+
+    /// The initial work-set: the source node.
+    pub fn initial_tasks(&self) -> Vec<NodeId> {
+        vec![self.input.source]
+    }
+
+    /// Final distances (quiesced).
+    pub fn distances(&mut self) -> Vec<u64> {
+        self.dist.snapshot()
+    }
+}
+
+impl Operator for SsspOp {
+    type Task = NodeId;
+
+    fn execute(&self, &u: &NodeId, cx: &mut TaskCtx<'_>) -> Result<Vec<NodeId>, Abort> {
+        let ui = u as usize;
+        cx.lock(&self.dist, ui)?;
+        let du = *cx.read(&self.dist, ui)?;
+        if du == UNREACHED {
+            return Ok(vec![]); // stale task: our improvement was undone? impossible — just unreached duplicates
+        }
+        let mut spawn = Vec::new();
+        for (i, &v) in self.input.graph.neighbors_slice(u).iter().enumerate() {
+            let nd = du + self.weights[ui][i];
+            let slot = v as usize;
+            cx.lock(&self.dist, slot)?;
+            if nd < *cx.read(&self.dist, slot)? {
+                *cx.write(&self.dist, slot)? = nd;
+                spawn.push(v);
+            }
+        }
+        Ok(spawn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpar_core::control::HybridController;
+    use optpar_graph::gen;
+    use optpar_runtime::{ConflictPolicy, Executor, ExecutorConfig, WorkSet};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_sssp(input: &SsspInput, workers: usize, m: usize, seed: u64) -> Vec<u64> {
+        let (space, op) = SsspOp::new(input.clone());
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers,
+                policy: ConflictPolicy::FirstWins,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ws = WorkSet::from_vec(op.initial_tasks());
+        let mut rounds = 0;
+        while !ws.is_empty() {
+            ex.run_round(&mut ws, m, &mut rng);
+            rounds += 1;
+            assert!(rounds < 1_000_000, "SSSP did not quiesce");
+        }
+        let mut op = op;
+        op.distances()
+    }
+
+    #[test]
+    fn dijkstra_on_path() {
+        // 0 -1- 1 -2- 2 -3- 3
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        // edge_list order: (0,1), (1,2), (2,3)
+        let input = SsspInput {
+            graph: g,
+            weights: vec![1, 2, 3],
+            source: 0,
+        };
+        assert_eq!(input.dijkstra(), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn disconnected_stays_unreached() {
+        let g = gen::cliques_plus_isolated(1, 3, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let input = SsspInput::random(g, 0, 10, &mut rng);
+        let d = input.dijkstra();
+        assert_eq!(d[3], UNREACHED);
+        assert_eq!(d[4], UNREACHED);
+        let spec = run_sssp(&input, 2, 4, 2);
+        assert_eq!(spec, d);
+    }
+
+    #[test]
+    fn speculative_matches_dijkstra_sequential_worker() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_with_avg_degree(200, 5.0, &mut rng);
+        let input = SsspInput::random(g, 7, 100, &mut rng);
+        assert_eq!(run_sssp(&input, 1, 16, 4), input.dijkstra());
+    }
+
+    #[test]
+    fn speculative_matches_dijkstra_parallel() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..3 {
+            let g = gen::random_with_avg_degree(300, 6.0, &mut rng);
+            let input = SsspInput::random(g, trial as u32, 50, &mut rng);
+            assert_eq!(
+                run_sssp(&input, 8, 32, 100 + trial),
+                input.dijkstra(),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn unit_weights_equal_bfs_distances() {
+        let g = gen::grid(10, 10);
+        let m = g.edge_count();
+        let input = SsspInput {
+            graph: g,
+            weights: vec![1; m],
+            source: 0,
+        };
+        let d = run_sssp(&input, 4, 20, 6);
+        // Manhattan distance on the grid from corner 0.
+        for r in 0..10u64 {
+            for c in 0..10u64 {
+                assert_eq!(d[(r * 10 + c) as usize], r + c);
+            }
+        }
+    }
+
+    #[test]
+    fn with_adaptive_controller() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = gen::random_with_avg_degree(1000, 8.0, &mut rng);
+        let input = SsspInput::random(g, 0, 1000, &mut rng);
+        let reference = input.dijkstra();
+        let (space, op) = SsspOp::new(input);
+        let ex = Executor::new(&op, &space, ExecutorConfig::default());
+        let mut ws = WorkSet::from_vec(op.initial_tasks());
+        let mut ctl = HybridController::with_rho(0.25);
+        let _run = ex.run_with_controller(&mut ws, &mut ctl, 1_000_000, &mut rng);
+        assert!(ws.is_empty());
+        let mut op = op;
+        assert_eq!(op.distances(), reference);
+    }
+}

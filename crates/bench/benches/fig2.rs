@@ -1,0 +1,36 @@
+//! Criterion bench for the FIG2 pipeline: the cost of estimating one
+//! point of the conflict-ratio curve, at several allocations, for the
+//! random and clique-union families, plus the closed-form bound for
+//! scale (the analytic curve is ~free; the Monte-Carlo ones are what
+//! the figure regeneration pays for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optpar_core::{estimate, theory};
+use optpar_graph::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let (n, d) = (2000, 16);
+    let random = gen::random_with_avg_degree(n, d as f64, &mut rng);
+    let union = gen::cliques_plus_isolated(30, 33, n - 990);
+
+    let mut group = c.benchmark_group("fig2_conflict_ratio_point");
+    for &m in &[50usize, 400, 1600] {
+        group.bench_with_input(BenchmarkId::new("random_mc100", m), &m, |b, &m| {
+            b.iter(|| estimate::conflict_ratio_mc(&random, m, 100, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("union_mc100", m), &m, |b, &m| {
+            b.iter(|| estimate::conflict_ratio_mc(&union, m, 100, &mut rng))
+        });
+        group.bench_with_input(BenchmarkId::new("bound_exact", m), &m, |b, &m| {
+            b.iter(|| black_box(theory::rbar_worst_exact(n, d, m)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

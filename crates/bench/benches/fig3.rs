@@ -1,0 +1,54 @@
+//! Criterion bench for the FIG3 pipeline: one full controller
+//! convergence run (120 rounds) on an n = 2000 random graph, for the
+//! hybrid Algorithm 1, Recurrence A, and the bisection baseline — the
+//! cost of regenerating one Fig. 3 trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optpar_core::control::{
+    BisectionController, HybridController, HybridParams, RecurrenceA, RecurrenceParams,
+};
+use optpar_core::sim::{run_loop, StaticGraphPlant};
+use optpar_graph::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = gen::random_with_avg_degree(2000, 16.0, &mut rng);
+
+    let mut group = c.benchmark_group("fig3_controller_run_120_rounds");
+    group.bench_function("hybrid", |b| {
+        b.iter(|| {
+            let mut ctl = HybridController::new(HybridParams {
+                rho: 0.2,
+                ..HybridParams::default()
+            });
+            let mut plant = StaticGraphPlant::new(g.clone());
+            run_loop(&mut plant, &mut ctl, 120, &mut rng)
+        })
+    });
+    group.bench_function("recurrence_a", |b| {
+        b.iter(|| {
+            let mut ctl = RecurrenceA::new(RecurrenceParams {
+                rho: 0.2,
+                ..RecurrenceParams::default()
+            });
+            let mut plant = StaticGraphPlant::new(g.clone());
+            run_loop(&mut plant, &mut ctl, 120, &mut rng)
+        })
+    });
+    group.bench_function("bisection", |b| {
+        b.iter(|| {
+            let mut ctl = BisectionController::new(RecurrenceParams {
+                rho: 0.2,
+                ..RecurrenceParams::default()
+            });
+            let mut plant = StaticGraphPlant::new(g.clone());
+            run_loop(&mut plant, &mut ctl, 120, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

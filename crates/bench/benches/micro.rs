@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the core building blocks: greedy MIS, the
+//! permutation-prefix commit rule, the round scheduler, controller
+//! steps, and the closed-form theory evaluations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optpar_core::control::{Controller, HybridController, HybridParams};
+use optpar_core::model::RoundScheduler;
+use optpar_core::theory;
+use optpar_graph::{gen, mis, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mis(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("mis");
+    for &n in &[1000usize, 10_000] {
+        let g = gen::random_with_avg_degree(n, 8.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("greedy_random", n), &n, |b, _| {
+            b.iter(|| mis::greedy_random_mis(&g, &mut rng))
+        });
+        let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+        perm.shuffle(&mut rng);
+        let m = n / 10;
+        group.bench_with_input(BenchmarkId::new("prefix_commit_10pct", n), &n, |b, _| {
+            b.iter(|| mis::greedy_prefix_mis(&g, black_box(&perm[..m])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let g = gen::random_with_avg_degree(10_000, 8.0, &mut rng);
+    c.bench_function("round_scheduler_run_round_m256", |b| {
+        b.iter_batched(
+            || RoundScheduler::from_csr(&g),
+            |mut s| s.run_round(256, &mut StdRng::seed_from_u64(3)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_controller_step(c: &mut Criterion) {
+    c.bench_function("hybrid_controller_observe", |b| {
+        let mut ctl = HybridController::new(HybridParams::default());
+        let mut r = 0.1;
+        b.iter(|| {
+            r = (r * 1.1) % 0.9;
+            ctl.observe(black_box(r), 100);
+            ctl.current_m()
+        })
+    });
+}
+
+fn bench_theory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory");
+    group.bench_function("em_worst_exact_m1000", |b| {
+        b.iter(|| black_box(theory::em_worst_exact(2040, 16, 1000)))
+    });
+    let mut rng = StdRng::seed_from_u64(4);
+    let g = gen::random_with_avg_degree(2000, 16.0, &mut rng);
+    group.bench_function("b_m_exact_m1000", |b| {
+        b.iter(|| black_box(theory::b_m_exact(&g, 1000)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mis,
+    bench_scheduler,
+    bench_controller_step,
+    bench_theory
+);
+criterion_main!(benches);

@@ -1,0 +1,439 @@
+//! Monte-Carlo estimators for the model's expectations.
+//!
+//! The paper defines the conflict ratio `r̄(m)` (Eq. 1) as an
+//! expectation over uniformly random permutation prefixes of length `m`
+//! on a *fixed* CC graph. These estimators sample that distribution
+//! directly — no node removal, no morphing — and report CLT standard
+//! errors so experiments can print honest error bars.
+
+use optpar_graph::{mis, ConflictGraph, CsrGraph, NodeId};
+use rand::Rng;
+
+/// A Monte-Carlo estimate with its sampling uncertainty.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Estimate {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean (`s / √trials`).
+    pub stderr: f64,
+    /// Number of samples taken.
+    pub trials: usize,
+}
+
+impl Estimate {
+    /// Half-width of the ~95% confidence interval (1.96 σ).
+    pub fn ci95(&self) -> f64 {
+        1.96 * self.stderr
+    }
+
+    /// Does `value` fall within `k` standard errors of the mean?
+    pub fn consistent_with(&self, value: f64, k: f64) -> bool {
+        (self.mean - value).abs() <= k * self.stderr.max(1e-12)
+    }
+}
+
+/// Aggregate independent samples into an [`Estimate`].
+fn summarize(samples: &[f64]) -> Estimate {
+    let n = samples.len();
+    assert!(n > 0, "need at least one sample");
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    Estimate {
+        mean,
+        stderr: (var / n as f64).sqrt(),
+        trials: n,
+    }
+}
+
+/// Reusable sampler of random `m`-prefixes over a fixed node set,
+/// amortizing the permutation buffer across trials.
+struct PrefixSampler {
+    pool: Vec<NodeId>,
+}
+
+impl PrefixSampler {
+    fn new(n: usize) -> Self {
+        PrefixSampler {
+            pool: (0..n as NodeId).collect(),
+        }
+    }
+
+    /// Return a uniformly random ordered sample of `m` distinct nodes
+    /// (partial Fisher-Yates; the returned slice aliases the pool).
+    fn draw<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> &[NodeId] {
+        let n = self.pool.len();
+        for i in 0..m {
+            let j = rng.random_range(i..n);
+            self.pool.swap(i, j);
+        }
+        &self.pool[..m]
+    }
+}
+
+/// Estimate the conflict ratio `r̄(m)` by `trials` independent rounds.
+///
+/// # Panics
+/// Panics if `m` is 0 or exceeds the node count, or if `trials` is 0.
+pub fn conflict_ratio_mc<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    m: usize,
+    trials: usize,
+    rng: &mut R,
+) -> Estimate {
+    let em = em_m_mc(g, m, trials, rng);
+    // r = (m - commits)/m is an affine map of the commit count, so the
+    // mean and stderr transform directly.
+    Estimate {
+        mean: 1.0 - em.mean / m as f64,
+        stderr: em.stderr / m as f64,
+        trials: em.trials,
+    }
+}
+
+/// Estimate `EM_m(G)`, the expected committed count (= greedy prefix
+/// MIS size) when `m` random nodes are launched.
+pub fn em_m_mc<R: Rng + ?Sized>(g: &CsrGraph, m: usize, trials: usize, rng: &mut R) -> Estimate {
+    let n = g.node_count();
+    assert!(m >= 1 && m <= n, "m = {m} out of range 1..={n}");
+    assert!(trials >= 1, "need at least one trial");
+    let mut sampler = PrefixSampler::new(n);
+    let samples: Vec<f64> = (0..trials)
+        .map(|_| {
+            let prefix = sampler.draw(m, rng);
+            mis::greedy_prefix_mis(g, prefix).len() as f64
+        })
+        .collect();
+    summarize(&samples)
+}
+
+/// Estimate the expected abort count `k̄(m) = m − EM_m(G)`.
+pub fn kbar_mc<R: Rng + ?Sized>(g: &CsrGraph, m: usize, trials: usize, rng: &mut R) -> Estimate {
+    let em = em_m_mc(g, m, trials, rng);
+    Estimate {
+        mean: m as f64 - em.mean,
+        stderr: em.stderr,
+        trials: em.trials,
+    }
+}
+
+/// Estimate the *eager* survivor expectation `b_m(G)` of Thm. 2's
+/// proof (cross-check for [`crate::theory::b_m_exact`]).
+pub fn b_m_mc<R: Rng + ?Sized>(g: &CsrGraph, m: usize, trials: usize, rng: &mut R) -> Estimate {
+    let n = g.node_count();
+    assert!(m >= 1 && m <= n, "m = {m} out of range 1..={n}");
+    let mut sampler = PrefixSampler::new(n);
+    let samples: Vec<f64> = (0..trials)
+        .map(|_| {
+            let prefix = sampler.draw(m, rng);
+            mis::eager_prefix_is(g, prefix).len() as f64
+        })
+        .collect();
+    summarize(&samples)
+}
+
+/// One point of a conflict-ratio curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CurvePoint {
+    /// The allocation this point was sampled at.
+    pub m: usize,
+    /// The estimated conflict ratio `r̄(m)`.
+    pub rbar: Estimate,
+}
+
+/// Sample the whole curve `r̄(m)` at the given `ms` — the data behind
+/// Fig. 2.
+pub fn conflict_curve<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    ms: &[usize],
+    trials: usize,
+    rng: &mut R,
+) -> Vec<CurvePoint> {
+    ms.iter()
+        .map(|&m| CurvePoint {
+            m,
+            rbar: conflict_ratio_mc(g, m, trials, rng),
+        })
+        .collect()
+}
+
+/// Sample a conflict-ratio curve with **common random numbers**: every
+/// `m` is evaluated on the *same* set of sampled permutations (each
+/// trial draws one full random permutation; `r̄(m)` uses its length-`m`
+/// prefix). Point estimates are identical in distribution to
+/// [`conflict_curve`], but *differences along the curve* have far lower
+/// variance because the noise is shared — the right tool for slope and
+/// crossover measurements (e.g. validating Prop. 2 or comparing two
+/// graphs point-by-point).
+pub fn conflict_curve_crn<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    ms: &[usize],
+    trials: usize,
+    rng: &mut R,
+) -> Vec<CurvePoint> {
+    let n = g.node_count();
+    assert!(ms.iter().all(|&m| m >= 1 && m <= n), "m out of range");
+    assert!(trials >= 1);
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(trials); ms.len()];
+    let mut pool: Vec<NodeId> = (0..n as NodeId).collect();
+    let max_m = ms.iter().copied().max().unwrap_or(0);
+    for _ in 0..trials {
+        // One shared permutation prefix per trial.
+        for i in 0..max_m {
+            let j = rng.random_range(i..n);
+            pool.swap(i, j);
+        }
+        // Incremental greedy commit along the prefix gives every
+        // r(π_m) for all m in one pass.
+        let mut committed = vec![false; n];
+        let mut commits_at = Vec::with_capacity(max_m);
+        let mut commits = 0usize;
+        'node: for &v in pool.iter().take(max_m) {
+            for &w in g.neighbors_slice(v) {
+                if committed[w as usize] {
+                    commits_at.push(commits);
+                    continue 'node;
+                }
+            }
+            committed[v as usize] = true;
+            commits += 1;
+            commits_at.push(commits);
+        }
+        for w in pool.iter().take(max_m) {
+            committed[*w as usize] = false; // cheap reset of touched bits
+        }
+        for (k, &m) in ms.iter().enumerate() {
+            let c = commits_at[m - 1];
+            samples[k].push(1.0 - c as f64 / m as f64);
+        }
+    }
+    ms.iter()
+        .zip(samples)
+        .map(|(&m, s)| CurvePoint {
+            m,
+            rbar: summarize(&s),
+        })
+        .collect()
+}
+
+/// Estimate the largest `m` with `r̄(m) ≤ ρ` (the controller's target
+/// operating point `μ`) by exponential probing then bisection, using
+/// `trials` rounds per evaluation.
+///
+/// `r̄` is non-decreasing (Prop. 1) so bisection is sound up to
+/// sampling noise; `trials` of a few hundred makes the noise
+/// negligible for experiment-grade answers.
+pub fn find_mu<R: Rng + ?Sized>(g: &CsrGraph, rho: f64, trials: usize, rng: &mut R) -> usize {
+    let n = g.node_count();
+    assert!(n >= 1, "empty graph has no operating point");
+    let eval = |m: usize, rng: &mut R| conflict_ratio_mc(g, m, trials, rng).mean;
+    if eval(n, rng) <= rho {
+        return n;
+    }
+    // Exponential probe for an upper bracket.
+    let mut lo = 1usize;
+    let mut hi = 2usize.min(n);
+    while hi < n && eval(hi, rng) <= rho {
+        lo = hi;
+        hi = (hi * 2).min(n);
+    }
+    // Invariant: r̄(lo) ≤ ρ < r̄(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if eval(mid, rng) <= rho {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::theory;
+    use optpar_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn summarize_basics() {
+        let e = summarize(&[1.0, 1.0, 1.0]);
+        assert_eq!(e.mean, 1.0);
+        assert_eq!(e.stderr, 0.0);
+        let e = summarize(&[0.0, 2.0]);
+        assert_eq!(e.mean, 1.0);
+        assert!((e.stderr - 1.0).abs() < 1e-12);
+        assert!(e.consistent_with(2.5, 2.0));
+        assert!(!e.consistent_with(10.0, 3.0));
+    }
+
+    #[test]
+    fn mc_matches_exact_on_small_graph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = optpar_graph::CsrGraph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)],
+        );
+        for m in 1..=6 {
+            let exact = optpar_graph::mis::exact_em_m(&g, m);
+            let est = em_m_mc(&g, m, 4000, &mut rng);
+            assert!(
+                est.consistent_with(exact, 4.0),
+                "m={m}: est {est:?} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn conflict_ratio_on_complete_graph() {
+        // K_n commits exactly 1: r̄(m) = (m-1)/m deterministically.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = gen::complete(12);
+        for &m in &[1usize, 3, 12] {
+            let e = conflict_ratio_mc(&g, m, 50, &mut rng);
+            assert!((e.mean - (m as f64 - 1.0) / m as f64).abs() < 1e-12);
+            assert_eq!(e.stderr, 0.0);
+        }
+    }
+
+    #[test]
+    fn conflict_ratio_zero_on_edgeless() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = optpar_graph::CsrGraph::edgeless(30);
+        let e = conflict_ratio_mc(&g, 20, 50, &mut rng);
+        assert_eq!(e.mean, 0.0);
+    }
+
+    #[test]
+    fn kbar_on_worst_case_matches_thm3() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (n, d) = (60, 5);
+        let g = gen::clique_union(n, d);
+        for &m in &[2usize, 10, 30] {
+            let exact_k = m as f64 - theory::em_worst_exact(n, d, m);
+            let est = kbar_mc(&g, m, 6000, &mut rng);
+            assert!(
+                est.consistent_with(exact_k, 4.0),
+                "m={m}: {est:?} vs {exact_k}"
+            );
+        }
+    }
+
+    #[test]
+    fn b_m_mc_matches_closed_form() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::gnm(40, 100, &mut rng);
+        for &m in &[5usize, 20, 40] {
+            let exact = theory::b_m_exact(&g, m);
+            let est = b_m_mc(&g, m, 6000, &mut rng);
+            assert!(
+                est.consistent_with(exact, 4.0),
+                "m={m}: {est:?} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_up_to_noise() {
+        // Prop. 1 empirically: adjacent curve points shouldn't invert
+        // by more than combined noise.
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = gen::random_with_avg_degree(300, 8.0, &mut rng);
+        let ms: Vec<usize> = (1..=10).map(|i| i * 30).collect();
+        let curve = conflict_curve(&g, &ms, 800, &mut rng);
+        for w in curve.windows(2) {
+            let slack = 4.0 * (w[0].rbar.stderr + w[1].rbar.stderr);
+            assert!(
+                w[1].rbar.mean >= w[0].rbar.mean - slack,
+                "non-monotone: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn crn_curve_matches_plain_curve() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = gen::random_with_avg_degree(200, 8.0, &mut rng);
+        let ms = [20usize, 60, 120];
+        let plain = conflict_curve(&g, &ms, 3000, &mut rng);
+        let crn = conflict_curve_crn(&g, &ms, 3000, &mut rng);
+        for (a, b) in plain.iter().zip(&crn) {
+            assert!(
+                (a.rbar.mean - b.rbar.mean).abs()
+                    < 4.0 * (a.rbar.stderr + b.rbar.stderr),
+                "m={}: {a:?} vs {b:?}",
+                a.m
+            );
+        }
+    }
+
+    #[test]
+    fn crn_reduces_difference_variance() {
+        // Estimate Δ = r̄(m+1) − r̄(m) both ways over repeated small
+        // batches; the CRN estimator's spread must be smaller.
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = gen::random_with_avg_degree(150, 10.0, &mut rng);
+        let ms = [40usize, 41];
+        let reps = 60;
+        let spread = |use_crn: bool, rng: &mut StdRng| {
+            let deltas: Vec<f64> = (0..reps)
+                .map(|_| {
+                    let c = if use_crn {
+                        conflict_curve_crn(&g, &ms, 60, rng)
+                    } else {
+                        conflict_curve(&g, &ms, 60, rng)
+                    };
+                    c[1].rbar.mean - c[0].rbar.mean
+                })
+                .collect();
+            let mean = deltas.iter().sum::<f64>() / reps as f64;
+            deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / reps as f64
+        };
+        let v_plain = spread(false, &mut rng);
+        let v_crn = spread(true, &mut rng);
+        assert!(
+            v_crn < v_plain / 2.0,
+            "CRN variance {v_crn} not ≪ independent variance {v_plain}"
+        );
+    }
+
+    #[test]
+    fn find_mu_brackets_target() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = gen::random_with_avg_degree(500, 10.0, &mut rng);
+        let rho = 0.2;
+        let mu = find_mu(&g, rho, 600, &mut rng);
+        let r_at = conflict_ratio_mc(&g, mu, 4000, &mut rng).mean;
+        let r_above = conflict_ratio_mc(&g, mu + 5, 4000, &mut rng).mean;
+        assert!(r_at <= rho + 0.03, "r̄(μ) = {r_at} too high");
+        assert!(r_above >= rho - 0.03, "r̄(μ+5) = {r_above} too low");
+    }
+
+    #[test]
+    fn find_mu_on_edgeless_is_n() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = optpar_graph::CsrGraph::edgeless(64);
+        assert_eq!(find_mu(&g, 0.2, 100, &mut rng), 64);
+    }
+
+    #[test]
+    fn find_mu_on_complete_is_one() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = gen::complete(32);
+        // r̄(2) = 1/2 > ρ, so μ = 1.
+        assert_eq!(find_mu(&g, 0.2, 100, &mut rng), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn m_zero_rejected() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = optpar_graph::CsrGraph::edgeless(5);
+        let _ = em_m_mc(&g, 0, 10, &mut rng);
+    }
+}

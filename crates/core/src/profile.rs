@@ -1,0 +1,196 @@
+//! LonStar-style available-parallelism profiles.
+//!
+//! Kulkarni et al. ("How much parallelism is there in irregular
+//! applications?", the paper's refs 15 and 16) measure, at each temporal
+//! step, the size of a maximal independent set of the current CC graph:
+//! the number of tasks an oracle scheduler could run conflict-free.
+//! The profile over time is what the processor-allocation controller
+//! must track; this module measures it for any draining/morphing
+//! workload.
+
+use crate::model::{Morph, NoMorph, RoundScheduler};
+use optpar_graph::{mis, CsrGraph};
+use rand::Rng;
+
+/// An available-parallelism profile: `levels[t]` is the number of
+/// conflict-free tasks an oracle could execute at step `t`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParallelismProfile {
+    /// `levels[t]`: conflict-free tasks available at oracle step `t`.
+    pub levels: Vec<usize>,
+}
+
+impl ParallelismProfile {
+    /// Peak parallelism.
+    pub fn peak(&self) -> usize {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Total work (sum of levels = number of tasks executed).
+    pub fn total_work(&self) -> usize {
+        self.levels.iter().sum()
+    }
+
+    /// Critical-path length (number of oracle steps).
+    pub fn span(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Average parallelism = total work / span (0 for empty profiles).
+    pub fn average(&self) -> f64 {
+        if self.levels.is_empty() {
+            0.0
+        } else {
+            self.total_work() as f64 / self.span() as f64
+        }
+    }
+
+    /// Largest single-step relative change, quantifying how "abrupt"
+    /// the workload is (the §4.1 motivation). Returns 0 for profiles
+    /// shorter than 2 steps.
+    pub fn max_abruptness(&self) -> f64 {
+        self.levels
+            .windows(2)
+            .map(|w| {
+                let base = w[0].max(1) as f64;
+                (w[1] as f64 - w[0] as f64).abs() / base
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Measure the oracle profile of a workload: repeatedly commit a greedy
+/// random maximal independent set of the *entire* remaining CC graph,
+/// remove it (running `morph` per commit), and record its size.
+///
+/// `max_steps` bounds runaway morphing workloads.
+pub fn measure_profile<M: Morph, R: Rng + ?Sized>(
+    g: &CsrGraph,
+    morph: &mut M,
+    max_steps: usize,
+    rng: &mut R,
+) -> ParallelismProfile {
+    let mut sched = RoundScheduler::from_csr(g);
+    let mut levels = Vec::new();
+    for _ in 0..max_steps {
+        if sched.is_empty() {
+            break;
+        }
+        // Launching every live node makes the greedy prefix rule
+        // coincide with a greedy-random MIS of the whole graph.
+        let live = sched.live_nodes();
+        let out = sched.run_round_morph(live, morph, rng);
+        levels.push(out.committed);
+    }
+    ParallelismProfile { levels }
+}
+
+/// Convenience wrapper: profile of a static (non-morphing) workload.
+pub fn measure_static_profile<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    rng: &mut R,
+) -> ParallelismProfile {
+    measure_profile(g, &mut NoMorph, usize::MAX, rng)
+}
+
+/// Estimate the *instantaneous* available parallelism of a graph (the
+/// expected greedy-random MIS size) by Monte-Carlo averaging.
+pub fn available_parallelism<R: Rng + ?Sized>(
+    g: &CsrGraph,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(trials >= 1);
+    let total: usize = (0..trials)
+        .map(|_| mis::greedy_random_mis(g, rng).len())
+        .sum();
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::RefinementMorph;
+    use crate::theory;
+    use optpar_graph::{gen, ConflictGraph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn profile_of_edgeless_is_one_step() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = measure_static_profile(&CsrGraph::edgeless(42), &mut rng);
+        assert_eq!(p.levels, vec![42]);
+        assert_eq!(p.peak(), 42);
+        assert_eq!(p.span(), 1);
+        assert_eq!(p.average(), 42.0);
+    }
+
+    #[test]
+    fn profile_of_complete_graph_is_serial() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = measure_static_profile(&gen::complete(7), &mut rng);
+        assert_eq!(p.levels, vec![1; 7]);
+        assert_eq!(p.average(), 1.0);
+        assert_eq!(p.max_abruptness(), 0.0);
+    }
+
+    #[test]
+    fn profile_conserves_work() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::random_with_avg_degree(300, 6.0, &mut rng);
+        let p = measure_static_profile(&g, &mut rng);
+        assert_eq!(p.total_work(), 300);
+        // Span must be at least chromatic-ish: > 1 for a non-edgeless
+        // graph, and levels are non-increasing-ish but at least
+        // positive.
+        assert!(p.span() > 1);
+        assert!(p.levels.iter().all(|&l| l > 0));
+    }
+
+    #[test]
+    fn first_level_respects_turan() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::random_with_avg_degree(400, 8.0, &mut rng);
+        let ap = available_parallelism(&g, 200, &mut rng);
+        let bound = theory::turan_bound(g.node_count(), g.average_degree());
+        assert!(ap >= bound * 0.98, "{ap} below Turán bound {bound}");
+    }
+
+    #[test]
+    fn morphing_extends_span() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::random_with_avg_degree(100, 4.0, &mut rng);
+        let static_p = measure_static_profile(&g, &mut rng);
+        let mut morph = RefinementMorph {
+            spawn_max: 1,
+            spawn_p: 0.5,
+            inherit_p: 0.8,
+        };
+        let morph_p = measure_profile(&g, &mut morph, 10_000, &mut rng);
+        assert!(morph_p.total_work() > static_p.total_work());
+    }
+
+    #[test]
+    fn max_steps_bounds_runaway() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = gen::random_with_avg_degree(50, 3.0, &mut rng);
+        // Morph that spawns more than it consumes -> unbounded.
+        let mut morph = RefinementMorph {
+            spawn_max: 3,
+            spawn_p: 0.9,
+            inherit_p: 0.2,
+        };
+        let p = measure_profile(&g, &mut morph, 5, &mut rng);
+        assert_eq!(p.span(), 5);
+    }
+
+    #[test]
+    fn abruptness_on_ramp() {
+        let p = ParallelismProfile {
+            levels: vec![1, 2, 40, 41],
+        };
+        assert!((p.max_abruptness() - 19.0).abs() < 1e-12);
+        assert_eq!(ParallelismProfile::default().max_abruptness(), 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The unfriendly seating problem: exact expectations on paths and
+//! cycles.
+//!
+//! The paper (§3) identifies the expected size of a greedy-random
+//! maximal independent set with the *unfriendly seating problem*
+//! (Freedman & Shepp 1962; Georgiou, Kranakis & Krizanc 2009): diners
+//! pick seats uniformly at random, refusing to sit next to an occupied
+//! seat. On a path of `n` seats the expected occupancy is known in
+//! closed form, with the famous density limit `(1 − e⁻²)/2 ≈ 0.4323`.
+//!
+//! This module computes the exact expectations by dynamic programming —
+//! `E[n]` on the path satisfies a convolution recurrence because
+//! seating at position `k` splits the path into independent segments —
+//! and provides the asymptotic density for cross-checks. These serve
+//! as additional exact oracles for the Monte-Carlo machinery and pin
+//! the mesh-like workload family the paper mentions ("usually studied
+//! on mesh-like graphs").
+
+/// Exact expected size of the greedy-random MIS ("seated diners") on a
+/// path with `n` vertices.
+///
+/// Uses the segment recurrence: seating first at position `k`
+/// (uniform) splits the path into independent sub-paths of lengths
+/// `k − 2` and `n − k − 1`:
+///
+/// `E[n] = 1 + (2/n) · Σ_{j=0}^{n-2} w_j E[j]` — computed here in the
+/// equivalent prefix-sum form for O(n) time.
+pub fn seating_path_exact(n: usize) -> f64 {
+    // E[0] = 0, E[1] = 1, E[2] = 1.
+    // Seating at k ∈ {1..n} leaves segments (k-2)⁺ and (n-k-1)⁺ where
+    // negative lengths count as 0.
+    let mut e = vec![0.0f64; n.max(2) + 1];
+    if n == 0 {
+        return 0.0;
+    }
+    e[1] = 1.0;
+    let mut prefix = vec![0.0f64; n.max(2) + 2]; // prefix[i] = Σ_{j<i} e[j]
+    prefix[1] = e[0];
+    prefix[2] = e[0] + e[1];
+    for len in 2..=n {
+        // Σ_{k=1..len} (E[(k-2)⁺] + E[(len-k-1)⁺])
+        // = Σ_{k=1..len} E[max(k-2,0)] + Σ_{k=1..len} E[max(len-k-1,0)]
+        // Both sums equal E[0] + Σ_{j=0}^{len-2} E[j] (with the j = 0
+        // term appearing twice at the boundary); write directly:
+        let mut s = 0.0;
+        for k in 1..=len {
+            let left = k.saturating_sub(2);
+            let right = len.saturating_sub(k + 1);
+            s += e[left] + e[right];
+        }
+        e[len] = 1.0 + s / len as f64;
+        prefix[len + 1] = prefix[len] + e[len];
+    }
+    e[n]
+}
+
+/// Exact expected greedy-random MIS size on a cycle of `n ≥ 3`
+/// vertices: the first diner breaks the cycle into a path of `n − 3`
+/// free seats, so `E_cycle[n] = 1 + E_path[n − 3]`.
+pub fn seating_cycle_exact(n: usize) -> f64 {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    1.0 + seating_path_exact(n - 3)
+}
+
+/// The Freedman–Shepp limit density on the path: `(1 − e⁻²)/2`.
+pub fn seating_density_limit() -> f64 {
+    (1.0 - (-2.0f64).exp()) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpar_graph::{mis, GraphBuilder, NodeId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tiny_paths_by_hand() {
+        assert_eq!(seating_path_exact(0), 0.0);
+        assert_eq!(seating_path_exact(1), 1.0);
+        assert_eq!(seating_path_exact(2), 1.0);
+        // n = 3: first seat uniform; middle (p = 1/3) blocks both ends
+        // -> 1 diner; an end (p = 2/3) leaves the far end free -> 2.
+        assert!((seating_path_exact(3) - (1.0 / 3.0 + 2.0 * 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_exact_mis_enumeration() {
+        for n in 2..=9usize {
+            let mut b = GraphBuilder::new(n);
+            let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+            b.path(&nodes);
+            let g = b.build();
+            let brute = mis::exact_em_m(&g, n);
+            let dp = seating_path_exact(n);
+            assert!(
+                (brute - dp).abs() < 1e-9,
+                "n = {n}: brute {brute} vs DP {dp}"
+            );
+        }
+    }
+
+    #[test]
+    fn cycle_matches_enumeration() {
+        for n in 3..=9usize {
+            let mut b = GraphBuilder::new(n);
+            let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+            b.cycle(&nodes);
+            let g = b.build();
+            let brute = mis::exact_em_m(&g, n);
+            let dp = seating_cycle_exact(n);
+            assert!(
+                (brute - dp).abs() < 1e-9,
+                "n = {n}: brute {brute} vs DP {dp}"
+            );
+        }
+    }
+
+    #[test]
+    fn density_approaches_freedman_shepp_limit() {
+        let n = 4000;
+        let density = seating_path_exact(n) / n as f64;
+        let limit = seating_density_limit();
+        assert!(
+            (density - limit).abs() < 1e-3,
+            "density {density} vs limit {limit}"
+        );
+        assert!((limit - 0.43233).abs() < 1e-4);
+    }
+
+    #[test]
+    fn density_beats_turan() {
+        // Path: d → 2, Turán gives n/3 ≈ 0.333n; seating achieves
+        // ≈ 0.432n — Turán is a lower bound, not tight here.
+        let n = 1000;
+        let e = seating_path_exact(n);
+        assert!(e > n as f64 / 3.0);
+    }
+
+    #[test]
+    fn monte_carlo_agrees() {
+        let n = 200;
+        let mut b = GraphBuilder::new(n);
+        let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+        b.path(&nodes);
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 4000;
+        let mean: f64 = (0..trials)
+            .map(|_| mis::greedy_random_mis(&g, &mut rng).len() as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let exact = seating_path_exact(n);
+        assert!(
+            (mean - exact).abs() < 0.2,
+            "MC {mean} vs exact {exact}"
+        );
+    }
+}

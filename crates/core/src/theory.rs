@@ -1,0 +1,437 @@
+//! Closed-form theory from §3 of the paper.
+//!
+//! Everything here is deterministic mathematics; the Monte-Carlo
+//! counterparts live in [`crate::estimate`] and the two are
+//! cross-validated in the test suites and the `thm3_worst_case` /
+//! `prop2_initial_slope` experiment binaries.
+
+use optpar_graph::{ConflictGraph, CsrGraph};
+
+/// Turán's strong bound (Thm. 1): the expected size of the
+/// greedy-random maximal independent set of a graph with `n` nodes and
+/// average degree `d` is at least `n / (d + 1)`.
+pub fn turan_bound(n: usize, d: f64) -> f64 {
+    assert!(d >= 0.0, "average degree must be non-negative");
+    n as f64 / (d + 1.0)
+}
+
+/// Prop. 2: the initial finite difference of the conflict ratio,
+/// `Δr̄(1) = d / (2(n−1))`, depending only on `n` and the average
+/// degree `d`.
+pub fn initial_slope(n: usize, d: f64) -> f64 {
+    assert!(n >= 2, "initial slope needs at least 2 nodes");
+    d / (2.0 * (n as f64 - 1.0))
+}
+
+/// The hypergeometric probability that a fixed `K_{d+1}` component of
+/// `K_d^n` is *not hit* when `m` nodes are drawn uniformly without
+/// replacement (Eq. 26):
+///
+/// `Pr[not hit] = ∏_{i=1..m} (n−d−i) / (n+1−i)`.
+///
+/// Returns 0 when `m > n − d − 1` (the draw must then intersect every
+/// component).
+pub fn prob_component_not_hit(n: usize, d: usize, m: usize) -> f64 {
+    assert!(m <= n, "cannot draw {m} nodes from {n}");
+    if m + d + 1 > n {
+        return 0.0;
+    }
+    let mut p = 1.0;
+    for i in 1..=m {
+        p *= (n - d - i) as f64 / (n + 1 - i) as f64;
+    }
+    p
+}
+
+/// Thm. 3 exact: `EM_m(K_d^n) = s · (1 − ∏_{i=1..m} (n−d−i)/(n+1−i))`
+/// with `s = n/(d+1)` — the expected number of components hit, which
+/// equals the expected committed count on the worst-case graph.
+///
+/// When `(d+1) ∤ n` the formula is evaluated with fractional `s`,
+/// which is the natural continuous extension of the bound (the paper
+/// assumes divisibility only "for simplicity").
+///
+/// # Panics
+/// Panics if `m > n`.
+pub fn em_worst_exact(n: usize, d: usize, m: usize) -> f64 {
+    let s = n as f64 / (d + 1) as f64;
+    s * (1.0 - prob_component_not_hit(n, d, m))
+}
+
+/// Thm. 3 as a conflict-ratio upper bound:
+/// `r̄(m) ≤ 1 − EM_m(K_d^n) / m` for every graph with `n` nodes and
+/// average degree `d` (Cor. 1). Defined as 0 at `m = 0`.
+pub fn rbar_worst_exact(n: usize, d: usize, m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    // Clamp away the ~1 ulp negative excursion at m = 1 (where the
+    // true value is exactly 0).
+    (1.0 - em_worst_exact(n, d, m) / m as f64).clamp(0.0, 1.0)
+}
+
+/// Cor. 2, the large-`n, m` approximation of the worst-case bound:
+/// `r̄(m) ≤ 1 − n/(m(d+1)) · [1 − (1 − m/n)^{d+1}]`.
+pub fn rbar_worst_asymptotic(n: usize, d: usize, m: usize) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    let (nf, mf, df) = (n as f64, m as f64, d as f64);
+    1.0 - nf / (mf * (df + 1.0)) * (1.0 - (1.0 - mf / nf).powi(d as i32 + 1))
+}
+
+/// Cor. 3, first inequality: with `m = α·n/(d+1)`,
+/// `r̄ ≤ 1 − (1/α)·[1 − (1 − α/(d+1))^{d+1}]`.
+pub fn rbar_alpha_bound(alpha: f64, d: usize) -> f64 {
+    assert!(alpha > 0.0, "α must be positive");
+    let df = d as f64;
+    // For α > d+1 the base goes negative; the bound's derivation has
+    // m ≤ n so α ≤ d+1 there — clamp to the boundary value, keeping
+    // the function defined (and ≤ the degree-free limit) everywhere.
+    let base = (1.0 - alpha / (df + 1.0)).max(0.0);
+    // Clamp the ~1-ulp negative excursion at tiny α (true value → 0).
+    (1.0 - (1.0 - base.powi(d as i32 + 1)) / alpha).clamp(0.0, 1.0)
+}
+
+/// Cor. 3, degree-free limit: `r̄ ≤ 1 − (1 − e^{−α})/α`.
+///
+/// At `α = ½` this evaluates to ≈ 21.3%, the guarantee behind the
+/// controller's smart initialisation `m₀ = n / (2(d+1))`.
+pub fn rbar_alpha_limit(alpha: f64) -> f64 {
+    assert!(alpha > 0.0, "α must be positive");
+    (1.0 - (1.0 - (-alpha).exp()) / alpha).clamp(0.0, 1.0)
+}
+
+/// The pessimistic expectation `b_m(G)` of Eq. (20): the expected size
+/// of the *eager* independent set (a node survives iff no neighbour
+/// precedes it anywhere in the permutation prefix), computed exactly in
+/// `O(D · m)` where `D` is the number of distinct degrees:
+///
+/// `b_m(G) = E_v [ Σ_{j=1..m} ∏_{i=1..j−1} (n−i−d_v)/(n−i) ]`.
+///
+/// Satisfies `b_m(G) ≤ EM_m(G)` with equality on `K_d^n` (where every
+/// blocked node is blocked by a *committed* clique-mate).
+pub fn b_m_exact(g: &CsrGraph, m: usize) -> f64 {
+    let n = g.node_count();
+    assert!(m <= n, "prefix length {m} exceeds node count {n}");
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let hist = optpar_graph::stats::degree_histogram(g);
+    let mut total = 0.0;
+    for (dv, &count) in hist.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        total += count as f64 * b_single(n, dv, m);
+    }
+    total / n as f64
+}
+
+/// `Pr[v ∈ IS_m] · n` for a node of degree `dv` (inner sum of Eq. 19).
+fn b_single(n: usize, dv: usize, m: usize) -> f64 {
+    let nf = n as f64;
+    let mut sum = 0.0;
+    let mut prod = 1.0;
+    for j in 1..=m {
+        sum += prod;
+        // extend the product by factor i = j for the next term
+        let i = j as f64;
+        let factor = (nf - i - dv as f64) / (nf - i);
+        prod *= factor.max(0.0);
+    }
+    sum
+}
+
+/// `b_m(K_d^n)` via the closed form of Eq. (21); equals
+/// [`em_worst_exact`] (the identity `b_m(K_d^n) = EM_m(K_d^n)` used in
+/// Thm. 2's proof).
+pub fn b_m_worst(n: usize, d: usize, m: usize) -> f64 {
+    let nf = n as f64;
+    let mut sum = 0.0;
+    let mut prod = 1.0;
+    for j in 1..=m {
+        sum += prod;
+        let i = j as f64;
+        prod *= ((nf - i - d as f64) / (nf - i)).max(0.0);
+    }
+    sum
+}
+
+/// Forward finite difference of a sampled sequence:
+/// `Δf(k) = f(k+1) − f(k)`. Output has length `len − 1`.
+pub fn forward_diff(f: &[f64]) -> Vec<f64> {
+    f.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// `i`-th iterated forward finite difference (Eq. 2).
+///
+/// # Panics
+/// Panics if `order >= f.len()` (an empty difference is almost always a
+/// caller bug).
+pub fn finite_difference(f: &[f64], order: usize) -> Vec<f64> {
+    assert!(
+        order < f.len(),
+        "order {order} too high for {} samples",
+        f.len()
+    );
+    let mut cur = f.to_vec();
+    for _ in 0..order {
+        cur = forward_diff(&cur);
+    }
+    cur
+}
+
+/// Check Lemma 1's conclusions on a sampled `k̄` curve: non-decreasing
+/// (`Δk̄ ≥ −tol`) and convex (`Δ²k̄ ≥ −tol`). Returns the first index
+/// violating either property, if any.
+pub fn check_kbar_shape(kbar: &[f64], tol: f64) -> Option<usize> {
+    let d1 = forward_diff(kbar);
+    if let Some(i) = d1.iter().position(|&x| x < -tol) {
+        return Some(i);
+    }
+    let d2 = forward_diff(&d1);
+    d2.iter().position(|&x| x < -tol)
+}
+
+/// The average degree of a graph, as used by every bound in this
+/// module. Convenience re-export to keep call sites uniform.
+pub fn average_degree<G: ConflictGraph + ?Sized>(g: &G) -> f64 {
+    g.average_degree()
+}
+
+/// Static allocation with a worst-case guarantee: the largest `m` such
+/// that the Thm. 3 bound keeps `r̄(m) ≤ ρ` on **every** graph with `n`
+/// nodes and average degree `d`.
+///
+/// This is the open-loop companion of the adaptive controller: if all
+/// you know is (n, d), launching `recommended_m` tasks can never exceed
+/// the target conflict ratio, whatever the conflict structure. The
+/// adaptive controller then buys back the (often large) gap between
+/// this guarantee and the actual graph's operating point μ.
+///
+/// Returns at least 1. Found by binary search over the monotone bound.
+pub fn recommended_m(n: usize, d: usize, rho: f64) -> usize {
+    assert!(n >= 1);
+    assert!((0.0..1.0).contains(&rho), "ρ must be in [0, 1)");
+    if rbar_worst_exact(n, d, n) <= rho {
+        return n;
+    }
+    let (mut lo, mut hi) = (1usize, n); // bound(lo) ≤ ρ < bound(hi)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if rbar_worst_exact(n, d, mid) <= rho {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optpar_graph::{gen, mis};
+
+    #[test]
+    fn turan_on_clique_union_is_tight() {
+        // K_d^n: expected MIS = s = n/(d+1) exactly; Turán must agree.
+        assert_eq!(turan_bound(20, 4.0), 4.0);
+        assert_eq!(turan_bound(100, 0.0), 100.0);
+    }
+
+    #[test]
+    fn slope_formula() {
+        assert!((initial_slope(2000, 16.0) - 16.0 / 3998.0).abs() < 1e-15);
+        assert_eq!(initial_slope(2, 0.0), 0.0);
+    }
+
+    #[test]
+    fn not_hit_probability_edges() {
+        // m = 0: never hit.
+        assert_eq!(prob_component_not_hit(10, 4, 0), 1.0);
+        // Drawing everything: always hit.
+        assert_eq!(prob_component_not_hit(10, 4, 10), 0.0);
+        // m = n - d - 1 = 5: only miss if all 5 land in the other
+        // component; p = C(5,5)/C(10,5) = 1/252.
+        let p = prob_component_not_hit(10, 4, 5);
+        assert!((p - 1.0 / 252.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn em_worst_matches_exact_enumeration() {
+        // Compare Thm. 3's closed form against brute-force EM_m on a
+        // small K_2^9 (three triangles).
+        let g = gen::clique_union(9, 2);
+        for m in 0..=9 {
+            let closed = em_worst_exact(9, 2, m);
+            let brute = mis::exact_em_m(&g, m);
+            assert!(
+                (closed - brute).abs() < 1e-9,
+                "m = {m}: closed {closed} vs brute {brute}"
+            );
+        }
+    }
+
+    #[test]
+    fn em_worst_saturates_at_s() {
+        assert!((em_worst_exact(20, 4, 20) - 4.0).abs() < 1e-12);
+        assert!((em_worst_exact(20, 4, 16) - 4.0).abs() < 1e-12); // m > n-d-1
+    }
+
+    #[test]
+    fn rbar_worst_monotone_in_m() {
+        // Prop. 1 specialized to the worst case: the bound must be
+        // non-decreasing in m.
+        let (n, d) = (2000, 16);
+        let mut prev = 0.0;
+        for m in 1..=n {
+            let r = rbar_worst_exact(n, d, m);
+            assert!(r >= prev - 1e-12, "bound decreased at m = {m}");
+            assert!((0.0..=1.0).contains(&r));
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn asymptotic_close_to_exact_for_large_n() {
+        let (n, d) = (2000, 16);
+        for &m in &[1usize, 10, 50, 100, 500, 1000, 2000] {
+            let e = rbar_worst_exact(n, d, m);
+            let a = rbar_worst_asymptotic(n, d, m);
+            assert!(
+                (e - a).abs() < 0.01,
+                "m = {m}: exact {e} vs asymptotic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_bound_chain() {
+        // Cor. 3: finite-d bound ≤ degree-free limit, and both in (0,1).
+        for &alpha in &[0.1, 0.5, 1.0, 2.0, 4.0] {
+            for &d in &[1usize, 4, 16, 64] {
+                let b = rbar_alpha_bound(alpha, d);
+                let l = rbar_alpha_limit(alpha);
+                assert!(b <= l + 1e-12, "α={alpha}, d={d}: {b} > {l}");
+                assert!((0.0..1.0).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn smart_start_guarantee() {
+        // The paper: m = n/(2(d+1)) (α = ½) gives r̄ ≤ 21.3%.
+        let l = rbar_alpha_limit(0.5);
+        assert!((l - 0.2130).abs() < 5e-4, "limit at α=1/2 is {l}");
+    }
+
+    #[test]
+    fn alpha_limit_small_alpha_tends_to_zero() {
+        assert!(rbar_alpha_limit(1e-6) < 1e-5);
+        // α → ∞: bound → 1.
+        assert!(rbar_alpha_limit(1e6) > 0.999);
+    }
+
+    #[test]
+    fn b_m_equals_em_on_worst_case() {
+        let g = gen::clique_union(12, 3);
+        for m in 0..=12 {
+            let b = b_m_exact(&g, m);
+            let closed = em_worst_exact(12, 3, m);
+            let series = b_m_worst(12, 3, m);
+            assert!((b - closed).abs() < 1e-9, "m={m}: {b} vs {closed}");
+            assert!((series - closed).abs() < 1e-9, "m={m}: {series} vs {closed}");
+        }
+    }
+
+    #[test]
+    fn b_m_below_em_in_general() {
+        // Thm. 2's proof step: b_m(G) ≤ EM_m(G); strict for a path.
+        let g = optpar_graph::CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        for m in 1..=4 {
+            let b = b_m_exact(&g, m);
+            let em = mis::exact_em_m(&g, m);
+            assert!(b <= em + 1e-12, "m={m}: b {b} > EM {em}");
+        }
+        // At m = 4 the path has b < EM strictly (ordering 0,1,2,3
+        // commits 0,2 but eager keeps only 0 and 3-free cases).
+        assert!(b_m_exact(&g, 4) < mis::exact_em_m(&g, 4) - 1e-6);
+    }
+
+    #[test]
+    fn thm2_on_small_graphs() {
+        // EM_m(G) ≥ EM_m(K_d^n) for matched n and average degree:
+        // compare a 6-cycle (n=6, d=2) against K_2^6 (two triangles).
+        let cycle = {
+            let mut b = optpar_graph::GraphBuilder::new(6);
+            b.cycle(&[0, 1, 2, 3, 4, 5]);
+            b.build()
+        };
+        let worst = gen::clique_union(6, 2);
+        for m in 1..=6 {
+            let em_c = mis::exact_em_m(&cycle, m);
+            let em_w = mis::exact_em_m(&worst, m);
+            assert!(
+                em_c >= em_w - 1e-12,
+                "m={m}: cycle {em_c} below worst case {em_w}"
+            );
+        }
+    }
+
+    #[test]
+    fn recommended_m_is_safe_and_maximal() {
+        let (n, d) = (2040, 16);
+        for &rho in &[0.05, 0.2, 0.3] {
+            let m = recommended_m(n, d, rho);
+            assert!(rbar_worst_exact(n, d, m) <= rho + 1e-12);
+            if m < n {
+                assert!(rbar_worst_exact(n, d, m + 1) > rho);
+            }
+        }
+        // Edgeless worst case: everything is safe.
+        assert_eq!(recommended_m(50, 0, 0.1), 50);
+        // ρ = 0 still returns at least 1 (m = 1 never conflicts).
+        assert_eq!(recommended_m(50, 10, 0.0), 1);
+        // The smart start m = n/(2(d+1)) must be within the ρ = 21.3%
+        // recommendation (Cor. 3 consistency).
+        let m = recommended_m(2040, 16, 0.213);
+        assert!(m >= 2040 / (2 * 17), "recommended {m}");
+    }
+
+    #[test]
+    fn finite_differences() {
+        let f = [0.0, 1.0, 4.0, 9.0, 16.0]; // k²
+        assert_eq!(forward_diff(&f), vec![1.0, 3.0, 5.0, 7.0]);
+        assert_eq!(finite_difference(&f, 2), vec![2.0, 2.0, 2.0]);
+        assert_eq!(finite_difference(&f, 0), f.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "too high")]
+    fn finite_difference_order_check() {
+        let _ = finite_difference(&[1.0, 2.0], 2);
+    }
+
+    #[test]
+    fn kbar_shape_checker() {
+        assert_eq!(check_kbar_shape(&[0.0, 1.0, 3.0, 6.0], 1e-9), None);
+        // Non-monotone:
+        assert_eq!(check_kbar_shape(&[0.0, 2.0, 1.0], 1e-9), Some(1));
+        // Concave:
+        assert_eq!(check_kbar_shape(&[0.0, 2.0, 3.0, 3.5], 1e-9), Some(0));
+    }
+
+    #[test]
+    fn lemma1_shape_on_exact_kbar() {
+        // k̄(m) from brute force on a small random-ish graph must be
+        // non-decreasing and convex (Lemma 1).
+        let g = optpar_graph::CsrGraph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (5, 6), (2, 6)],
+        );
+        let kbar: Vec<f64> = (1..=7).map(|m| mis::exact_kbar(&g, m)).collect();
+        assert_eq!(check_kbar_shape(&kbar, 1e-9), None, "k̄ = {kbar:?}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the paper's theory and the controllers.
+
+use optpar_core::control::{
+    BisectionController, Controller, HybridController, HybridParams, RecurrenceA, RecurrenceB,
+    RecurrenceParams,
+};
+use optpar_core::model::RoundScheduler;
+use optpar_core::theory;
+use optpar_graph::{mis, ConflictGraph, CsrGraph, NodeId};
+use proptest::prelude::*;
+
+fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..=max_edges)
+}
+
+proptest! {
+    /// Lemma 1 + Prop. 1 on exact expectations over arbitrary tiny
+    /// graphs: k̄ is non-decreasing and convex, r̄ is non-decreasing.
+    #[test]
+    fn lemma1_prop1_exact(el in edges(7, 12)) {
+        let g = CsrGraph::from_edges(7, &el);
+        let kbar: Vec<f64> = (1..=7).map(|m| mis::exact_kbar(&g, m)).collect();
+        prop_assert_eq!(theory::check_kbar_shape(&kbar, 1e-9), None, "k̄ = {:?}", kbar);
+        let rbar: Vec<f64> = kbar
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| k / (i + 1) as f64)
+            .collect();
+        for w in rbar.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9, "r̄ not monotone: {:?}", rbar);
+        }
+    }
+
+    /// Prop. 2 on exact expectations: k̄(2) = d/(n−1) exactly.
+    #[test]
+    fn prop2_exact(el in edges(8, 16)) {
+        let g = CsrGraph::from_edges(8, &el);
+        let d = g.average_degree();
+        prop_assert!((mis::exact_kbar(&g, 2) - d / 7.0).abs() < 1e-9);
+    }
+
+    /// Eq. (20): the closed-form b_m equals brute-force expectation of
+    /// the eager survivor count, and is dominated by EM_m.
+    #[test]
+    fn b_m_closed_form_vs_brute_force(el in edges(6, 10), m in 1usize..=6) {
+        let g = CsrGraph::from_edges(6, &el);
+        // Brute force over all permutations.
+        let mut perm: Vec<NodeId> = (0..6).collect();
+        let mut total = 0usize;
+        let mut count = 0usize;
+        permute(&mut perm, 0, &mut |p: &[NodeId]| {
+            total += mis::eager_prefix_is(&g, &p[..m]).len();
+            count += 1;
+        });
+        let brute = total as f64 / count as f64;
+        let closed = theory::b_m_exact(&g, m);
+        prop_assert!((brute - closed).abs() < 1e-9, "brute {brute} vs closed {closed}");
+        prop_assert!(closed <= mis::exact_em_m(&g, m) + 1e-9);
+    }
+
+    /// Thm. 2/3: the closed worst-case form lower-bounds EM_m of any
+    /// graph with matched node count and (integer) average degree.
+    #[test]
+    fn thm2_worst_case_dominates(cliques in 1usize..3, d in 1usize..3, m in 1usize..=6) {
+        // Matched pair: K_d^n vs a cycle-ish graph with same n, d = 2.
+        let n = cliques * (d + 1) * 2; // keep tiny for exact EM
+        prop_assume!(n <= 8 && m <= n);
+        let worst = optpar_graph::gen::clique_union(n, d);
+        let em_closed = theory::em_worst_exact(n, d, m);
+        let em_brute = mis::exact_em_m(&worst, m);
+        prop_assert!((em_closed - em_brute).abs() < 1e-9);
+    }
+
+    /// Cor. 3 chain: finite-d bound ≤ degree-free limit; both in [0, 1).
+    #[test]
+    fn cor3_bound_chain(alpha in 0.01f64..20.0, d in 0usize..100) {
+        let b = theory::rbar_alpha_bound(alpha, d);
+        let l = theory::rbar_alpha_limit(alpha);
+        prop_assert!(b <= l + 1e-12);
+        prop_assert!((0.0..1.0).contains(&b));
+        prop_assert!((0.0..1.0).contains(&l));
+    }
+
+    /// The worst-case r̄ bound is monotone in m and within [0, 1].
+    #[test]
+    fn worst_case_bound_shape(s in 1usize..20, d in 0usize..12) {
+        let n = s * (d + 1);
+        let mut prev = 0.0;
+        for m in 1..=n {
+            let r = theory::rbar_worst_exact(n, d, m);
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!(r >= prev - 1e-12);
+            prev = r;
+        }
+    }
+
+    /// All controllers respect their clamps for arbitrary observation
+    /// streams, and ignore zero-launch rounds.
+    #[test]
+    fn controllers_respect_clamps(
+        rs in prop::collection::vec((0.0f64..1.0, 0usize..200), 1..200),
+        rho in 0.05f64..0.9,
+    ) {
+        let rp = RecurrenceParams { rho, ..RecurrenceParams::default() };
+        let hp = HybridParams { rho, ..HybridParams::default() };
+        let mut ctls: Vec<Box<dyn Controller>> = vec![
+            Box::new(RecurrenceA::new(rp)),
+            Box::new(RecurrenceB::new(rp)),
+            Box::new(BisectionController::new(rp)),
+            Box::new(HybridController::new(hp)),
+        ];
+        for ctl in &mut ctls {
+            for &(r, launched) in &rs {
+                ctl.observe(r, launched);
+                let m = ctl.current_m();
+                prop_assert!((2..=1024).contains(&m), "{} escaped clamps: {m}", ctl.name());
+            }
+        }
+    }
+
+    /// The round scheduler conserves work: commits + live = initial
+    /// node count (no morphing), and every round's counts add up.
+    #[test]
+    fn scheduler_conserves_work(el in edges(20, 60), seed in any::<u64>(), ms in prop::collection::vec(1usize..25, 1..40)) {
+        use rand::SeedableRng;
+        let g = CsrGraph::from_edges(20, &el);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut s = RoundScheduler::from_csr(&g);
+        for m in ms {
+            let out = s.run_round(m, &mut rng);
+            prop_assert_eq!(out.launched, out.committed + out.aborted);
+            if s.is_empty() { break; }
+        }
+        prop_assert_eq!(s.total_committed + s.live_nodes(), 20);
+    }
+}
+
+/// Heap's algorithm (test-local copy; the library keeps its own
+/// private).
+fn permute<F: FnMut(&[NodeId])>(v: &mut [NodeId], k: usize, f: &mut F) {
+    let n = v.len();
+    if k == n {
+        f(v);
+        return;
+    }
+    for i in k..n {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}

@@ -1,0 +1,418 @@
+//! Mutable adjacency graph with node removal and insertion.
+//!
+//! The round-based CC-graph scheduler (optpar-core) removes a node
+//! whenever its computation commits, and irregular algorithms *morph*
+//! the graph — e.g. retriangulating a Delaunay cavity replaces a
+//! handful of conflict nodes with new ones. [`AdjGraph`] supports both
+//! at `O(d)` per operation while keeping `node_count`/`edge_count`
+//! O(1).
+//!
+//! Node identifiers are stable: removing a node never renumbers the
+//! others. Freed identifiers are recycled by [`AdjGraph::add_node`] in
+//! LIFO order.
+
+use crate::{ConflictGraph, CsrGraph, NodeId};
+
+/// A mutable undirected graph with live/dead node tracking.
+///
+/// # Examples
+/// ```
+/// use optpar_graph::{AdjGraph, ConflictGraph};
+///
+/// let mut g = AdjGraph::with_nodes(3);
+/// g.add_edge(0, 1);
+/// g.add_edge(1, 2);
+/// assert_eq!(g.degree(1), 2);
+/// g.remove_node(1);
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.degree(0), 0);
+/// let v = g.add_node(); // recycles id 1
+/// assert_eq!(v, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AdjGraph {
+    /// Sorted neighbour list per slot; meaningful only for live slots.
+    adj: Vec<Vec<NodeId>>,
+    /// Liveness per slot.
+    alive: Vec<bool>,
+    /// Free-list of dead slots, recycled LIFO.
+    free: Vec<NodeId>,
+    live_nodes: usize,
+    edges: usize,
+}
+
+impl AdjGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A graph with `n` live, isolated nodes `0..n`.
+    pub fn with_nodes(n: usize) -> Self {
+        AdjGraph {
+            adj: vec![Vec::new(); n],
+            alive: vec![true; n],
+            free: Vec::new(),
+            live_nodes: n,
+            edges: 0,
+        }
+    }
+
+    /// Materialize a static [`CsrGraph`] into mutable form.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.node_count();
+        let mut adj = Vec::with_capacity(n);
+        for v in 0..n as NodeId {
+            adj.push(g.neighbors_slice(v).to_vec());
+        }
+        AdjGraph {
+            adj,
+            alive: vec![true; n],
+            free: Vec::new(),
+            live_nodes: n,
+            edges: g.edge_count(),
+        }
+    }
+
+    /// Snapshot the live subgraph as a CSR graph.
+    ///
+    /// Node identifiers are *compacted*: live nodes are renumbered
+    /// `0..live` in increasing id order. The mapping `old -> new` is
+    /// returned alongside.
+    pub fn to_csr_compact(&self) -> (CsrGraph, Vec<Option<NodeId>>) {
+        let mut map = vec![None; self.adj.len()];
+        let mut next = 0 as NodeId;
+        for (v, &a) in self.alive.iter().enumerate() {
+            if a {
+                map[v] = Some(next);
+                next += 1;
+            }
+        }
+        let mut canon = Vec::with_capacity(self.edges);
+        for (v, nbrs) in self.adj.iter().enumerate() {
+            if !self.alive[v] {
+                continue;
+            }
+            let nv = map[v].expect("live node must be mapped");
+            for &w in nbrs {
+                let nw = map[w as usize].expect("neighbour of live node must be live");
+                if nv < nw {
+                    canon.push((nv, nw));
+                }
+            }
+        }
+        canon.sort_unstable();
+        (
+            CsrGraph::from_sorted_unique_edges(next as usize, &canon),
+            map,
+        )
+    }
+
+    /// Total slots, live or dead. Valid node ids are `< capacity()`.
+    pub fn capacity(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Is `v` a live node?
+    #[inline]
+    pub fn is_alive(&self, v: NodeId) -> bool {
+        self.alive.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// Add a new isolated node, recycling a dead slot if available.
+    pub fn add_node(&mut self) -> NodeId {
+        self.live_nodes += 1;
+        if let Some(v) = self.free.pop() {
+            self.alive[v as usize] = true;
+            debug_assert!(self.adj[v as usize].is_empty());
+            v
+        } else {
+            let v = self.adj.len() as NodeId;
+            self.adj.push(Vec::new());
+            self.alive.push(true);
+            v
+        }
+    }
+
+    /// Add the undirected edge `{u, v}`. Returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is dead, or on a self-loop.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(self.is_alive(u), "endpoint {u} is not a live node");
+        assert!(self.is_alive(v), "endpoint {v} is not a live node");
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => false,
+            Err(iu) => {
+                let iv = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect_err("adjacency must be symmetric");
+                self.adj[u as usize].insert(iu, v);
+                self.adj[v as usize].insert(iv, u);
+                self.edges += 1;
+                true
+            }
+        }
+    }
+
+    /// Remove the undirected edge `{u, v}`. Returns `true` if present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.is_alive(u) || !self.is_alive(v) {
+            return false;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Err(_) => false,
+            Ok(iu) => {
+                let iv = self.adj[v as usize]
+                    .binary_search(&u)
+                    .expect("adjacency must be symmetric");
+                self.adj[u as usize].remove(iu);
+                self.adj[v as usize].remove(iv);
+                self.edges -= 1;
+                true
+            }
+        }
+    }
+
+    /// Remove node `v` and all incident edges.
+    ///
+    /// # Panics
+    /// Panics if `v` is not live.
+    pub fn remove_node(&mut self, v: NodeId) {
+        assert!(self.is_alive(v), "node {v} is not live");
+        let nbrs = std::mem::take(&mut self.adj[v as usize]);
+        self.edges -= nbrs.len();
+        for w in nbrs {
+            let i = self.adj[w as usize]
+                .binary_search(&v)
+                .expect("adjacency must be symmetric");
+            self.adj[w as usize].remove(i);
+        }
+        self.alive[v as usize] = false;
+        self.free.push(v);
+        self.live_nodes -= 1;
+    }
+
+    /// Sorted neighbour slice of a live node.
+    #[inline]
+    pub fn neighbors_slice(&self, v: NodeId) -> &[NodeId] {
+        debug_assert!(self.is_alive(v));
+        &self.adj[v as usize]
+    }
+
+    /// Collect all live node ids, ascending.
+    pub fn live_nodes_vec(&self) -> Vec<NodeId> {
+        self.nodes().collect()
+    }
+
+    /// Internal consistency check used by tests and debug assertions:
+    /// symmetry, sortedness, liveness of all neighbours, and counter
+    /// agreement.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut live = 0usize;
+        let mut half_edges = 0usize;
+        for (v, nbrs) in self.adj.iter().enumerate() {
+            if !self.alive[v] {
+                if !nbrs.is_empty() {
+                    return Err(format!("dead node {v} has neighbours"));
+                }
+                continue;
+            }
+            live += 1;
+            half_edges += nbrs.len();
+            if nbrs.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!("node {v} has unsorted/duplicate neighbours"));
+            }
+            for &w in nbrs {
+                if w as usize == v {
+                    return Err(format!("node {v} has a self-loop"));
+                }
+                if !self.is_alive(w) {
+                    return Err(format!("node {v} adjacent to dead node {w}"));
+                }
+                if self.adj[w as usize].binary_search(&(v as NodeId)).is_err() {
+                    return Err(format!("edge ({v}, {w}) is not symmetric"));
+                }
+            }
+        }
+        if live != self.live_nodes {
+            return Err(format!(
+                "live counter {} != actual {live}",
+                self.live_nodes
+            ));
+        }
+        if half_edges != 2 * self.edges {
+            return Err(format!(
+                "edge counter {} != actual {}",
+                self.edges,
+                half_edges / 2
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl From<&CsrGraph> for AdjGraph {
+    fn from(g: &CsrGraph) -> Self {
+        AdjGraph::from_csr(g)
+    }
+}
+
+impl From<CsrGraph> for AdjGraph {
+    fn from(g: CsrGraph) -> Self {
+        AdjGraph::from_csr(&g)
+    }
+}
+
+impl ConflictGraph for AdjGraph {
+    fn node_count(&self) -> usize {
+        self.live_nodes
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    fn nodes(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(
+            self.alive
+                .iter()
+                .enumerate()
+                .filter(|&(_, &a)| a)
+                .map(|(v, _)| v as NodeId),
+        )
+    }
+
+    fn neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(self.adj[v as usize].iter().copied())
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.is_alive(u) && self.is_alive(v) && self.adj[u as usize].binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_remove() {
+        let mut g = AdjGraph::with_nodes(4);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(g.add_edge(2, 3));
+        assert!(!g.add_edge(1, 0), "duplicate edge must be rejected");
+        assert_eq!(g.edge_count(), 3);
+        g.check_invariants().unwrap();
+
+        g.remove_node(1);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn id_recycling_is_lifo() {
+        let mut g = AdjGraph::with_nodes(3);
+        g.remove_node(0);
+        g.remove_node(2);
+        assert_eq!(g.add_node(), 2);
+        assert_eq!(g.add_node(), 0);
+        assert_eq!(g.add_node(), 3);
+        assert_eq!(g.node_count(), 4);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = AdjGraph::with_nodes(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a live node")]
+    fn edge_to_dead_node_panics() {
+        let mut g = AdjGraph::with_nodes(2);
+        g.remove_node(1);
+        g.add_edge(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut g = AdjGraph::with_nodes(1);
+        g.add_edge(0, 0);
+    }
+
+    #[test]
+    fn csr_round_trip() {
+        let csr = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let adj = AdjGraph::from_csr(&csr);
+        assert_eq!(adj.node_count(), 5);
+        assert_eq!(adj.edge_count(), 4);
+        adj.check_invariants().unwrap();
+        let (back, map) = adj.to_csr_compact();
+        assert_eq!(back, csr);
+        assert!(map.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn compaction_renumbers_after_removal() {
+        let csr = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut adj = AdjGraph::from_csr(&csr);
+        adj.remove_node(1);
+        let (c, map) = adj.to_csr_compact();
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.edge_count(), 1);
+        assert_eq!(map[0], Some(0));
+        assert_eq!(map[1], None);
+        assert_eq!(map[2], Some(1));
+        assert_eq!(map[3], Some(2));
+        assert!(c.has_edge(1, 2)); // old (2,3)
+    }
+
+    #[test]
+    fn morphing_scenario() {
+        // Simulate a cavity retriangulation: remove a node, add two new
+        // conflicting nodes wired to the old neighbourhood.
+        let mut g = AdjGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(0, 3);
+        let nbrs: Vec<_> = g.neighbors_slice(0).to_vec();
+        g.remove_node(0);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        for w in nbrs {
+            g.add_edge(a, w);
+            g.add_edge(b, w);
+        }
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 7);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn average_degree_tracks_removals() {
+        let mut g = AdjGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!((g.average_degree() - 1.0).abs() < 1e-12);
+        g.remove_node(3);
+        assert!((g.average_degree() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

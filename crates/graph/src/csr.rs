@@ -1,0 +1,312 @@
+//! Immutable compressed-sparse-row (CSR) graph.
+//!
+//! This is the workhorse representation for everything analytical in
+//! the workspace: conflict-ratio estimation, independent-set sampling,
+//! and the theory-validation experiments. It is compact (two flat
+//! arrays), cache-friendly for neighbour scans, and cheap to clone by
+//! `Arc` upstream.
+
+use crate::{ConflictGraph, NodeId};
+
+/// An immutable undirected graph in compressed-sparse-row form.
+///
+/// Neighbour lists are sorted, enabling `O(log d)` adjacency tests via
+/// binary search. Self-loops and parallel edges are rejected at
+/// construction.
+///
+/// # Examples
+/// ```
+/// use optpar_graph::{CsrGraph, ConflictGraph};
+///
+/// // A triangle plus a pendant vertex: 0-1, 1-2, 2-0, 2-3.
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 4);
+/// assert_eq!(g.degree(2), 3);
+/// assert!(g.has_edge(0, 2));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v+1]` indexes `targets` for node `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-node-sorted neighbour lists.
+    targets: Vec<NodeId>,
+    /// Number of undirected edges.
+    edges: usize,
+}
+
+impl CsrGraph {
+    /// Build a graph with `n` nodes from an undirected edge list.
+    ///
+    /// Duplicate edges (in either orientation) are collapsed;
+    /// self-loops are dropped. Endpoints must be `< n`.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut canon: Vec<(NodeId, NodeId)> = edges
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .map(|&(u, v)| if u < v { (u, v) } else { (v, u) })
+            .collect();
+        for &(u, v) in &canon {
+            assert!(
+                (v as usize) < n,
+                "edge ({u}, {v}) out of range for {n} nodes"
+            );
+        }
+        canon.sort_unstable();
+        canon.dedup();
+        Self::from_sorted_unique_edges(n, &canon)
+    }
+
+    /// Build from edges already canonicalized (`u < v`), sorted, and
+    /// unique. This is the fast path used by the generators.
+    pub(crate) fn from_sorted_unique_edges(n: usize, canon: &[(NodeId, NodeId)]) -> Self {
+        debug_assert!(canon.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(canon.iter().all(|&(u, v)| u < v && (v as usize) < n));
+        let mut deg = vec![0u32; n];
+        for &(u, v) in canon {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut targets = vec![0 as NodeId; acc as usize];
+        for &(u, v) in canon {
+            targets[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each node's slice is filled in ascending order of the other
+        // endpoint only for the `u` side; sort every slice to restore
+        // the invariant cheaply (slices are typically short).
+        for v in 0..n {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[s..e].sort_unstable();
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            edges: canon.len(),
+        }
+    }
+
+    /// An edgeless graph on `n` nodes (`D_n` in the paper's Example 1).
+    pub fn edgeless(n: usize) -> Self {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            edges: 0,
+        }
+    }
+
+    /// The neighbour slice of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors_slice(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Disjoint union: nodes of `other` are relabelled by `+self.n`.
+    ///
+    /// Used to assemble the paper's composite families such as
+    /// `K_{n²} ∪ D_n` (Example 1) and "cliques plus isolated nodes"
+    /// (Fig. 2 iii).
+    pub fn disjoint_union(&self, other: &CsrGraph) -> CsrGraph {
+        let n1 = self.node_count() as u32;
+        let n = (n1 as usize) + other.node_count();
+        let mut canon: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.edges + other.edges);
+        for v in 0..n1 {
+            for &w in self.neighbors_slice(v) {
+                if v < w {
+                    canon.push((v, w));
+                }
+            }
+        }
+        for v in 0..other.node_count() as u32 {
+            for &w in other.neighbors_slice(v) {
+                if v < w {
+                    canon.push((v + n1, w + n1));
+                }
+            }
+        }
+        canon.sort_unstable();
+        CsrGraph::from_sorted_unique_edges(n, &canon)
+    }
+
+    /// Export all edges in canonical `(u, v)` with `u < v` order.
+    pub fn edge_list(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::with_capacity(self.edges);
+        for v in 0..self.node_count() as u32 {
+            for &w in self.neighbors_slice(v) {
+                if v < w {
+                    out.push((v, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count() as u32)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of connected components (iterative DFS).
+    pub fn connected_components(&self) -> usize {
+        let n = self.node_count();
+        let mut seen = vec![false; n];
+        let mut stack = Vec::new();
+        let mut comps = 0;
+        for s in 0..n {
+            if seen[s] {
+                continue;
+            }
+            comps += 1;
+            seen[s] = true;
+            stack.push(s as NodeId);
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors_slice(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+        }
+        comps
+    }
+}
+
+impl ConflictGraph for CsrGraph {
+    fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    fn nodes(&self) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(0..self.node_count() as NodeId)
+    }
+
+    fn neighbors(&self, v: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        Box::new(self.neighbors_slice(v).iter().copied())
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors_slice(u).binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::edgeless(0);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.connected_components(), 0);
+    }
+
+    #[test]
+    fn edgeless_graph_has_isolated_nodes() {
+        let g = CsrGraph::edgeless(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.connected_components(), 5);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.neighbors_slice(2), &[0, 1, 3]);
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(3, 0));
+        assert_eq!(g.connected_components(), 1);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_collapse() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 1)]);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1), (1, 1)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn disjoint_union_relabels() {
+        let tri = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let iso = CsrGraph::edgeless(2);
+        let g = tri.disjoint_union(&iso);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.connected_components(), 3);
+
+        let g2 = iso.disjoint_union(&tri);
+        assert_eq!(g2.degree(0), 0);
+        assert!(g2.has_edge(2, 3));
+    }
+
+    #[test]
+    fn edge_list_round_trips() {
+        let edges = vec![(0, 1), (1, 2), (2, 3), (0, 3), (1, 3)];
+        let g = CsrGraph::from_edges(4, &edges);
+        let el = g.edge_list();
+        let g2 = CsrGraph::from_edges(4, &el);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn nodes_iterator_covers_all() {
+        let g = CsrGraph::edgeless(4);
+        let v: Vec<_> = g.nodes().collect();
+        assert_eq!(v, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn max_degree() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(CsrGraph::edgeless(3).max_degree(), 0);
+    }
+}

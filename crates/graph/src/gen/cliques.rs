@@ -1,0 +1,145 @@
+//! Clique-based families: the paper's worst cases and counterexamples.
+
+use crate::{CsrGraph, NodeId};
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> CsrGraph {
+    let mut canon = Vec::with_capacity(n.saturating_sub(1) * n / 2);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            canon.push((u, v));
+        }
+    }
+    CsrGraph::from_sorted_unique_edges(n, &canon)
+}
+
+/// The paper's worst-case graph `K_d^n`: the disjoint union of
+/// `s = n / (d+1)` cliques, each of size `d + 1` (Remark 2, Thms. 2–3).
+///
+/// Every node has degree exactly `d`, the average degree is `d`, and
+/// every maximal independent set has size exactly `s`.
+///
+/// # Panics
+/// Panics unless `d + 1` divides `n` (the paper's simplifying
+/// assumption `n/(d+1) ∈ ℕ`).
+pub fn clique_union(n: usize, d: usize) -> CsrGraph {
+    assert!(
+        n.is_multiple_of(d + 1),
+        "K_d^n requires (d+1) | n; got n = {n}, d = {d}"
+    );
+    let k = d + 1;
+    let mut canon = Vec::with_capacity(n / k * (k * (k - 1) / 2));
+    for c in 0..(n / k) {
+        let base = (c * k) as NodeId;
+        for i in 0..k as NodeId {
+            for j in (i + 1)..k as NodeId {
+                canon.push((base + i, base + j));
+            }
+        }
+    }
+    CsrGraph::from_sorted_unique_edges(n, &canon)
+}
+
+/// A union of `num_cliques` cliques of size `clique_size` plus
+/// `isolated` disconnected nodes — the third family plotted in Fig. 2
+/// ("a graph unions of cliques and disconnected nodes").
+///
+/// Clique nodes come first (`0 .. num_cliques·clique_size`), isolated
+/// nodes last.
+pub fn cliques_plus_isolated(num_cliques: usize, clique_size: usize, isolated: usize) -> CsrGraph {
+    let nc = num_cliques * clique_size;
+    let n = nc + isolated;
+    let mut canon = Vec::with_capacity(num_cliques * clique_size * clique_size.saturating_sub(1) / 2);
+    for c in 0..num_cliques {
+        let base = (c * clique_size) as NodeId;
+        for i in 0..clique_size as NodeId {
+            for j in (i + 1)..clique_size as NodeId {
+                canon.push((base + i, base + j));
+            }
+        }
+    }
+    CsrGraph::from_sorted_unique_edges(n, &canon)
+}
+
+/// Example 1's "clique trap": `G = K_{n²} ∪ D_n`, a clique of size `n²`
+/// together with `n` isolated nodes.
+///
+/// Every maximal independent set has size `n + 1` (one clique node plus
+/// all isolated nodes), yet launching `n + 1` uniformly random nodes
+/// yields on average only ≈ 2 commits — the motivating example for why
+/// expected-MIS size over-predicts exploitable parallelism.
+///
+/// Clique nodes are `0 .. n²`; isolated nodes are `n² .. n² + n`.
+pub fn clique_trap(n: usize) -> CsrGraph {
+    cliques_plus_isolated(1, n * n, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis;
+    use crate::ConflictGraph;
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.degree(0), 5);
+        assert_eq!(g.connected_components(), 1);
+        assert_eq!(complete(0).node_count(), 0);
+        assert_eq!(complete(1).edge_count(), 0);
+    }
+
+    #[test]
+    fn clique_union_structure() {
+        // K_4^20: s = 20/5 = 4 components, each a K_5.
+        let g = clique_union(20, 4);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 10);
+        assert_eq!(g.connected_components(), 4);
+        assert!((g.average_degree() - 4.0).abs() < 1e-12);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4, "K_d^n must be d-regular");
+        }
+    }
+
+    #[test]
+    fn clique_union_d_zero_is_edgeless() {
+        let g = clique_union(10, 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.connected_components(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires")]
+    fn clique_union_indivisible_panics() {
+        let _ = clique_union(10, 2);
+    }
+
+    #[test]
+    fn cliques_plus_isolated_structure() {
+        let g = cliques_plus_isolated(3, 4, 7);
+        assert_eq!(g.node_count(), 19);
+        assert_eq!(g.edge_count(), 3 * 6);
+        assert_eq!(g.connected_components(), 3 + 7);
+        for v in 12..19 {
+            assert_eq!(g.degree(v), 0);
+        }
+    }
+
+    #[test]
+    fn clique_trap_mis_size() {
+        // For K_{n²} ∪ D_n every maximal IS has size exactly n + 1.
+        let n = 4;
+        let g = clique_trap(n);
+        assert_eq!(g.node_count(), n * n + n);
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..5 {
+            let s = mis::greedy_random_mis(&g, &mut rng);
+            assert_eq!(s.len(), n + 1);
+            assert!(mis::is_independent_set(&g, &s));
+            assert!(mis::is_maximal_independent_set(&g, &s));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Random geometric graphs: points in the unit square, edges within a
+//! radius.
+//!
+//! The conflict structure of mesh-refinement and clustering workloads
+//! is *spatial* — tasks conflict when their geometric footprints
+//! overlap — and the random geometric graph is its standard abstract
+//! model, complementing the structureless `G(n, m)` family in the
+//! controller experiments.
+
+use crate::{CsrGraph, NodeId};
+use rand::Rng;
+
+/// Random geometric graph: `n` points uniform in the unit square,
+/// an edge between every pair at Euclidean distance ≤ `radius`.
+///
+/// Built with a uniform grid of cell size `radius`, so construction is
+/// `O(n + m)` in expectation rather than `O(n²)`.
+pub fn geometric<R: Rng + ?Sized>(n: usize, radius: f64, rng: &mut R) -> CsrGraph {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    geometric_from_points(&pts, radius)
+}
+
+/// The radius giving expected average degree `d` for `n` uniform
+/// points (`d ≈ n·π·r²` away from the boundary).
+pub fn radius_for_degree(n: usize, d: f64) -> f64 {
+    assert!(n >= 2 && d >= 0.0);
+    (d / (n as f64 * std::f64::consts::PI)).sqrt()
+}
+
+/// Build the geometric graph of explicit points (unit-square
+/// coordinates assumed but not required — the grid adapts).
+pub fn geometric_from_points(pts: &[(f64, f64)], radius: f64) -> CsrGraph {
+    let n = pts.len();
+    if n == 0 || radius <= 0.0 {
+        return CsrGraph::edgeless(n);
+    }
+    // Grid bucketing by cell = radius.
+    let cells = (1.0 / radius).ceil().max(1.0) as i64;
+    let cell_of = |x: f64, y: f64| -> (i64, i64) {
+        (
+            ((x * cells as f64) as i64).clamp(0, cells - 1),
+            ((y * cells as f64) as i64).clamp(0, cells - 1),
+        )
+    };
+    use std::collections::HashMap;
+    let mut grid: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        grid.entry(cell_of(x, y)).or_default().push(i as u32);
+    }
+    let r2 = radius * radius;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (&(cx, cy), members) in &grid {
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                let Some(other) = grid.get(&(cx + dx, cy + dy)) else {
+                    continue;
+                };
+                for &a in members {
+                    for &b in other {
+                        if a < b {
+                            let (ax, ay) = pts[a as usize];
+                            let (bx, by) = pts[b as usize];
+                            let (ddx, ddy) = (ax - bx, ay - by);
+                            if ddx * ddx + ddy * ddy <= r2 {
+                                edges.push((a, b));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConflictGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn brute_force_agreement() {
+        // Grid construction must equal the O(n²) definition.
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts: Vec<(f64, f64)> = (0..80)
+            .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+            .collect();
+        let r = 0.17;
+        let fast = geometric_from_points(&pts, r);
+        let mut brute = Vec::new();
+        for i in 0..pts.len() as u32 {
+            for j in (i + 1)..pts.len() as u32 {
+                let (ax, ay) = pts[i as usize];
+                let (bx, by) = pts[j as usize];
+                if (ax - bx).powi(2) + (ay - by).powi(2) <= r * r {
+                    brute.push((i, j));
+                }
+            }
+        }
+        let slow = CsrGraph::from_edges(pts.len(), &brute);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn radius_parameterization_hits_degree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (n, d) = (3000, 8.0);
+        let g = geometric(n, radius_for_degree(n, d), &mut rng);
+        // Boundary effects pull the average below the bulk estimate;
+        // allow a generous band.
+        let avg = g.average_degree();
+        assert!(
+            (d * 0.6..=d * 1.1).contains(&avg),
+            "avg degree {avg} far from target {d}"
+        );
+    }
+
+    #[test]
+    fn zero_radius_is_edgeless() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = geometric(50, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn huge_radius_is_complete() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = geometric(20, 2.0, &mut rng);
+        assert_eq!(g.edge_count(), 190);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(geometric_from_points(&[], 0.1).node_count(), 0);
+    }
+}

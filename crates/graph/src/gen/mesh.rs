@@ -1,0 +1,98 @@
+//! Mesh-like graphs: the unfriendly-seating setting.
+//!
+//! The unfriendly seating problem (Freedman & Shepp; Georgiou, Kranakis
+//! & Krizanc) — which the paper connects to its parallelism bound — is
+//! usually studied on grid-like graphs; these generators provide that
+//! family, and they also approximate the conflict structure of mesh
+//! refinement workloads.
+
+use crate::{CsrGraph, NodeId};
+
+/// `rows × cols` 4-neighbour grid (open boundary).
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut canon = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                canon.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                canon.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    canon.sort_unstable();
+    CsrGraph::from_sorted_unique_edges(n, &canon)
+}
+
+/// `rows × cols` 4-neighbour torus (wrap-around boundary).
+///
+/// Degenerate dimensions (1 or 2) would create self-loops or duplicate
+/// edges from wrapping; those wrap edges are skipped, so `torus(1, k)`
+/// degrades gracefully to a cycle/path-like graph.
+pub fn torus(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::with_capacity(2 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if cols > 1 && !(cols == 2 && c == 1) {
+                edges.push((id(r, c), id(r, (c + 1) % cols)));
+            }
+            if rows > 1 && !(rows == 2 && r == 1) {
+                edges.push((id(r, c), id((r + 1) % rows, c)));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConflictGraph;
+
+    #[test]
+    fn grid_counts() {
+        let g = grid(3, 4);
+        assert_eq!(g.node_count(), 12);
+        // Horizontal: 3·3 = 9, vertical: 2·4 = 8.
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge
+        assert_eq!(g.degree(5), 4); // interior
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn grid_degenerate() {
+        assert_eq!(grid(1, 5).edge_count(), 4); // a path
+        assert_eq!(grid(1, 1).edge_count(), 0);
+        assert_eq!(grid(0, 9).node_count(), 0);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 40);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn torus_degenerate_dims() {
+        // 1×k torus: just a cycle over k (no vertical edges).
+        let g = torus(1, 5);
+        assert_eq!(g.edge_count(), 5);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+        // 2×2: each wrap would duplicate; behaves like a 4-cycle.
+        let g = torus(2, 2);
+        assert_eq!(g.edge_count(), 4);
+    }
+}

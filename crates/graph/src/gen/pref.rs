@@ -1,0 +1,94 @@
+//! Preferential-attachment (Barabási–Albert style) generator.
+//!
+//! Irregular workloads often have highly skewed conflict degrees (a few
+//! hot data items conflict with everything); this family stresses the
+//! controller far from the regular `K_d^n` worst case and the flat
+//! `G(n, m)` case.
+
+use crate::{CsrGraph, NodeId};
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: start from a clique on
+/// `k + 1` nodes, then each arriving node attaches to `k` distinct
+/// existing nodes chosen proportionally to their current degree.
+///
+/// # Panics
+/// Panics if `n < k + 1` or `k == 0`.
+pub fn preferential_attachment<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> CsrGraph {
+    assert!(k >= 1, "attachment count k must be >= 1");
+    assert!(n > k, "need at least k+1 = {} nodes", k + 1);
+    // `targets_pool` holds one entry per half-edge endpoint, so drawing
+    // uniformly from it implements degree-proportional sampling.
+    let mut pool: Vec<NodeId> = Vec::with_capacity(2 * k * n);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(k * n);
+    for u in 0..(k + 1) as NodeId {
+        for v in (u + 1)..(k + 1) as NodeId {
+            edges.push((u, v));
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    let mut chosen = Vec::with_capacity(k);
+    for v in (k + 1)..n {
+        let v = v as NodeId;
+        chosen.clear();
+        // Rejection sampling for k *distinct* targets.
+        while chosen.len() < k {
+            let t = pool[rng.random_range(0..pool.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((t, v));
+            pool.push(t);
+            pool.push(v);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConflictGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn counts_match_formula() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (n, k) = (200, 3);
+        let g = preferential_attachment(n, k, &mut rng);
+        assert_eq!(g.node_count(), n);
+        // Seed clique C(k+1, 2) plus k per arrival.
+        assert_eq!(g.edge_count(), (k + 1) * k / 2 + (n - k - 1) * k);
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = preferential_attachment(500, 2, &mut rng);
+        let max = g.max_degree();
+        let avg = g.average_degree();
+        assert!(
+            max as f64 > 3.0 * avg,
+            "expected heavy tail: max {max} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_small_panics() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let _ = preferential_attachment(3, 3, &mut rng);
+    }
+
+    #[test]
+    fn minimal_size_works() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let g = preferential_attachment(4, 3, &mut rng);
+        assert_eq!(g.edge_count(), 6); // just the seed clique K_4
+    }
+}

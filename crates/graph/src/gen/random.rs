@@ -1,0 +1,231 @@
+//! Uniform random graph generators.
+
+use crate::{CsrGraph, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Uniform random graph `G(n, m)`: exactly `m` distinct edges chosen
+/// uniformly among all `n(n-1)/2` possible edges.
+///
+/// This matches the paper's Fig. 2 construction: "edges chosen
+/// uniformly at random until desired degree is reached".
+///
+/// Uses rejection sampling, which is efficient while
+/// `m ≲ 0.4 · n(n-1)/2`; for denser requests it falls back to sampling
+/// the complement.
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    let max = n.saturating_sub(1) * n / 2;
+    assert!(
+        m <= max,
+        "requested {m} edges but K_{n} has only {max} edges"
+    );
+    if m == 0 {
+        return CsrGraph::edgeless(n);
+    }
+    // Dense request: choose which edges to *exclude* instead.
+    if m * 2 > max {
+        let excluded = sample_edge_set(n, max - m, rng);
+        let mut canon = Vec::with_capacity(m);
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                if !excluded.contains(&(u, v)) {
+                    canon.push((u, v));
+                }
+            }
+        }
+        return CsrGraph::from_sorted_unique_edges(n, &canon);
+    }
+    let set = sample_edge_set(n, m, rng);
+    let mut canon: Vec<(NodeId, NodeId)> = set.into_iter().collect();
+    canon.sort_unstable();
+    CsrGraph::from_sorted_unique_edges(n, &canon)
+}
+
+/// Sample `m` distinct canonical edges of `K_n` by rejection.
+fn sample_edge_set<R: Rng + ?Sized>(
+    n: usize,
+    m: usize,
+    rng: &mut R,
+) -> HashSet<(NodeId, NodeId)> {
+    let mut set = HashSet::with_capacity(m);
+    while set.len() < m {
+        let u = rng.random_range(0..n as NodeId);
+        let v = rng.random_range(0..n as NodeId);
+        if u == v {
+            continue;
+        }
+        let e = if u < v { (u, v) } else { (v, u) };
+        set.insert(e);
+    }
+    set
+}
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n-1)/2` edges present
+/// independently with probability `p`.
+///
+/// Uses geometric skipping so the cost is `O(n + m)` rather than
+/// `O(n²)` for sparse `p`.
+///
+/// # Panics
+/// Panics unless `0 ≤ p ≤ 1`.
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p = {p} out of [0, 1]");
+    if n < 2 || p == 0.0 {
+        return CsrGraph::edgeless(n);
+    }
+    let total = n * (n - 1) / 2;
+    let mut canon = Vec::new();
+    if p >= 1.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                canon.push((u, v));
+            }
+        }
+        return CsrGraph::from_sorted_unique_edges(n, &canon);
+    }
+    // Skip-sampling over the linearized strict upper-triangular index.
+    let log1mp = (1.0 - p).ln();
+    let mut idx: usize = 0;
+    loop {
+        let u: f64 = rng.random();
+        // Geometric(p) gap; `1 - u` avoids ln(0).
+        let gap = ((1.0 - u).ln() / log1mp).floor() as usize + 1;
+        idx = match idx.checked_add(gap) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx > total {
+            break;
+        }
+        canon.push(unrank_edge(n, idx - 1));
+    }
+    canon.sort_unstable();
+    CsrGraph::from_sorted_unique_edges(n, &canon)
+}
+
+/// Map a linear index in `0..n(n-1)/2` to the canonical edge it ranks,
+/// enumerating row-by-row: (0,1), (0,2), …, (0,n-1), (1,2), ….
+fn unrank_edge(n: usize, mut idx: usize) -> (NodeId, NodeId) {
+    let mut u = 0usize;
+    loop {
+        let row = n - 1 - u;
+        if idx < row {
+            return (u as NodeId, (u + 1 + idx) as NodeId);
+        }
+        idx -= row;
+        u += 1;
+    }
+}
+
+/// Random graph with a target *average degree* `d`: `G(n, m)` with
+/// `m = round(n·d / 2)`.
+///
+/// This is the parameterization the paper uses throughout ("a random
+/// CC graph of fixed average degree d", §4.1).
+pub fn random_with_avg_degree<R: Rng + ?Sized>(n: usize, d: f64, rng: &mut R) -> CsrGraph {
+    assert!(d >= 0.0, "average degree must be non-negative");
+    let m = (n as f64 * d / 2.0).round() as usize;
+    gnm(n, m, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConflictGraph;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(n, m) in &[(10, 0), (10, 45), (50, 100), (4, 3)] {
+            let g = gnm(n, m, &mut rng);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), m);
+        }
+    }
+
+    #[test]
+    fn gnm_dense_path() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // m > max/2 triggers the complement path.
+        let g = gnm(20, 180, &mut rng);
+        assert_eq!(g.edge_count(), 180);
+    }
+
+    #[test]
+    #[should_panic(expected = "only")]
+    fn gnm_too_many_edges_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = gnm(4, 7, &mut rng);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(gnp(30, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(30, 1.0, &mut rng).edge_count(), 435);
+        assert_eq!(gnp(1, 0.5, &mut rng).edge_count(), 0);
+        assert_eq!(gnp(0, 0.5, &mut rng).node_count(), 0);
+    }
+
+    #[test]
+    fn gnp_mean_close_to_expectation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200;
+        let p = 0.1;
+        let trials = 30;
+        let total: usize = (0..trials).map(|_| gnp(n, p, &mut rng).edge_count()).sum();
+        let mean = total as f64 / trials as f64;
+        let expect = p * (n * (n - 1) / 2) as f64;
+        // stderr of the mean ≈ sqrt(E·(1-p)/trials) ≈ 7.7; allow 5 sigma.
+        assert!(
+            (mean - expect).abs() < 5.0 * (expect * (1.0 - p) / trials as f64).sqrt(),
+            "mean {mean} too far from {expect}"
+        );
+    }
+
+    #[test]
+    fn unrank_covers_all_edges() {
+        let n = 7;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n * (n - 1) / 2 {
+            let (u, v) = unrank_edge(n, i);
+            assert!(u < v && (v as usize) < n);
+            assert!(seen.insert((u, v)));
+        }
+        assert_eq!(seen.len(), 21);
+    }
+
+    #[test]
+    fn avg_degree_parameterization() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = random_with_avg_degree(2000, 16.0, &mut rng);
+        assert_eq!(g.edge_count(), 16000);
+        assert!((g.average_degree() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gnm_is_plausibly_uniform() {
+        // On K_3 with m=1 each edge should appear ~1/3 of the time.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            let g = gnm(3, 1, &mut rng);
+            let e = g.edge_list()[0];
+            let i = match e {
+                (0, 1) => 0,
+                (0, 2) => 1,
+                (1, 2) => 2,
+                _ => unreachable!(),
+            };
+            counts[i] += 1;
+        }
+        for &c in &counts {
+            assert!((800..1200).contains(&c), "counts {counts:?} not uniform");
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Plain-text graph serialization.
+//!
+//! Format (one record per line, `#` comments allowed):
+//!
+//! ```text
+//! # anything
+//! p <nodes> <edges>
+//! e <u> <v>
+//! ...
+//! ```
+//!
+//! A DIMACS-flavoured edge list: enough to round-trip experiment inputs
+//! and exchange CC graphs with external tooling (plotters, other
+//! implementations).
+
+use crate::{ConflictGraph, CsrGraph, NodeId};
+use std::io::{self, BufRead, Write};
+
+/// Errors produced while parsing the edge-list format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Syntax {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+    /// The `p` header is missing or duplicated.
+    Header(String),
+    /// Declared counts do not match the records.
+    CountMismatch {
+        /// Edge count declared by the `p` header.
+        expected: usize,
+        /// Edges actually parsed (after dedup).
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            ParseError::Header(msg) => write!(f, "header: {msg}"),
+            ParseError::CountMismatch { expected, got } => {
+                write!(f, "edge count mismatch: header says {expected}, found {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Write `g` in the edge-list format.
+pub fn write_edge_list<W: Write>(g: &CsrGraph, mut w: W) -> io::Result<()> {
+    writeln!(w, "p {} {}", g.node_count(), g.edge_count())?;
+    for (u, v) in g.edge_list() {
+        writeln!(w, "e {u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Serialize to a `String`.
+pub fn to_edge_list_string(g: &CsrGraph) -> String {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("edge list is ASCII")
+}
+
+/// Parse the edge-list format.
+pub fn read_edge_list<R: BufRead>(r: R) -> Result<CsrGraph, ParseError> {
+    let mut header: Option<(usize, usize)> = None;
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                if header.is_some() {
+                    return Err(ParseError::Header("duplicate 'p' line".into()));
+                }
+                let n = parse_num(parts.next(), lineno, "node count")?;
+                let m = parse_num(parts.next(), lineno, "edge count")?;
+                header = Some((n, m));
+                edges.reserve(m);
+            }
+            Some("e") => {
+                if header.is_none() {
+                    return Err(ParseError::Header("'e' before 'p'".into()));
+                }
+                let u = parse_num(parts.next(), lineno, "edge endpoint")? as NodeId;
+                let v = parse_num(parts.next(), lineno, "edge endpoint")? as NodeId;
+                edges.push((u, v));
+            }
+            Some(tok) => {
+                return Err(ParseError::Syntax {
+                    line: lineno,
+                    msg: format!("unknown record '{tok}'"),
+                })
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    let Some((n, m)) = header else {
+        return Err(ParseError::Header("missing 'p' line".into()));
+    };
+    let g = CsrGraph::from_edges(n, &edges);
+    if g.edge_count() != m {
+        return Err(ParseError::CountMismatch {
+            expected: m,
+            got: g.edge_count(),
+        });
+    }
+    Ok(g)
+}
+
+/// Parse from a string.
+pub fn from_edge_list_str(s: &str) -> Result<CsrGraph, ParseError> {
+    read_edge_list(s.as_bytes())
+}
+
+fn parse_num(tok: Option<&str>, line: usize, what: &str) -> Result<usize, ParseError> {
+    tok.ok_or_else(|| ParseError::Syntax {
+        line,
+        msg: format!("missing {what}"),
+    })?
+    .parse()
+    .map_err(|e| ParseError::Syntax {
+        line,
+        msg: format!("bad {what}: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::gnm(50, 120, &mut rng);
+        let s = to_edge_list_string(&g);
+        let g2 = from_edge_list_str(&s).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn round_trip_edgeless() {
+        let g = CsrGraph::edgeless(7);
+        let g2 = from_edge_list_str(&to_edge_list_string(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let s = "# a comment\n\np 3 2\n# mid comment\ne 0 1\ne 1 2\n";
+        let g = from_edge_list_str(s).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert!(matches!(
+            from_edge_list_str("e 0 1\n"),
+            Err(ParseError::Header(_))
+        ));
+        assert!(matches!(
+            from_edge_list_str(""),
+            Err(ParseError::Header(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        assert!(matches!(
+            from_edge_list_str("p 2 0\np 2 0\n"),
+            Err(ParseError::Header(_))
+        ));
+    }
+
+    #[test]
+    fn bad_tokens_rejected() {
+        let e = from_edge_list_str("p 2 1\nq 0 1\n").unwrap_err();
+        assert!(matches!(e, ParseError::Syntax { line: 2, .. }), "{e}");
+        let e = from_edge_list_str("p 2 1\ne 0\n").unwrap_err();
+        assert!(matches!(e, ParseError::Syntax { .. }), "{e}");
+        let e = from_edge_list_str("p x 1\n").unwrap_err();
+        assert!(matches!(e, ParseError::Syntax { .. }), "{e}");
+    }
+
+    #[test]
+    fn count_mismatch_rejected() {
+        // Duplicate edge collapses -> only 1 edge vs declared 2.
+        let e = from_edge_list_str("p 2 2\ne 0 1\ne 1 0\n").unwrap_err();
+        assert!(matches!(
+            e,
+            ParseError::CountMismatch {
+                expected: 2,
+                got: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_range_panics_via_from_edges() {
+        let r = std::panic::catch_unwind(|| from_edge_list_str("p 2 1\ne 0 5\n"));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = from_edge_list_str("p 2 2\ne 0 1\ne 1 0\n").unwrap_err();
+        assert!(e.to_string().contains("mismatch"));
+    }
+}

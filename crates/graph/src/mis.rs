@@ -1,0 +1,340 @@
+//! Maximal-independent-set machinery.
+//!
+//! The paper's execution model (§2) is: draw a uniformly random
+//! permutation `π` of the live nodes, launch the first `m` (the
+//! *active* nodes), and let them commit in permutation order — a node
+//! commits iff none of its neighbours has *already committed*. The
+//! committed set is therefore the greedy maximal independent set of the
+//! subgraph induced by the active nodes, built in permutation order
+//! ([`greedy_prefix_mis`]).
+//!
+//! Two related constructions are also provided:
+//! * [`greedy_random_mis`] — the whole-graph greedy-random MIS from the
+//!   strong form of Turán's theorem (Thm. 1): expected size ≥ n/(d+1).
+//! * [`eager_prefix_is`] — the *pessimistic* independent set `IS_m` of
+//!   the paper's Thm. 2 proof: a node survives only if **no** neighbour
+//!   (committed or not) precedes it. This under-counts commits
+//!   (`b_m(G) ≤ EM_m(G)`) and admits the closed-form expectation of
+//!   Eq. (19), making it the bridge between simulation and theory.
+//!
+//! For small graphs, [`exact_em_m`] computes `EM_m` exactly by
+//! enumerating all permutations — the test oracle for the Monte-Carlo
+//! estimators in `optpar-core`.
+
+use crate::{ConflictGraph, CsrGraph, NodeId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Greedy maximal independent set over a random permutation of all
+/// nodes (Turán's strong form, Thm. 1 of the paper).
+///
+/// Returns the committed nodes in commit order. The expected size is at
+/// least `n / (d + 1)` where `d` is the average degree.
+pub fn greedy_random_mis<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> Vec<NodeId> {
+    let mut perm: Vec<NodeId> = (0..g.node_count() as NodeId).collect();
+    perm.shuffle(rng);
+    greedy_prefix_mis(g, &perm)
+}
+
+/// The paper's commit rule: process `prefix` in order; a node commits
+/// iff no neighbour of it has already committed. Returns committed
+/// nodes in commit order.
+///
+/// The result is always a *maximal* independent set of the subgraph
+/// induced by `prefix`.
+///
+/// `prefix` must contain distinct live nodes of `g`.
+pub fn greedy_prefix_mis(g: &CsrGraph, prefix: &[NodeId]) -> Vec<NodeId> {
+    let mut committed = vec![false; g.node_count()];
+    let mut out = Vec::with_capacity(prefix.len());
+    'outer: for &v in prefix {
+        for &w in g.neighbors_slice(v) {
+            if committed[w as usize] {
+                continue 'outer;
+            }
+        }
+        committed[v as usize] = true;
+        out.push(v);
+    }
+    out
+}
+
+/// The pessimistic independent set `IS_m` of Thm. 2's proof: a node of
+/// `prefix` survives iff **no neighbour precedes it in `prefix`**,
+/// whether or not that neighbour itself survived.
+///
+/// `|eager_prefix_is| ≤ |greedy_prefix_mis|` pointwise on every
+/// permutation, hence `b_m(G) ≤ EM_m(G)` in expectation.
+pub fn eager_prefix_is(g: &CsrGraph, prefix: &[NodeId]) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut out = Vec::new();
+    'outer: for &v in prefix {
+        // Mark first, then test neighbours against *previously seen*.
+        for &w in g.neighbors_slice(v) {
+            if seen[w as usize] {
+                seen[v as usize] = true;
+                continue 'outer;
+            }
+        }
+        seen[v as usize] = true;
+        out.push(v);
+    }
+    out
+}
+
+/// Is `set` an independent set of `g`?
+pub fn is_independent_set(g: &CsrGraph, set: &[NodeId]) -> bool {
+    let mut inset = vec![false; g.node_count()];
+    for &v in set {
+        inset[v as usize] = true;
+    }
+    set.iter()
+        .all(|&v| g.neighbors_slice(v).iter().all(|&w| !inset[w as usize]))
+}
+
+/// Is `set` a *maximal* independent set of `g` (no node of `g` can be
+/// added)?
+pub fn is_maximal_independent_set(g: &CsrGraph, set: &[NodeId]) -> bool {
+    if !is_independent_set(g, set) {
+        return false;
+    }
+    let mut inset = vec![false; g.node_count()];
+    for &v in set {
+        inset[v as usize] = true;
+    }
+    (0..g.node_count() as NodeId).all(|v| {
+        inset[v as usize]
+            || g.neighbors_slice(v)
+                .iter()
+                .any(|&w| inset[w as usize])
+    })
+}
+
+/// Is `set` a maximal independent set *of the subgraph induced by
+/// `active`*? This is the property the paper's Fig. 1 (iii) depicts:
+/// after conflicts are resolved, the committed nodes form a maximal IS
+/// in the subgraph induced by the initial node choice.
+pub fn is_maximal_in_induced(g: &CsrGraph, active: &[NodeId], set: &[NodeId]) -> bool {
+    let mut inset = vec![false; g.node_count()];
+    for &v in set {
+        inset[v as usize] = true;
+    }
+    let mut act = vec![false; g.node_count()];
+    for &v in active {
+        act[v as usize] = true;
+    }
+    if set.iter().any(|&v| !act[v as usize]) {
+        return false;
+    }
+    if !is_independent_set(g, set) {
+        return false;
+    }
+    active.iter().all(|&v| {
+        inset[v as usize]
+            || g.neighbors_slice(v)
+                .iter()
+                .any(|&w| inset[w as usize])
+    })
+}
+
+/// Exact `EM_m(G)`: the expected size of the greedy maximal independent
+/// set over a uniformly random length-`m` permutation prefix, computed
+/// by enumerating **all** `n!` permutations.
+///
+/// Only feasible for tiny graphs (`n ≤ 10`); used as the ground-truth
+/// oracle for Monte-Carlo estimators.
+///
+/// # Panics
+/// Panics if `m > n` or `n > 12` (12! ≈ 4.8e8 would already take
+/// minutes; the cap keeps test suites fast and honest).
+pub fn exact_em_m(g: &CsrGraph, m: usize) -> f64 {
+    let n = g.node_count();
+    assert!(m <= n, "prefix length {m} exceeds node count {n}");
+    assert!(n <= 12, "exact enumeration capped at n = 12, got {n}");
+    if m == 0 {
+        return 0.0;
+    }
+    let mut perm: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut total: u64 = 0;
+    let mut count: u64 = 0;
+    permute(&mut perm, 0, &mut |p| {
+        total += greedy_prefix_mis(g, &p[..m]).len() as u64;
+        count += 1;
+    });
+    total as f64 / count as f64
+}
+
+/// Exact expected *aborts* `k̄(m) = m − EM_m(G)` by full enumeration
+/// (same caveats as [`exact_em_m`]).
+pub fn exact_kbar(g: &CsrGraph, m: usize) -> f64 {
+    m as f64 - exact_em_m(g, m)
+}
+
+/// Heap's algorithm, calling `f` on every permutation of `v`.
+fn permute<F: FnMut(&[NodeId])>(v: &mut [NodeId], k: usize, f: &mut F) {
+    let n = v.len();
+    if k == n {
+        f(v);
+        return;
+    }
+    for i in k..n {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn path4() -> CsrGraph {
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn greedy_prefix_respects_order() {
+        let g = path4();
+        // Order 1, 0, 2, 3: 1 commits; 0 and 2 conflict with 1; 3 commits.
+        assert_eq!(greedy_prefix_mis(&g, &[1, 0, 2, 3]), vec![1, 3]);
+        // Order 0, 3, 1, 2: 0, 3 commit; 1 conflicts 0; 2 conflicts 3.
+        assert_eq!(greedy_prefix_mis(&g, &[0, 3, 1, 2]), vec![0, 3]);
+        // The "abort unblocks a later node" case of §2.1: 0 commits,
+        // 1 aborts (neighbour 0 committed), then 2 can still commit
+        // because its only conflicting predecessor 1 *aborted*.
+        assert_eq!(greedy_prefix_mis(&g, &[0, 1, 2]), vec![0, 2]);
+    }
+
+    #[test]
+    fn eager_is_stricter_than_greedy() {
+        let g = path4();
+        // Eager: 0 survives; 1, 2, 3 each have a *preceding* neighbour
+        // in the prefix (whether or not that neighbour survived), so
+        // all are excluded.
+        assert_eq!(eager_prefix_is(&g, &[0, 1, 2, 3]), vec![0]);
+        // With order 0, 2, 1, 3: node 2 has no preceding neighbour
+        // (1 comes later), 3's neighbour 2 precedes it.
+        assert_eq!(eager_prefix_is(&g, &[0, 2, 1, 3]), vec![0, 2]);
+        assert_eq!(greedy_prefix_mis(&g, &[0, 1, 2, 3]), vec![0, 2]);
+    }
+
+    #[test]
+    fn eager_never_larger_on_random_inputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gen::gnm(40, 120, &mut rng);
+        for _ in 0..200 {
+            let mut perm: Vec<NodeId> = (0..40).collect();
+            perm.shuffle(&mut rng);
+            let m = rng.random_range(1..=40);
+            let eager = eager_prefix_is(&g, &perm[..m]);
+            let greedy = greedy_prefix_mis(&g, &perm[..m]);
+            assert!(eager.len() <= greedy.len());
+            assert!(is_independent_set(&g, &eager));
+            assert!(is_maximal_in_induced(&g, &perm[..m], &greedy));
+        }
+    }
+
+    #[test]
+    fn whole_graph_mis_is_maximal() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20 {
+            let g = gen::gnm(30, 60, &mut rng);
+            let s = greedy_random_mis(&g, &mut rng);
+            assert!(is_maximal_independent_set(&g, &s));
+        }
+    }
+
+    #[test]
+    fn turan_bound_on_average() {
+        // E[|MIS|] >= n/(d+1); check empirically with margin.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::gnm(100, 250, &mut rng); // d = 5
+        let trials = 400;
+        let total: usize = (0..trials)
+            .map(|_| greedy_random_mis(&g, &mut rng).len())
+            .sum();
+        let mean = total as f64 / trials as f64;
+        let bound = 100.0 / (g.average_degree() + 1.0);
+        assert!(
+            mean >= bound * 0.98,
+            "mean {mean} below Turán bound {bound}"
+        );
+    }
+
+    #[test]
+    fn independence_checkers() {
+        let g = path4();
+        assert!(is_independent_set(&g, &[0, 2]));
+        assert!(!is_independent_set(&g, &[0, 1]));
+        assert!(is_maximal_independent_set(&g, &[1, 3]));
+        assert!(!is_maximal_independent_set(&g, &[0])); // 2 or 3 addable
+        assert!(is_independent_set(&g, &[])); // empty set independent
+        assert!(!is_maximal_independent_set(&g, &[])); // but not maximal
+    }
+
+    #[test]
+    fn induced_maximality() {
+        let g = path4();
+        // Active {0, 2}: both commit (not adjacent), maximal in induced.
+        assert!(is_maximal_in_induced(&g, &[0, 2], &[0, 2]));
+        // {0} is not maximal within active {0, 2}.
+        assert!(!is_maximal_in_induced(&g, &[0, 2], &[0]));
+        // A set outside active is invalid.
+        assert!(!is_maximal_in_induced(&g, &[0], &[3]));
+    }
+
+    #[test]
+    fn exact_em_on_triangle() {
+        // K_3: any prefix commits exactly 1 node for m >= 1.
+        let g = gen::complete(3);
+        assert!((exact_em_m(&g, 1) - 1.0).abs() < 1e-12);
+        assert!((exact_em_m(&g, 2) - 1.0).abs() < 1e-12);
+        assert!((exact_em_m(&g, 3) - 1.0).abs() < 1e-12);
+        assert!((exact_kbar(&g, 3) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_em_on_edgeless() {
+        let g = CsrGraph::edgeless(5);
+        for m in 0..=5 {
+            assert!((exact_em_m(&g, m) - m as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_em_on_single_edge() {
+        // n = 2 with one edge: m = 2 always commits exactly one.
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        assert!((exact_em_m(&g, 2) - 1.0).abs() < 1e-12);
+        // m = 1 commits one node always.
+        assert!((exact_em_m(&g, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_em_path3_m2() {
+        // Path 0-1-2, m = 2. Pairs (unordered, each with both orders):
+        // {0,1}: adjacent -> 1 commit; {1,2}: adjacent -> 1; {0,2}: 2.
+        // Each unordered pair equally likely -> E = (1+1+2)/3.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!((exact_em_m(&g, 2) - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_matches_prop2_slope() {
+        // Prop. 2: k̄(2) = d / (n - 1), so EM_2 = 2 - d/(n-1).
+        let g = gen::clique_union(8, 3);
+        let d = g.average_degree();
+        let n = g.node_count() as f64;
+        assert!((exact_em_m(&g, 2) - (2.0 - d / (n - 1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capped")]
+    fn exact_em_refuses_big_graphs() {
+        let g = CsrGraph::edgeless(13);
+        let _ = exact_em_m(&g, 1);
+    }
+}

@@ -1,0 +1,134 @@
+//! Degree statistics and graph summaries.
+//!
+//! The controller's smart initialisation and every bound in §3 of the
+//! paper are driven by the average degree `d`; this module provides it
+//! together with the fuller degree profile used in experiment reports.
+
+use crate::{ConflictGraph, NodeId};
+
+/// Summary statistics of a graph's degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Number of (live) nodes.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Average degree `d = 2m/n` (0 for the empty graph).
+    pub mean: f64,
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Population variance of the degree sequence.
+    pub variance: f64,
+    /// Median of the degree sequence (lower median for even n).
+    pub median: usize,
+}
+
+/// Compute [`DegreeStats`] for any conflict graph.
+pub fn degree_stats<G: ConflictGraph + ?Sized>(g: &G) -> DegreeStats {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let n = nodes.len();
+    if n == 0 {
+        return DegreeStats {
+            nodes: 0,
+            edges: 0,
+            mean: 0.0,
+            min: 0,
+            max: 0,
+            variance: 0.0,
+            median: 0,
+        };
+    }
+    let mut degs: Vec<usize> = nodes.iter().map(|&v| g.degree(v)).collect();
+    degs.sort_unstable();
+    let mean = degs.iter().sum::<usize>() as f64 / n as f64;
+    let variance = degs
+        .iter()
+        .map(|&d| {
+            let x = d as f64 - mean;
+            x * x
+        })
+        .sum::<f64>()
+        / n as f64;
+    DegreeStats {
+        nodes: n,
+        edges: g.edge_count(),
+        mean,
+        min: degs[0],
+        max: degs[n - 1],
+        variance,
+        median: degs[(n - 1) / 2],
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram<G: ConflictGraph + ?Sized>(g: &G) -> Vec<usize> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    let maxd = nodes.iter().map(|&v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; maxd + 1];
+    for &v in &nodes {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::{AdjGraph, CsrGraph};
+
+    #[test]
+    fn stats_on_regular_graph() {
+        let g = gen::clique_union(20, 4);
+        let s = degree_stats(&g);
+        assert_eq!(s.nodes, 20);
+        assert_eq!(s.edges, 40);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.median, 4);
+    }
+
+    #[test]
+    fn stats_on_star() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert_eq!(s.median, 1);
+        assert!(s.variance > 0.0);
+    }
+
+    #[test]
+    fn stats_on_empty() {
+        let g = CsrGraph::edgeless(0);
+        let s = degree_stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+    }
+
+    #[test]
+    fn works_on_adj_graph_with_dead_nodes() {
+        let mut g = AdjGraph::with_nodes(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        g.remove_node(3);
+        let s = degree_stats(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 1);
+        assert_eq!(s.min, 0); // node 2 lost its only edge
+    }
+}

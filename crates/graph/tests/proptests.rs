@@ -1,0 +1,171 @@
+//! Property-based tests for the graph substrate.
+
+use optpar_graph::{gen, mis, AdjGraph, ConflictGraph, CsrGraph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a small random edge list over `n` nodes.
+fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    prop::collection::vec((0..n as NodeId, 0..n as NodeId), 0..=max_edges)
+}
+
+proptest! {
+    #[test]
+    fn csr_from_edges_invariants(el in edges(12, 40)) {
+        let g = CsrGraph::from_edges(12, &el);
+        // Counts agree with the canonical edge list.
+        prop_assert_eq!(g.edge_count(), g.edge_list().len());
+        // Symmetry and sortedness.
+        for v in 0..12u32 {
+            let nb = g.neighbors_slice(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]));
+            for &w in nb {
+                prop_assert!(g.has_edge(w, v));
+                prop_assert_ne!(w, v);
+            }
+        }
+        // Degree sum = 2|E|.
+        let degsum: usize = (0..12u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degsum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn csr_round_trip(el in edges(10, 30)) {
+        let g = CsrGraph::from_edges(10, &el);
+        let g2 = CsrGraph::from_edges(10, &g.edge_list());
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn disjoint_union_counts(el1 in edges(6, 12), el2 in edges(7, 14)) {
+        let a = CsrGraph::from_edges(6, &el1);
+        let b = CsrGraph::from_edges(7, &el2);
+        let u = a.disjoint_union(&b);
+        prop_assert_eq!(u.node_count(), 13);
+        prop_assert_eq!(u.edge_count(), a.edge_count() + b.edge_count());
+        prop_assert_eq!(
+            u.connected_components(),
+            a.connected_components() + b.connected_components()
+        );
+    }
+
+    #[test]
+    fn adj_graph_random_ops_keep_invariants(
+        ops in prop::collection::vec((0u8..4, 0u32..10, 0u32..10), 1..80)
+    ) {
+        let mut g = AdjGraph::with_nodes(10);
+        for (op, a, b) in ops {
+            match op {
+                0 => {
+                    if g.is_alive(a) && g.is_alive(b) && a != b {
+                        g.add_edge(a, b);
+                    }
+                }
+                1 => {
+                    g.remove_edge(a, b);
+                }
+                2 => {
+                    if g.is_alive(a) && g.node_count() > 1 {
+                        g.remove_node(a);
+                    }
+                }
+                _ => {
+                    let _ = g.add_node();
+                }
+            }
+            prop_assert!(g.check_invariants().is_ok(), "{:?}", g.check_invariants());
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_structure(el in edges(10, 25), kill in prop::collection::vec(0u32..10, 0..5)) {
+        let csr = CsrGraph::from_edges(10, &el);
+        let mut adj = AdjGraph::from_csr(&csr);
+        let mut killed = std::collections::HashSet::new();
+        for v in kill {
+            if adj.is_alive(v) && adj.node_count() > 1 {
+                adj.remove_node(v);
+                killed.insert(v);
+            }
+        }
+        let (c, map) = adj.to_csr_compact();
+        prop_assert_eq!(c.node_count(), adj.node_count());
+        prop_assert_eq!(c.edge_count(), adj.edge_count());
+        // Every surviving edge maps correctly.
+        for v in adj.live_nodes_vec() {
+            for &w in adj.neighbors_slice(v) {
+                prop_assert!(c.has_edge(map[v as usize].unwrap(), map[w as usize].unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_prefix_commits_are_maximal_in_induced(
+        el in edges(14, 40),
+        seed in any::<u64>(),
+        m in 1usize..=14
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let g = CsrGraph::from_edges(14, &el);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut perm: Vec<NodeId> = (0..14).collect();
+        perm.shuffle(&mut rng);
+        let prefix = &perm[..m];
+        let commits = mis::greedy_prefix_mis(&g, prefix);
+        prop_assert!(mis::is_maximal_in_induced(&g, prefix, &commits));
+        // Eager set is a subset-by-size lower bound.
+        let eager = mis::eager_prefix_is(&g, prefix);
+        prop_assert!(eager.len() <= commits.len());
+        prop_assert!(mis::is_independent_set(&g, &eager));
+    }
+
+    #[test]
+    fn whole_graph_greedy_mis_maximal(el in edges(16, 50), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let g = CsrGraph::from_edges(16, &el);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = mis::greedy_random_mis(&g, &mut rng);
+        prop_assert!(mis::is_maximal_independent_set(&g, &s));
+    }
+
+    #[test]
+    fn exact_em_bounds(el in edges(7, 12), m in 1usize..=7) {
+        let g = CsrGraph::from_edges(7, &el);
+        let em = mis::exact_em_m(&g, m);
+        prop_assert!(em >= 1.0 - 1e-12, "at least one node always commits");
+        prop_assert!(em <= m as f64 + 1e-12);
+        // k̄ = m − EM is consistent.
+        prop_assert!((mis::exact_kbar(&g, m) - (m as f64 - em)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn turan_holds_exactly_on_full_prefix(el in edges(7, 12)) {
+        // E[|greedy-random MIS|] ≥ n/(d+1) — check with the exact
+        // enumerator (strong Turán, Thm. 1).
+        let g = CsrGraph::from_edges(7, &el);
+        let em = mis::exact_em_m(&g, 7);
+        let bound = 7.0 / (g.average_degree() + 1.0);
+        prop_assert!(em >= bound - 1e-9, "EM {em} < Turán {bound}");
+    }
+
+    #[test]
+    fn builder_matches_from_edges(el in edges(9, 20)) {
+        let direct = CsrGraph::from_edges(9, &el);
+        let mut b = GraphBuilder::new(9);
+        for (u, v) in el {
+            b.edge(u, v);
+        }
+        prop_assert_eq!(direct, b.build());
+    }
+
+    #[test]
+    fn gnm_generator_properties(n in 2usize..40, seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let max = n * (n - 1) / 2;
+        let m = seed as usize % (max + 1);
+        let g = gen::gnm(n, m, &mut rng);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), m);
+    }
+}

@@ -1,0 +1,214 @@
+//! Append-only publication arena.
+//!
+//! Morphing workloads create immutable data at run time (e.g. mesh
+//! points: written once, read forever). Routing such reads through
+//! abstract locks would manufacture conflicts the algorithm doesn't
+//! have — Galois likewise locks triangles, not points. [`AppendArena`]
+//! provides the safe alternative: slots are written exactly once and
+//! *published* with a release store; readers check the publication
+//! flag with an acquire load, so every read is data-race-free without
+//! taking any lock.
+//!
+//! Slots published by a task that later aborts simply leak (nothing
+//! committed references them), mirroring [`crate::store::SpecStore`]'s
+//! allocation policy.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A fixed-capacity, append-only, write-once shared array.
+pub struct AppendArena<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    ready: Box<[AtomicBool]>,
+    next: AtomicUsize,
+}
+
+// SAFETY: a slot is written exactly once (guarded by the `next`
+// fetch_add handing out each index to one caller) before its `ready`
+// flag is set with Release; readers only dereference after an Acquire
+// load of `ready`, so reads never race the write.
+unsafe impl<T: Send + Sync> Sync for AppendArena<T> {}
+unsafe impl<T: Send> Send for AppendArena<T> {}
+
+impl<T> AppendArena<T> {
+    /// An arena able to hold `capacity` values.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AppendArena {
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            ready: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Seed the arena with initial values (before sharing).
+    pub fn seeded(capacity: usize, init: Vec<T>) -> Self {
+        assert!(init.len() <= capacity, "seed exceeds capacity");
+        let arena = Self::with_capacity(capacity);
+        for v in init {
+            arena.push(v);
+        }
+        arena
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of published values (monotone).
+    pub fn len(&self) -> usize {
+        self.next.load(Ordering::Acquire).min(self.capacity())
+    }
+
+    /// Is the arena empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publish a value; returns its index.
+    ///
+    /// # Panics
+    /// Panics when capacity is exhausted.
+    pub fn push(&self, value: T) -> usize {
+        let i = self.next.fetch_add(1, Ordering::AcqRel);
+        assert!(i < self.capacity(), "AppendArena capacity exhausted");
+        // SAFETY: index `i` was handed to us alone by fetch_add and its
+        // ready flag is still false, so no reader dereferences it yet
+        // and no other writer exists.
+        unsafe {
+            (*self.slots[i].get()).write(value);
+        }
+        self.ready[i].store(true, Ordering::Release);
+        i
+    }
+
+    /// Read a published value.
+    ///
+    /// # Panics
+    /// Panics if `i` was never published (out of range or the writing
+    /// task has not finished publishing).
+    pub fn get(&self, i: usize) -> &T {
+        assert!(
+            i < self.capacity() && self.ready[i].load(Ordering::Acquire),
+            "arena slot {i} not published"
+        );
+        // SAFETY: ready=true (Acquire) synchronizes with the Release
+        // store in `push`, after which the slot is never written again.
+        unsafe { (*self.slots[i].get()).assume_init_ref() }
+    }
+
+    /// Copy out all published values (may observe a prefix if pushes
+    /// race; quiesce for exact snapshots).
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let n = self.len();
+        (0..n)
+            .filter(|&i| self.ready[i].load(Ordering::Acquire))
+            .map(|i| self.get(i).clone())
+            .collect()
+    }
+}
+
+impl<T> Drop for AppendArena<T> {
+    fn drop(&mut self) {
+        for (slot, ready) in self.slots.iter_mut().zip(self.ready.iter()) {
+            if ready.load(Ordering::Acquire) {
+                // SAFETY: published slots hold initialized values that
+                // are never read again after drop.
+                unsafe {
+                    slot.get_mut().assume_init_drop();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let a: AppendArena<String> = AppendArena::with_capacity(4);
+        assert!(a.is_empty());
+        assert_eq!(a.push("x".into()), 0);
+        assert_eq!(a.push("y".into()), 1);
+        assert_eq!(a.get(0), "x");
+        assert_eq!(a.get(1), "y");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.snapshot(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn seeded_arena() {
+        let a = AppendArena::seeded(5, vec![10, 20]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(*a.get(1), 20);
+        assert_eq!(a.push(30), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not published")]
+    fn unpublished_get_panics() {
+        let a: AppendArena<u8> = AppendArena::with_capacity(2);
+        let _ = a.get(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn overflow_panics() {
+        let a: AppendArena<u8> = AppendArena::with_capacity(1);
+        a.push(1);
+        a.push(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversize_seed_panics() {
+        let _ = AppendArena::seeded(1, vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_push_unique_indices() {
+        let a: AppendArena<usize> = AppendArena::with_capacity(400);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let a = &a;
+                s.spawn(move || {
+                    for k in 0..100 {
+                        let i = a.push(t * 1000 + k);
+                        assert_eq!(*a.get(i), t * 1000 + k);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.len(), 400);
+        let mut snap = a.snapshot();
+        snap.sort_unstable();
+        snap.dedup();
+        assert_eq!(snap.len(), 400, "all pushed values distinct and present");
+    }
+
+    #[test]
+    fn drop_runs_for_published_only() {
+        use std::sync::atomic::AtomicUsize;
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let a: AppendArena<D> = AppendArena::with_capacity(8);
+            a.push(D);
+            a.push(D);
+        }
+        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+    }
+}

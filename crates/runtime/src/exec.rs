@@ -1,0 +1,494 @@
+//! The round-based speculative executor.
+//!
+//! Each round mirrors one temporal step of the paper's model:
+//!
+//! 1. Draw `m` tasks uniformly at random from the [`WorkSet`] (their
+//!    draw order is the commit priority).
+//! 2. Run them speculatively across `workers` OS threads; conflicts are
+//!    detected by the abstract locks, losers roll back.
+//! 3. Committed tasks leave the system and may spawn new tasks; aborted
+//!    tasks return to the work-set for a later round.
+//! 4. Report `(launched, aborted)` to the processor-allocation
+//!    controller, which picks the next round's `m`.
+//!
+//! With `workers == 1` the executor runs tasks inline in priority
+//! order, which makes it *bitwise deterministic* given the RNG seed —
+//! the differential-testing anchor against the sequential model in
+//! `optpar-core`.
+
+use crate::lock::{state, ConflictPolicy, LockSpace};
+use crate::stats::{RoundStats, RunStats};
+use crate::task::{Operator, TaskCtx};
+use optpar_core::control::Controller;
+use rand::Rng;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+
+/// The pending-task multiset (the paper's work-set).
+///
+/// Uniform random sampling without replacement is O(m) via partial
+/// Fisher-Yates over the backing vector.
+#[derive(Clone, Debug, Default)]
+pub struct WorkSet<T> {
+    tasks: Vec<T>,
+}
+
+impl<T> WorkSet<T> {
+    /// An empty work-set.
+    pub fn new() -> Self {
+        WorkSet { tasks: Vec::new() }
+    }
+
+    /// Wrap an existing task list.
+    pub fn from_vec(tasks: Vec<T>) -> Self {
+        WorkSet { tasks }
+    }
+
+    /// Add one task.
+    pub fn push(&mut self, t: T) {
+        self.tasks.push(t);
+    }
+
+    /// Add many tasks.
+    pub fn extend<I: IntoIterator<Item = T>>(&mut self, it: I) {
+        self.tasks.extend(it);
+    }
+
+    /// Pending task count.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Is the work-set drained?
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Remove and return `min(m, len)` tasks drawn uniformly at random;
+    /// the returned order is the commit-priority order.
+    pub fn sample_drain<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> Vec<T> {
+        let n = self.tasks.len();
+        let m = m.min(n);
+        for i in 0..m {
+            let j = rng.random_range(i..n);
+            self.tasks.swap(i, j);
+        }
+        self.tasks.drain(..m).collect()
+    }
+}
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutorConfig {
+    /// Worker threads. 1 = deterministic inline execution.
+    pub workers: usize,
+    /// Conflict arbitration policy.
+    pub policy: ConflictPolicy,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            policy: ConflictPolicy::FirstWins,
+        }
+    }
+}
+
+/// The speculative executor: pairs an [`Operator`] with a
+/// [`LockSpace`].
+pub struct Executor<'a, O: Operator> {
+    op: &'a O,
+    space: &'a LockSpace,
+    cfg: ExecutorConfig,
+}
+
+/// Outcome of one task within a round.
+enum TaskResult<T> {
+    /// Committed; `lockset` stays held until the round barrier (the
+    /// model's semantics: later tasks of the round conflict with
+    /// committed ones regardless of execution interleaving).
+    Committed {
+        spawned: Vec<T>,
+        acquires: usize,
+        lockset: Vec<usize>,
+    },
+    Aborted { acquires: usize },
+}
+
+impl<'a, O: Operator> Executor<'a, O> {
+    /// Pair an operator with its lock space under the given config.
+    pub fn new(op: &'a O, space: &'a LockSpace, cfg: ExecutorConfig) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        Executor { op, space, cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ExecutorConfig {
+        self.cfg
+    }
+
+    /// The lock space this executor arbitrates over.
+    pub(crate) fn space(&self) -> &'a LockSpace {
+        self.space
+    }
+
+    /// The operator being executed.
+    pub(crate) fn op(&self) -> &'a O {
+        self.op
+    }
+
+    /// Run one round launching up to `m` tasks from `ws`.
+    pub fn run_round<R: Rng + ?Sized>(
+        &self,
+        ws: &mut WorkSet<O::Task>,
+        m: usize,
+        rng: &mut R,
+    ) -> RoundStats {
+        let batch = ws.sample_drain(m, rng);
+        let launched = batch.len();
+        if launched == 0 {
+            return RoundStats {
+                m,
+                ..RoundStats::default()
+            };
+        }
+        let states: Vec<AtomicU8> = (0..launched)
+            .map(|_| AtomicU8::new(state::ACQUIRING))
+            .collect();
+
+        let results: Vec<TaskResult<O::Task>> = if self.cfg.workers == 1 {
+            batch
+                .iter()
+                .enumerate()
+                .map(|(slot, t)| self.run_task(slot, t, &states))
+                .collect()
+        } else {
+            self.run_parallel(&batch, &states)
+        };
+
+        let mut stats = RoundStats {
+            m,
+            launched,
+            ..RoundStats::default()
+        };
+        for (slot, (task, result)) in batch.into_iter().zip(results).enumerate() {
+            match result {
+                TaskResult::Committed {
+                    spawned,
+                    acquires,
+                    lockset,
+                } => {
+                    stats.committed += 1;
+                    stats.spawned += spawned.len();
+                    stats.lock_acquires += acquires;
+                    ws.extend(spawned);
+                    // Round barrier: committed locks are released only
+                    // now that every task of the round has resolved.
+                    crate::lock::release_all(self.space.owners(), slot, &lockset);
+                }
+                TaskResult::Aborted { acquires } => {
+                    stats.aborted += 1;
+                    stats.lock_acquires += acquires;
+                    ws.push(task); // retry in a later round
+                }
+            }
+        }
+        debug_assert!(self.space.check_all_free().is_ok());
+        stats
+    }
+
+    /// Drive the executor with a controller until the work-set drains
+    /// (or `max_rounds` elapse).
+    pub fn run_with_controller<C: Controller, R: Rng + ?Sized>(
+        &self,
+        ws: &mut WorkSet<O::Task>,
+        ctl: &mut C,
+        max_rounds: usize,
+        rng: &mut R,
+    ) -> RunStats {
+        let mut run = RunStats::default();
+        for _ in 0..max_rounds {
+            if ws.is_empty() {
+                break;
+            }
+            let m = ctl.current_m();
+            let rs = self.run_round(ws, m, rng);
+            ctl.observe(rs.conflict_ratio(), rs.launched);
+            run.rounds.push(rs);
+        }
+        run
+    }
+
+    fn run_task(
+        &self,
+        slot: usize,
+        task: &O::Task,
+        states: &[AtomicU8],
+    ) -> TaskResult<O::Task> {
+        let mut cx = TaskCtx::new(slot, self.space, states, self.cfg.policy);
+        match self.op.execute(task, &mut cx) {
+            Ok(spawned) => {
+                let acquires = cx.acquires;
+                match cx.finish_commit() {
+                    Some(lockset) => TaskResult::Committed {
+                        spawned,
+                        acquires,
+                        lockset,
+                    },
+                    None => TaskResult::Aborted { acquires },
+                }
+            }
+            Err(_abort) => {
+                let acquires = cx.acquires;
+                cx.finish_abort();
+                TaskResult::Aborted { acquires }
+            }
+        }
+    }
+
+    fn run_parallel(
+        &self,
+        batch: &[O::Task],
+        states: &[AtomicU8],
+    ) -> Vec<TaskResult<O::Task>>
+    where
+        O::Task: Send,
+    {
+        let next = AtomicUsize::new(0);
+        let workers = self.cfg.workers.min(batch.len());
+        // Workers dynamically claim task indices with a shared counter
+        // and collect (index, result) pairs locally; results are merged
+        // after the scope joins — no shared mutable result array.
+        let mut pairs: Vec<(usize, TaskResult<O::Task>)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= batch.len() {
+                                break;
+                            }
+                            local.push((i, self.run_task(i, &batch[i], states)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        debug_assert_eq!(pairs.len(), batch.len());
+        pairs.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SpecStore;
+    use crate::task::Abort;
+    use optpar_core::control::FixedController;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Toy operator: task `i` increments counter `i` and decrements its
+    /// ring neighbour `i+1` — adjacent tasks conflict.
+    struct RingOp<'s> {
+        store: &'s SpecStore<i64>,
+        n: usize,
+    }
+
+    impl Operator for RingOp<'_> {
+        type Task = usize;
+
+        fn execute(&self, &i: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            let j = (i + 1) % self.n;
+            *cx.write(self.store, i)? += 1;
+            *cx.write(self.store, j)? -= 1;
+            Ok(vec![])
+        }
+    }
+
+    fn ring_setup(n: usize) -> (LockSpace, crate::lock::Region) {
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        (b.build(), r)
+    }
+
+    #[test]
+    fn workset_sampling() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ws = WorkSet::from_vec((0..10).collect::<Vec<_>>());
+        let batch = ws.sample_drain(4, &mut rng);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(ws.len(), 6);
+        let batch2 = ws.sample_drain(100, &mut rng);
+        assert_eq!(batch2.len(), 6);
+        assert!(ws.is_empty());
+        let mut all: Vec<_> = batch.into_iter().chain(batch2).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_round_conserves_sum() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 16;
+        let (space, r) = ring_setup(n);
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 1,
+                policy: ConflictPolicy::FirstWins,
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut total_committed = 0;
+        while !ws.is_empty() {
+            let rs = ex.run_round(&mut ws, 8, &mut rng);
+            assert_eq!(rs.launched, rs.committed + rs.aborted);
+            total_committed += rs.committed;
+        }
+        assert_eq!(total_committed, n);
+        // Increment/decrement pairs cancel.
+        let mut store = store;
+        let sum: i64 = store.snapshot().iter().sum();
+        assert_eq!(sum, 0);
+    }
+
+    #[test]
+    fn parallel_round_is_serializable() {
+        // Under contention with many workers, committed effects must be
+        // exactly "one +1 to i, one -1 to i+1" per committed task —
+        // never a torn half-update.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 64;
+        let (space, r) = ring_setup(n);
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 8,
+                policy: ConflictPolicy::FirstWins,
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut committed = 0;
+        let mut rounds = 0;
+        while !ws.is_empty() && rounds < 10_000 {
+            let rs = ex.run_round(&mut ws, 32, &mut rng);
+            committed += rs.committed;
+            rounds += 1;
+        }
+        assert_eq!(committed, n);
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+    }
+
+    #[test]
+    fn parallel_priority_policy_also_serializable() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 64;
+        let (space, r) = ring_setup(n);
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 8,
+                policy: ConflictPolicy::PriorityWins,
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut committed = 0;
+        while !ws.is_empty() {
+            let rs = ex.run_round(&mut ws, 32, &mut rng);
+            committed += rs.committed;
+        }
+        assert_eq!(committed, n);
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+    }
+
+    #[test]
+    fn controller_drives_to_completion() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 128;
+        let (space, r) = ring_setup(n);
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(&op, &space, ExecutorConfig::default());
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(16);
+        let run = ex.run_with_controller(&mut ws, &mut ctl, 10_000, &mut rng);
+        assert_eq!(run.total_committed(), n);
+        assert!(ws.is_empty());
+        assert!(run.overall_conflict_ratio() < 1.0);
+    }
+
+    #[test]
+    fn empty_round_reports_zero() {
+        let (space, _r) = ring_setup(1);
+        struct Nop;
+        impl Operator for Nop {
+            type Task = ();
+            fn execute(&self, _: &(), _: &mut TaskCtx<'_>) -> Result<Vec<()>, Abort> {
+                Ok(vec![])
+            }
+        }
+        let op = Nop;
+        let ex = Executor::new(&op, &space, ExecutorConfig::default());
+        let mut ws: WorkSet<()> = WorkSet::new();
+        let mut rng = StdRng::seed_from_u64(6);
+        let rs = ex.run_round(&mut ws, 10, &mut rng);
+        assert_eq!(rs.launched, 0);
+        assert_eq!(rs.conflict_ratio(), 0.0);
+    }
+
+    #[test]
+    fn spawned_tasks_enter_workset() {
+        // Operator that spawns one child (with a stop marker).
+        struct Spawner<'s> {
+            store: &'s SpecStore<u32>,
+        }
+        impl Operator for Spawner<'_> {
+            type Task = (usize, bool);
+            fn execute(
+                &self,
+                &(i, respawn): &(usize, bool),
+                cx: &mut TaskCtx<'_>,
+            ) -> Result<Vec<(usize, bool)>, Abort> {
+                *cx.write(self.store, i)? += 1;
+                Ok(if respawn { vec![(i, false)] } else { vec![] })
+            }
+        }
+        let mut b = LockSpace::builder();
+        let r = b.region(4);
+        let space = b.build();
+        let store = SpecStore::filled(r, 4, 0u32);
+        let op = Spawner { store: &store };
+        let ex = Executor::new(&op, &space, ExecutorConfig::default());
+        let mut ws = WorkSet::from_vec(vec![(0, true), (1, true), (2, true), (3, true)]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut committed = 0;
+        while !ws.is_empty() {
+            committed += ex.run_round(&mut ws, 4, &mut rng).committed;
+        }
+        assert_eq!(committed, 8, "4 originals + 4 spawned");
+        let mut store = store;
+        assert_eq!(store.snapshot(), vec![2, 2, 2, 2]);
+    }
+}

@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! # optpar-runtime — a speculative task runtime built from scratch
+//!
+//! The paper's controller is designed to sit inside an optimistic
+//! (Galois-style) parallelization runtime. No such runtime exists in
+//! the Rust ecosystem, so this crate builds one:
+//!
+//! * [`lock`] — **abstract locks**: one atomic owner word per shared
+//!   datum. A task must hold the lock on every datum it touches;
+//!   conflicting acquisition triggers speculation-abort according to a
+//!   [`lock::ConflictPolicy`] (first-wins, or priority-wins with a
+//!   write-phase guard that makes lock stealing sound).
+//! * [`store`] — [`store::SpecStore`], a speculation-aware shared
+//!   array: reads and writes go through a [`task::TaskCtx`], which
+//!   enforces lock ownership and records copy-on-write undo snapshots.
+//! * [`task`] — per-task speculation state machine
+//!   (`Acquiring → Writing → Committed / Doomed → Aborted`) and the
+//!   task-side API ([`task::TaskCtx`]).
+//! * [`exec`] — the round-based parallel [`exec::Executor`]: each round
+//!   draws `m` tasks uniformly at random from the [`exec::WorkSet`]
+//!   (the paper's model §2), runs them speculatively on a worker pool,
+//!   rolls back losers, re-queues them, and reports the realized
+//!   conflict ratio to a processor-allocation
+//!   [`Controller`](optpar_core::control::Controller).
+//!
+//! ## Execution model
+//!
+//! One **round** = one temporal step of the paper's model. Locks are
+//! held until the end of the task (commit or rollback), never across
+//! rounds. A task that fails to acquire a lock aborts, restores its
+//! writes from the undo log (it still holds every lock it wrote
+//! under, so restoration is exclusive), releases its locks, and is
+//! returned to the work-set for a later round. Commit hands back the
+//! operator's newly spawned tasks, which enter the work-set
+//! (amorphous data-parallelism: work begets work).
+//!
+//! ## Safety
+//!
+//! Shared state lives in [`store::SpecStore`], which wraps
+//! `UnsafeCell` slots. All access is mediated by [`task::TaskCtx`],
+//! which checks abstract-lock ownership at run time before handing out
+//! references; exclusivity of a held lock is what makes the `unsafe`
+//! blocks sound. The invariants are documented on each `unsafe` impl
+//! and exercised by stress tests plus differential tests against the
+//! sequential model in `optpar-core`.
+
+pub mod arena;
+pub mod continuous;
+pub mod exec;
+pub mod lock;
+pub mod stats;
+pub mod store;
+pub mod task;
+
+pub use arena::AppendArena;
+pub use exec::{Executor, ExecutorConfig, WorkSet};
+pub use lock::{ConflictPolicy, LockSpace, Region};
+pub use stats::{RoundStats, RunStats};
+pub use store::SpecStore;
+pub use task::{Abort, Operator, TaskCtx};

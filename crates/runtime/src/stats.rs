@@ -1,0 +1,140 @@
+//! Execution statistics: the measurements the controller consumes and
+//! the experiment harness reports.
+
+/// Statistics of one execution round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Allocation requested by the controller for this round.
+    pub m: usize,
+    /// Tasks actually launched (`min(m, workset)`).
+    pub launched: usize,
+    /// Tasks that committed.
+    pub committed: usize,
+    /// Tasks that aborted (and were re-queued).
+    pub aborted: usize,
+    /// New tasks spawned by committed work.
+    pub spawned: usize,
+    /// Abstract-lock acquisitions across all tasks.
+    pub lock_acquires: usize,
+}
+
+impl RoundStats {
+    /// Realized conflict ratio `r = aborted / launched` (0 when
+    /// nothing was launched).
+    pub fn conflict_ratio(&self) -> f64 {
+        if self.launched == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / self.launched as f64
+        }
+    }
+}
+
+/// Statistics of a whole run (a sequence of rounds).
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// One record per executed round, in order.
+    pub rounds: Vec<RoundStats>,
+}
+
+impl RunStats {
+    /// Total tasks launched over the run.
+    pub fn total_launched(&self) -> usize {
+        self.rounds.iter().map(|r| r.launched).sum()
+    }
+
+    /// Total commits over the run (= work completed).
+    pub fn total_committed(&self) -> usize {
+        self.rounds.iter().map(|r| r.committed).sum()
+    }
+
+    /// Total aborts over the run (= work wasted).
+    pub fn total_aborted(&self) -> usize {
+        self.rounds.iter().map(|r| r.aborted).sum()
+    }
+
+    /// Number of rounds executed.
+    pub fn round_count(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Overall wasted-work fraction.
+    pub fn overall_conflict_ratio(&self) -> f64 {
+        let l = self.total_launched();
+        if l == 0 {
+            0.0
+        } else {
+            self.total_aborted() as f64 / l as f64
+        }
+    }
+
+    /// Work efficiency (committed / launched).
+    pub fn efficiency(&self) -> f64 {
+        1.0 - self.overall_conflict_ratio()
+    }
+
+    /// Throughput proxy: commits per round.
+    pub fn commits_per_round(&self) -> f64 {
+        if self.rounds.is_empty() {
+            0.0
+        } else {
+            self.total_committed() as f64 / self.round_count() as f64
+        }
+    }
+
+    /// The `m_t` series (for Fig. 3-style plots from runtime runs).
+    pub fn m_series(&self) -> Vec<usize> {
+        self.rounds.iter().map(|r| r.m).collect()
+    }
+
+    /// The per-round conflict-ratio series.
+    pub fn r_series(&self) -> Vec<f64> {
+        self.rounds.iter().map(|r| r.conflict_ratio()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(m: usize, launched: usize, committed: usize, spawned: usize) -> RoundStats {
+        RoundStats {
+            m,
+            launched,
+            committed,
+            aborted: launched - committed,
+            spawned,
+            lock_acquires: 0,
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let r = round(10, 10, 7, 2);
+        assert!((r.conflict_ratio() - 0.3).abs() < 1e-12);
+        assert_eq!(RoundStats::default().conflict_ratio(), 0.0);
+    }
+
+    #[test]
+    fn run_aggregates() {
+        let run = RunStats {
+            rounds: vec![round(10, 10, 5, 0), round(20, 20, 19, 3)],
+        };
+        assert_eq!(run.total_launched(), 30);
+        assert_eq!(run.total_committed(), 24);
+        assert_eq!(run.total_aborted(), 6);
+        assert_eq!(run.round_count(), 2);
+        assert!((run.overall_conflict_ratio() - 0.2).abs() < 1e-12);
+        assert!((run.efficiency() - 0.8).abs() < 1e-12);
+        assert_eq!(run.commits_per_round(), 12.0);
+        assert_eq!(run.m_series(), vec![10, 20]);
+        assert_eq!(run.r_series().len(), 2);
+    }
+
+    #[test]
+    fn empty_run() {
+        let run = RunStats::default();
+        assert_eq!(run.overall_conflict_ratio(), 0.0);
+        assert_eq!(run.commits_per_round(), 0.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Speculation-aware shared storage.
+//!
+//! A [`SpecStore<T>`] is a fixed-capacity array of `T` whose slots are
+//! protected one-to-one by the abstract locks of a
+//! [`crate::lock::Region`]. All access goes through
+//! [`TaskCtx`](crate::task::TaskCtx), which verifies lock ownership
+//! before handing out references and snapshots old values for
+//! rollback.
+//!
+//! # Capacity and allocation
+//!
+//! Morphing workloads (Delaunay refinement, Boruvka contraction) create
+//! new data at run time. [`SpecStore::alloc`] hands out fresh slots
+//! from the pre-sized capacity with a single `fetch_add`; allocation is
+//! **not** rolled back on abort — an aborted task's freshly allocated
+//! slots simply leak (they are unreachable from committed state).
+//! Applications size their stores with slack accordingly; running out
+//! of capacity is a panic, not UB.
+
+use crate::lock::Region;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A shared, lock-protected array of `T`.
+pub struct SpecStore<T> {
+    region: Region,
+    slots: Box<[UnsafeCell<T>]>,
+    live: AtomicUsize,
+}
+
+// SAFETY: slots are only dereferenced through `TaskCtx`, which proves
+// exclusive abstract-lock ownership of the slot before creating a
+// reference, and tasks never hold references across lock release. `T:
+// Send` is required because values move between worker threads across
+// rounds.
+unsafe impl<T: Send> Sync for SpecStore<T> {}
+unsafe impl<T: Send> Send for SpecStore<T> {}
+
+impl<T> SpecStore<T> {
+    /// Create a store over `region`, fully initialized by `init`
+    /// (`init.len()` must equal the region length = capacity), with the
+    /// first `live` slots considered allocated.
+    ///
+    /// # Panics
+    /// Panics on a capacity mismatch or `live > capacity`.
+    pub fn new(region: Region, init: Vec<T>, live: usize) -> Self {
+        assert_eq!(
+            init.len(),
+            region.len(),
+            "store must be initialized to full capacity"
+        );
+        assert!(live <= region.len());
+        SpecStore {
+            region,
+            slots: init.into_iter().map(UnsafeCell::new).collect(),
+            live: AtomicUsize::new(live),
+        }
+    }
+
+    /// Create with `live` slots cloned from `value` and the rest of the
+    /// capacity filled with clones too.
+    pub fn filled(region: Region, live: usize, value: T) -> Self
+    where
+        T: Clone,
+    {
+        let cap = region.len();
+        Self::new(region, vec![value; cap], live)
+    }
+
+    /// Create from initial contents, padding capacity with `pad`.
+    pub fn from_vec(region: Region, mut init: Vec<T>, pad: T) -> Self
+    where
+        T: Clone,
+    {
+        let live = init.len();
+        assert!(
+            live <= region.len(),
+            "initial contents ({live}) exceed capacity ({})",
+            region.len()
+        );
+        init.resize(region.len(), pad);
+        Self::new(region, init, live)
+    }
+
+    /// The lock region backing this store.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Capacity (total slots ever available).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of allocated (live-prefix) slots.
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Is the live prefix empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Allocate a fresh slot, returning its index.
+    ///
+    /// # Panics
+    /// Panics when capacity is exhausted.
+    pub fn alloc(&self) -> usize {
+        let i = self.live.fetch_add(1, Ordering::AcqRel);
+        assert!(
+            i < self.capacity(),
+            "SpecStore capacity {} exhausted",
+            self.capacity()
+        );
+        i
+    }
+
+    /// Raw pointer to slot `i` (for `TaskCtx` and undo entries only).
+    ///
+    /// # Panics
+    /// Panics if `i` is beyond the live prefix.
+    #[inline]
+    pub(crate) fn slot_ptr(&self, i: usize) -> *mut T {
+        assert!(i < self.len(), "slot {i} beyond live prefix {}", self.len());
+        self.slots[i].get()
+    }
+
+    /// Read slot `i` outside speculation (requires `&mut self`, i.e.
+    /// quiescence — typically between rounds or after a run).
+    pub fn get_mut(&mut self, i: usize) -> &mut T {
+        assert!(i < self.len());
+        self.slots[i].get_mut()
+    }
+
+    /// Immutable snapshot of the live prefix outside speculation.
+    pub fn snapshot(&mut self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        let n = self.len();
+        (0..n).map(|i| self.slots[i].get_mut().clone()).collect()
+    }
+
+    /// Iterate the live prefix outside speculation.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        let n = self.len();
+        self.slots[..n].iter_mut().map(|c| c.get_mut())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for SpecStore<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpecStore")
+            .field("capacity", &self.capacity())
+            .field("live", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::LockSpace;
+
+    fn region(cap: usize) -> Region {
+        let mut b = LockSpace::builder();
+        let r = b.region(cap);
+        let _ = b.build();
+        r
+    }
+
+    #[test]
+    fn construction_variants() {
+        let r = region(8);
+        let mut s = SpecStore::filled(r, 3, 7u32);
+        assert_eq!(s.capacity(), 8);
+        assert_eq!(s.len(), 3);
+        assert_eq!(*s.get_mut(2), 7);
+
+        let r = region(4);
+        let mut s = SpecStore::from_vec(r, vec![1, 2], 0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(*s.get_mut(1), 2);
+        assert_eq!(s.snapshot(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full capacity")]
+    fn wrong_capacity_panics() {
+        let r = region(4);
+        let _ = SpecStore::new(r, vec![0u8; 3], 3);
+    }
+
+    #[test]
+    fn alloc_extends_live_prefix() {
+        let r = region(3);
+        let s = SpecStore::filled(r, 1, 0i64);
+        assert_eq!(s.alloc(), 1);
+        assert_eq!(s.alloc(), 2);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn alloc_past_capacity_panics() {
+        let r = region(1);
+        let s = SpecStore::filled(r, 1, 0u8);
+        let _ = s.alloc();
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond live prefix")]
+    fn slot_ptr_respects_live_prefix() {
+        let r = region(4);
+        let s = SpecStore::filled(r, 2, 0u8);
+        let _ = s.slot_ptr(2);
+    }
+
+    #[test]
+    fn iter_mut_covers_live_only() {
+        let r = region(5);
+        let mut s = SpecStore::from_vec(r, vec![1, 2, 3], 0);
+        for v in s.iter_mut() {
+            *v += 10;
+        }
+        assert_eq!(s.snapshot(), vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn concurrent_alloc_is_unique() {
+        let r = region(64);
+        let s = SpecStore::filled(r, 0, 0u8);
+        let mut all: Vec<usize> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| sc.spawn(|| (0..16).map(|_| s.alloc()).collect::<Vec<_>>()))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 64);
+    }
+}

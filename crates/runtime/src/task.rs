@@ -1,0 +1,465 @@
+//! Task-side speculation API.
+//!
+//! An application implements [`Operator`]; the executor calls
+//! [`Operator::execute`] once per launched task with a fresh
+//! [`TaskCtx`]. The context is the *only* way to touch shared state:
+//!
+//! * [`TaskCtx::lock`] acquires the abstract lock of an arbitrary slot.
+//! * [`TaskCtx::read`] / [`TaskCtx::write`] acquire the slot's lock
+//!   implicitly, verify ownership, transition the task into its access
+//!   phase (freezing it against lock theft), and — for writes — record
+//!   a copy-on-write undo snapshot.
+//! * [`TaskCtx::alloc`] allocates a fresh slot and immediately locks
+//!   it.
+//!
+//! If any operation returns [`Abort`], the operator must propagate it
+//! (the `?` operator does). The executor then rolls the task back:
+//! undo snapshots are replayed in reverse — sound because the task
+//! still holds the abstract lock of every slot it wrote — and all
+//! locks are released.
+
+use crate::lock::{self, state, AcquireError, ConflictPolicy, LockSpace};
+use crate::store::SpecStore;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Why a task must abort. Propagate it out of
+/// [`Operator::execute`]; the executor handles rollback and retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Abort {
+    /// Lost an abstract-lock collision.
+    Conflict {
+        /// The contested lock index.
+        lock: usize,
+    },
+    /// Doomed by a higher-priority task (priority-wins policy).
+    Doomed,
+    /// The operator itself requested an abort-and-retry.
+    Requested,
+}
+
+impl From<AcquireError> for Abort {
+    fn from(e: AcquireError) -> Self {
+        match e {
+            AcquireError::Conflict { lock, .. } => Abort::Conflict { lock },
+            AcquireError::Doomed => Abort::Doomed,
+        }
+    }
+}
+
+/// A speculative operator: the application logic run for each task.
+///
+/// Implementations must route **all** shared-state access through the
+/// provided [`TaskCtx`] and must be safe to re-execute (tasks are
+/// retried after aborts).
+pub trait Operator: Sync {
+    /// The unit of work (a node of the paper's CC graph). `Sync` is
+    /// required because workers execute tasks through shared slices.
+    type Task: Send + Sync;
+
+    /// Execute `task` speculatively. On success, return the tasks
+    /// spawned by this commit (amorphous data-parallelism); they are
+    /// added to the work-set. Propagate [`Abort`] on conflict.
+    fn execute(&self, task: &Self::Task, cx: &mut TaskCtx<'_>) -> Result<Vec<Self::Task>, Abort>;
+}
+
+/// An undo-log entry: restores one slot's pre-write value.
+struct UndoEntry {
+    /// Replayed exactly once, in reverse log order, by `rollback`.
+    restore: Box<dyn FnOnce()>,
+    /// Lock index of the slot (for write-dedup).
+    lock: usize,
+}
+
+/// Per-task speculation context (one per launched task per round).
+pub struct TaskCtx<'rt> {
+    slot: usize,
+    space: &'rt LockSpace,
+    states: &'rt [AtomicU8],
+    policy: ConflictPolicy,
+    lockset: Vec<usize>,
+    undo: Vec<UndoEntry>,
+    accessed: bool,
+    /// Locks acquired (for stats).
+    pub acquires: usize,
+}
+
+impl<'rt> TaskCtx<'rt> {
+    pub(crate) fn new(
+        slot: usize,
+        space: &'rt LockSpace,
+        states: &'rt [AtomicU8],
+        policy: ConflictPolicy,
+    ) -> Self {
+        TaskCtx {
+            slot,
+            space,
+            states,
+            policy,
+            lockset: Vec::with_capacity(8),
+            undo: Vec::new(),
+            accessed: false,
+            acquires: 0,
+        }
+    }
+
+    /// This task's round slot (= commit priority; lower commits first
+    /// under the priority-wins policy).
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Acquire the abstract lock of `store` slot `i` without touching
+    /// the data (useful for cautious operators that lock their whole
+    /// neighbourhood up front).
+    pub fn lock<T>(&mut self, store: &SpecStore<T>, i: usize) -> Result<(), Abort> {
+        let l = store.region().lock_of(i);
+        self.lock_raw(l)
+    }
+
+    /// Acquire a raw lock index.
+    pub fn lock_raw(&mut self, l: usize) -> Result<(), Abort> {
+        match lock::acquire(self.space.owners(), self.states, self.policy, self.slot, l) {
+            Ok(true) => {
+                self.lockset.push(l);
+                self.acquires += 1;
+                Ok(())
+            }
+            Ok(false) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Transition into the access phase (idempotent). After this, the
+    /// task's locks can no longer be stolen.
+    fn enter_access(&mut self) -> Result<(), Abort> {
+        if self.accessed {
+            return Ok(());
+        }
+        match self.states[self.slot].compare_exchange(
+            state::ACQUIRING,
+            state::ACCESSING,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                self.accessed = true;
+                Ok(())
+            }
+            Err(_) => Err(Abort::Doomed),
+        }
+    }
+
+    /// Verify we still own lock `l` (it may have been stolen while we
+    /// were still in the acquire phase).
+    fn verify_owned(&self, l: usize) -> Result<(), Abort> {
+        if self.space.owner_of(l) == Some(self.slot) {
+            Ok(())
+        } else {
+            Err(Abort::Doomed)
+        }
+    }
+
+    /// Read `store[i]`, acquiring its lock if necessary.
+    ///
+    /// The returned reference borrows the context, so it cannot outlive
+    /// the next context operation — references never dangle across
+    /// lock transitions.
+    pub fn read<'c, T: Send>(
+        &'c mut self,
+        store: &SpecStore<T>,
+        i: usize,
+    ) -> Result<&'c T, Abort> {
+        let l = store.region().lock_of(i);
+        self.lock_raw(l)?;
+        self.enter_access()?;
+        self.verify_owned(l)?;
+        // SAFETY: we hold the abstract lock of slot `i` (verified above)
+        // and, having entered the access phase, it cannot be stolen;
+        // the lock grants exclusive access, and the returned shared
+        // borrow is tied to `&mut self`, so no mutation can occur
+        // through this context while it lives.
+        unsafe { Ok(&*store.slot_ptr(i)) }
+    }
+
+    /// Copy `store[i]` out (avoids holding a borrow of the context).
+    pub fn read_copy<T: Send + Copy>(
+        &mut self,
+        store: &SpecStore<T>,
+        i: usize,
+    ) -> Result<T, Abort> {
+        self.read(store, i).copied()
+    }
+
+    /// Write access to `store[i]`: acquires the lock, snapshots the old
+    /// value into the undo log (first write per slot only), and returns
+    /// an exclusive reference.
+    pub fn write<'c, T: Send + Clone + 'static>(
+        &'c mut self,
+        store: &SpecStore<T>,
+        i: usize,
+    ) -> Result<&'c mut T, Abort> {
+        let l = store.region().lock_of(i);
+        self.lock_raw(l)?;
+        self.enter_access()?;
+        self.verify_owned(l)?;
+        let ptr = store.slot_ptr(i);
+        if !self.undo.iter().any(|u| u.lock == l) {
+            // SAFETY: exclusive access as in `read`; we clone the
+            // current value out while no other reference exists.
+            let old = unsafe { (*ptr).clone() };
+            let raw = SendPtr(ptr);
+            self.undo.push(UndoEntry {
+                lock: l,
+                // SAFETY (deferred to call time): the restore closure
+                // runs during rollback, while this task still holds the
+                // lock of slot `i` (writes only happen under held,
+                // unstealable locks), so the store slot is exclusively
+                // ours; the store outlives the round.
+                restore: Box::new(move || unsafe {
+                    *raw.0 = old;
+                }),
+            });
+        }
+        // SAFETY: exclusive access as in `read`; `&mut self` ensures no
+        // other outstanding reference from this context.
+        unsafe { Ok(&mut *ptr) }
+    }
+
+    /// Allocate a fresh slot in `store` and lock it (a fresh slot is
+    /// uncontended, so this cannot conflict, but the lock keeps the
+    /// invariant "all access under locks" uniform).
+    pub fn alloc<T: Send>(&mut self, store: &SpecStore<T>) -> Result<usize, Abort> {
+        let i = store.alloc();
+        self.lock(store, i)?;
+        Ok(i)
+    }
+
+    /// Operator-requested abort (e.g. optimistic validation failed at
+    /// the application level).
+    pub fn abort_requested<T>(&self) -> Result<T, Abort> {
+        Err(Abort::Requested)
+    }
+
+    /// Number of undo entries recorded (distinct slots written).
+    pub fn undo_len(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Attempt to commit: transition to `COMMITTED` unless doomed.
+    ///
+    /// On success the undo log is discarded and the still-held lockset
+    /// is returned: **committed tasks keep their locks until the round
+    /// barrier** so that later tasks of the same round conflict with
+    /// them, exactly as in the paper's model (a node aborts iff a
+    /// neighbour *committed* in the same round). The executor releases
+    /// these locksets once the round completes. Returns `None` (after
+    /// rolling back) if the task was doomed.
+    pub(crate) fn finish_commit(mut self) -> Option<Vec<usize>> {
+        let committed = self.states[self.slot]
+            .compare_exchange(
+                if self.accessed {
+                    state::ACCESSING
+                } else {
+                    state::ACQUIRING
+                },
+                state::COMMITTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if committed {
+            self.undo.clear();
+            Some(std::mem::take(&mut self.lockset))
+        } else {
+            // Doomed between our last access and commit: this can only
+            // happen while still in ACQUIRING (nothing written), but
+            // roll back uniformly for robustness.
+            self.finish_abort();
+            None
+        }
+    }
+
+    /// Roll back: replay undo entries in reverse, release locks, mark
+    /// `ABORTED`.
+    pub(crate) fn finish_abort(mut self) {
+        for entry in self.undo.drain(..).rev() {
+            (entry.restore)();
+        }
+        lock::release_all(self.space.owners(), self.slot, &self.lockset);
+        self.states[self.slot].store(state::ABORTED, Ordering::Release);
+    }
+}
+
+/// Raw pointer wrapper so undo closures can be stored in the (single
+/// threaded) context without borrow-checker entanglement.
+struct SendPtr<T>(*mut T);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lock::LockSpace;
+
+
+    /// Commit and immediately release (round-barrier stand-in for unit
+    /// tests; the executor does this at the end of each round).
+    fn commit_release(cx: TaskCtx<'_>, space: &LockSpace) -> bool {
+        let slot = cx.slot();
+        match cx.finish_commit() {
+            Some(lockset) => {
+                crate::lock::release_all(space.owners(), slot, &lockset);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn setup(cap: usize, tasks: usize) -> (LockSpace, Vec<AtomicU8>, crate::lock::Region) {
+        let mut b = LockSpace::builder();
+        let r = b.region(cap);
+        let space = b.build();
+        let states = (0..tasks).map(|_| AtomicU8::new(state::ACQUIRING)).collect();
+        (space, states, r)
+    }
+
+    #[test]
+    fn write_and_commit() {
+        let (space, states, r) = setup(4, 1);
+        let store = SpecStore::filled(r, 4, 0u32);
+        let mut cx = TaskCtx::new(0, &space, &states, ConflictPolicy::FirstWins);
+        *cx.write(&store, 2).unwrap() = 99;
+        assert_eq!(cx.undo_len(), 1);
+        assert!(commit_release(cx, &space));
+        assert!(space.check_all_free().is_ok());
+        let mut store = store;
+        assert_eq!(*store.get_mut(2), 99);
+    }
+
+    #[test]
+    fn write_and_rollback_restores() {
+        let (space, states, r) = setup(4, 1);
+        let store = SpecStore::from_vec(r, vec![10, 20, 30, 40], 0);
+        let mut cx = TaskCtx::new(0, &space, &states, ConflictPolicy::FirstWins);
+        *cx.write(&store, 1).unwrap() = 999;
+        *cx.write(&store, 3).unwrap() = 888;
+        *cx.write(&store, 1).unwrap() = 777; // second write, same slot
+        assert_eq!(cx.undo_len(), 2, "per-slot snapshots are deduped");
+        cx.finish_abort();
+        assert!(space.check_all_free().is_ok());
+        let mut store = store;
+        assert_eq!(store.snapshot(), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn conflict_aborts_second_task() {
+        let (space, states, r) = setup(2, 2);
+        let store = SpecStore::filled(r, 2, 0u8);
+        let mut cx0 = TaskCtx::new(0, &space, &states, ConflictPolicy::FirstWins);
+        let mut cx1 = TaskCtx::new(1, &space, &states, ConflictPolicy::FirstWins);
+        cx0.lock(&store, 0).unwrap();
+        let err = cx1.write(&store, 0).unwrap_err();
+        assert_eq!(err, Abort::Conflict { lock: 0 });
+        cx1.finish_abort();
+        assert!(commit_release(cx0, &space));
+        assert!(space.check_all_free().is_ok());
+    }
+
+    #[test]
+    fn priority_steal_dooms_victim_writes() {
+        let (space, states, r) = setup(2, 2);
+        let store = SpecStore::filled(r, 2, 0u8);
+        // Victim (slot 1) locks but does not access.
+        let mut cx1 = TaskCtx::new(1, &space, &states, ConflictPolicy::PriorityWins);
+        cx1.lock(&store, 0).unwrap();
+        // Thief (slot 0) steals.
+        let mut cx0 = TaskCtx::new(0, &space, &states, ConflictPolicy::PriorityWins);
+        *cx0.write(&store, 0).unwrap() = 7;
+        // Victim now tries to write through the stolen lock: doomed.
+        assert_eq!(cx1.write(&store, 0).unwrap_err(), Abort::Doomed);
+        cx1.finish_abort();
+        assert!(commit_release(cx0, &space));
+        let mut store = store;
+        assert_eq!(*store.get_mut(0), 7);
+    }
+
+    #[test]
+    fn accessing_task_survives_steal_attempt() {
+        let (space, states, r) = setup(2, 2);
+        let store = SpecStore::filled(r, 2, 0u8);
+        let mut cx1 = TaskCtx::new(1, &space, &states, ConflictPolicy::PriorityWins);
+        *cx1.write(&store, 0).unwrap() = 5; // enters access phase
+        let mut cx0 = TaskCtx::new(0, &space, &states, ConflictPolicy::PriorityWins);
+        assert!(matches!(
+            cx0.write(&store, 0).unwrap_err(),
+            Abort::Conflict { .. }
+        ));
+        cx0.finish_abort();
+        assert!(commit_release(cx1, &space));
+        let mut store = store;
+        assert_eq!(*store.get_mut(0), 5);
+    }
+
+    #[test]
+    fn commit_fails_if_doomed_before_access() {
+        let (space, states, r) = setup(1, 2);
+        let store = SpecStore::filled(r, 1, 0u8);
+        let mut cx1 = TaskCtx::new(1, &space, &states, ConflictPolicy::PriorityWins);
+        cx1.lock(&store, 0).unwrap();
+        // Thief dooms and steals.
+        let mut cx0 = TaskCtx::new(0, &space, &states, ConflictPolicy::PriorityWins);
+        cx0.lock(&store, 0).unwrap();
+        // Victim finished "successfully" but must fail to commit.
+        assert!(!commit_release(cx1, &space));
+        assert!(commit_release(cx0, &space));
+        assert!(space.check_all_free().is_ok());
+    }
+
+    #[test]
+    fn read_then_write_same_slot() {
+        let (space, states, r) = setup(1, 1);
+        let store = SpecStore::filled(r, 1, 41u32);
+        let mut cx = TaskCtx::new(0, &space, &states, ConflictPolicy::FirstWins);
+        let v = *cx.read(&store, 0).unwrap();
+        *cx.write(&store, 0).unwrap() = v + 1;
+        assert!(commit_release(cx, &space));
+        let mut store = store;
+        assert_eq!(*store.get_mut(0), 42);
+    }
+
+    #[test]
+    fn alloc_locks_fresh_slot() {
+        let (space, states, r) = setup(4, 1);
+        let store = SpecStore::filled(r, 1, 0u32);
+        let mut cx = TaskCtx::new(0, &space, &states, ConflictPolicy::FirstWins);
+        let i = cx.alloc(&store).unwrap();
+        assert_eq!(i, 1);
+        assert_eq!(space.owner_of(r.lock_of(1)), Some(0));
+        *cx.write(&store, i).unwrap() = 5;
+        assert!(commit_release(cx, &space));
+        assert!(space.check_all_free().is_ok());
+    }
+
+    #[test]
+    fn requested_abort() {
+        let (space, states, r) = setup(1, 1);
+        let store = SpecStore::filled(r, 1, 1u8);
+        let mut cx = TaskCtx::new(0, &space, &states, ConflictPolicy::FirstWins);
+        *cx.write(&store, 0).unwrap() = 2;
+        let e: Result<(), Abort> = cx.abort_requested();
+        assert_eq!(e.unwrap_err(), Abort::Requested);
+        cx.finish_abort();
+        let mut store = store;
+        assert_eq!(*store.get_mut(0), 1, "requested abort must roll back");
+    }
+
+    #[test]
+    fn reentrant_locks_release_once() {
+        let (space, states, r) = setup(1, 1);
+        let store = SpecStore::filled(r, 1, 0u8);
+        let mut cx = TaskCtx::new(0, &space, &states, ConflictPolicy::FirstWins);
+        cx.lock(&store, 0).unwrap();
+        cx.lock(&store, 0).unwrap();
+        assert_eq!(cx.acquires, 1);
+        assert!(commit_release(cx, &space));
+        assert!(space.check_all_free().is_ok());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the speculative runtime: rollback
+//! correctness, work-set sampling, and executor bookkeeping.
+
+use optpar_runtime::{
+    Abort, ConflictPolicy, Executor, ExecutorConfig, LockSpace, Operator, SpecStore, TaskCtx,
+    WorkSet,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An operator that replays a scripted list of writes and then either
+/// commits or self-aborts — used to prove rollback restores state for
+/// arbitrary write sequences.
+struct ScriptOp<'s> {
+    store: &'s SpecStore<i64>,
+}
+
+type Script = (Vec<(usize, i64)>, bool); // (writes, abort?)
+
+impl Operator for ScriptOp<'_> {
+    type Task = Script;
+
+    fn execute(&self, task: &Script, cx: &mut TaskCtx<'_>) -> Result<Vec<Script>, Abort> {
+        for &(slot, val) in &task.0 {
+            *cx.write(self.store, slot)? += val;
+        }
+        if task.1 {
+            cx.abort_requested()?;
+        }
+        Ok(vec![])
+    }
+}
+
+proptest! {
+    /// A self-aborting task leaves the store bit-for-bit unchanged, no
+    /// matter what it wrote (including repeated writes to one slot);
+    /// a committing task applies exactly its script.
+    #[test]
+    fn rollback_restores_state(
+        writes in prop::collection::vec((0usize..8, -100i64..100), 0..20),
+        abort in any::<bool>(),
+    ) {
+        let mut b = LockSpace::builder();
+        let r = b.region(8);
+        let space = b.build();
+        let store = SpecStore::from_vec(r, (0..8).map(|i| i as i64).collect(), 0);
+        let op = ScriptOp { store: &store };
+        let ex = Executor::new(&op, &space, ExecutorConfig {
+            workers: 1,
+            policy: ConflictPolicy::FirstWins,
+        });
+        let mut ws = WorkSet::from_vec(vec![(writes.clone(), abort)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rs = ex.run_round(&mut ws, 1, &mut rng);
+        prop_assert!(space.check_all_free().is_ok());
+
+        let mut expected: Vec<i64> = (0..8).collect();
+        if !abort {
+            prop_assert_eq!(rs.committed, 1);
+            for (slot, val) in writes {
+                expected[slot] += val;
+            }
+        } else {
+            prop_assert_eq!(rs.aborted, 1);
+        }
+        let mut store = store;
+        prop_assert_eq!(store.snapshot(), expected);
+    }
+
+    /// Work-set sampling removes exactly min(m, len) items and
+    /// preserves the multiset.
+    #[test]
+    fn workset_sampling_is_partition(
+        items in prop::collection::vec(0u32..1000, 0..60),
+        m in 0usize..80,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ws = WorkSet::from_vec(items.clone());
+        let batch = ws.sample_drain(m, &mut rng);
+        prop_assert_eq!(batch.len(), m.min(items.len()));
+        let mut rest: Vec<u32> = Vec::new();
+        while !ws.is_empty() {
+            rest.extend(ws.sample_drain(usize::MAX, &mut rng));
+        }
+        let mut all: Vec<u32> = batch.into_iter().chain(rest).collect();
+        all.sort_unstable();
+        let mut orig = items;
+        orig.sort_unstable();
+        prop_assert_eq!(all, orig);
+    }
+
+    /// Conflicting scripted tasks: every round's launched = committed +
+    /// aborted; total commits over a full drain equals the task count;
+    /// the final store state equals *some* serial application of the
+    /// scripts (here: commutative increments, so any order gives the
+    /// same sum).
+    #[test]
+    fn executor_bookkeeping_and_serializability(
+        scripts in prop::collection::vec(
+            prop::collection::vec((0usize..6, 1i64..10), 1..4),
+            1..12
+        ),
+        workers in 1usize..4,
+        m in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut b = LockSpace::builder();
+        let r = b.region(6);
+        let space = b.build();
+        let store = SpecStore::filled(r, 6, 0i64);
+        let op = ScriptOp { store: &store };
+        let ex = Executor::new(&op, &space, ExecutorConfig {
+            workers,
+            policy: ConflictPolicy::FirstWins,
+        });
+        let tasks: Vec<Script> = scripts.iter().cloned().map(|w| (w, false)).collect();
+        let n = tasks.len();
+        let mut ws = WorkSet::from_vec(tasks);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut committed = 0;
+        let mut guard = 0;
+        while !ws.is_empty() {
+            let rs = ex.run_round(&mut ws, m, &mut rng);
+            prop_assert_eq!(rs.launched, rs.committed + rs.aborted);
+            committed += rs.committed;
+            guard += 1;
+            prop_assert!(guard < 10_000, "did not drain");
+        }
+        prop_assert_eq!(committed, n);
+        let mut expected = vec![0i64; 6];
+        for script in &scripts {
+            for &(slot, val) in script {
+                expected[slot] += val;
+            }
+        }
+        let mut store = store;
+        prop_assert_eq!(store.snapshot(), expected);
+    }
+
+    /// Priority-wins policy drains to the same serializable result.
+    #[test]
+    fn priority_policy_serializable(
+        scripts in prop::collection::vec(
+            prop::collection::vec((0usize..4, 1i64..5), 1..3),
+            1..8
+        ),
+        seed in any::<u64>(),
+    ) {
+        let mut b = LockSpace::builder();
+        let r = b.region(4);
+        let space = b.build();
+        let store = SpecStore::filled(r, 4, 0i64);
+        let op = ScriptOp { store: &store };
+        let ex = Executor::new(&op, &space, ExecutorConfig {
+            workers: 2,
+            policy: ConflictPolicy::PriorityWins,
+        });
+        let tasks: Vec<Script> = scripts.iter().cloned().map(|w| (w, false)).collect();
+        let mut ws = WorkSet::from_vec(tasks);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut guard = 0;
+        while !ws.is_empty() {
+            ex.run_round(&mut ws, 4, &mut rng);
+            guard += 1;
+            prop_assert!(guard < 10_000);
+        }
+        let mut expected = vec![0i64; 4];
+        for script in &scripts {
+            for &(slot, val) in script {
+                expected[slot] += val;
+            }
+        }
+        let mut store = store;
+        prop_assert_eq!(store.snapshot(), expected);
+    }
+}

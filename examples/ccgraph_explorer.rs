@@ -1,0 +1,78 @@
+//! Explore a CC graph the way the paper's §2-3 do: estimate the
+//! conflict-ratio curve, compare it against the worst-case bound,
+//! locate the operating point μ(ρ), and measure the available
+//! parallelism profile.
+//!
+//! Run with:
+//! `cargo run --release --example ccgraph_explorer [family] [n] [d]`
+//! where family ∈ {random, cliques, pref, grid}.
+
+use optpar::core::{estimate, profile, theory};
+use optpar::graph::{gen, ConflictGraph, CsrGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let family = args.get(1).map(String::as_str).unwrap_or("random");
+    let n: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(2000);
+    let d: f64 = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(16.0);
+    let mut rng = StdRng::seed_from_u64(99);
+
+    let g: CsrGraph = match family {
+        "random" => gen::random_with_avg_degree(n, d, &mut rng),
+        "cliques" => {
+            let k = d as usize + 1;
+            gen::cliques_plus_isolated(n / (2 * k), k, n - (n / (2 * k)) * k)
+        }
+        "pref" => gen::preferential_attachment(n, (d / 2.0).max(1.0) as usize, &mut rng),
+        "grid" => {
+            let side = (n as f64).sqrt() as usize;
+            gen::grid(side, side)
+        }
+        other => {
+            eprintln!("unknown family {other}; use random|cliques|pref|grid");
+            std::process::exit(2);
+        }
+    };
+    let nn = g.node_count();
+    let dd = g.average_degree();
+    println!("family = {family}, n = {nn}, |E| = {}, d = {dd:.2}", g.edge_count());
+    println!(
+        "Turán bound on available parallelism: {:.1}",
+        theory::turan_bound(nn, dd)
+    );
+    println!(
+        "measured available parallelism (E[|greedy MIS|]): {:.1}",
+        profile::available_parallelism(&g, 100, &mut rng)
+    );
+    println!(
+        "Prop. 2 initial slope d/(2(n−1)): {:.6}",
+        theory::initial_slope(nn, dd)
+    );
+
+    println!("\n  m     r̄(m) measured    worst-case bound");
+    for i in 1..=10 {
+        let m = (i * nn / 10).max(1);
+        let e = estimate::conflict_ratio_mc(&g, m, 400, &mut rng);
+        println!(
+            "{m:>6}   {:>6.3} ± {:.3}      {:>6.3}",
+            e.mean,
+            e.ci95(),
+            theory::rbar_worst_exact(nn, dd.round() as usize, m)
+        );
+    }
+
+    for rho in [0.1, 0.2, 0.3] {
+        let mu = estimate::find_mu(&g, rho, 400, &mut rng);
+        println!("operating point μ(ρ = {rho:.1}) ≈ {mu}");
+    }
+
+    let p = profile::measure_static_profile(&g, &mut rng);
+    println!(
+        "\noracle parallelism profile: span {} steps, peak {}, average {:.1}",
+        p.span(),
+        p.peak(),
+        p.average()
+    );
+}

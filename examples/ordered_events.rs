@@ -1,0 +1,67 @@
+//! Ordered optimistic execution (the paper's §5 future work): a
+//! synthetic parallel discrete-event simulation where events must
+//! commit in timestamp order, driven by the same adaptive controller.
+//!
+//! The window size `m` plays the role of the processor allocation: a
+//! wide window speculates far into the future (more parallelism, more
+//! order-conflicts), a narrow one is safe but serial. The hybrid
+//! controller steers the realized conflict ratio to ρ, exactly as in
+//! the unordered case.
+//!
+//! Run with: `cargo run --release --example ordered_events`
+
+use optpar::core::control::{Controller, HybridController, HybridParams};
+use optpar::core::ordered::{OrderedScheduler, PdesWorkload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let wl = PdesWorkload {
+        n_entities: 400,
+        load: 0.7,
+        horizon: 64,
+    };
+    let mut sched = OrderedScheduler::new();
+    for t in wl.initial(3000, &mut rng) {
+        sched.insert(t);
+    }
+
+    let mut ctl = HybridController::new(HybridParams {
+        rho: 0.25,
+        m_max: 2048,
+        ..HybridParams::default()
+    });
+
+    println!("round | window m | pending | committed | abort% | frontier");
+    println!("------+----------+---------+-----------+--------+---------");
+    let mut round = 0usize;
+    while !sched.is_empty() {
+        let m = ctl.current_m();
+        let mut spawner = wl.spawner(&mut rng);
+        let out = sched.run_round(m, &mut spawner);
+        ctl.observe(out.conflict_ratio(), out.launched);
+        if round.is_multiple_of(20) {
+            println!(
+                "{round:>5} | {m:>8} | {:>7} | {:>9} | {:>5.1}% | {:?}",
+                sched.len(),
+                sched.total_committed,
+                100.0 * out.conflict_ratio(),
+                sched.next_priority()
+            );
+        }
+        round += 1;
+        assert!(round < 1_000_000, "simulation did not drain");
+    }
+    println!(
+        "\nsimulated {} events in {round} rounds; wasted speculation {:.1}%",
+        sched.total_committed,
+        100.0 * sched.total_aborted as f64 / sched.total_launched.max(1) as f64
+    );
+    // The fundamental ordered-vs-unordered gap: commits per round are
+    // capped by the eager rule (b_m), below the unordered EM_m.
+    println!(
+        "commit log is conflict-serializable in priority order by construction; \
+         see optpar::core::ordered docs for the b_m connection."
+    );
+}
