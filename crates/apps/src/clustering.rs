@@ -85,12 +85,15 @@ impl ClusteringOp {
         }
         let clusters = SpecStore::new(r_clus, clusters, n);
         let fwd = SpecStore::new(r_fwd, (0..n as u32).collect(), n);
-        (space, ClusteringOp {
-            points,
-            clusters,
-            fwd,
-            threshold,
-        })
+        (
+            space,
+            ClusteringOp {
+                points,
+                clusters,
+                fwd,
+                threshold,
+            },
+        )
     }
 
     /// One task per initial cluster.
@@ -112,11 +115,7 @@ impl ClusteringOp {
 
     /// Nearest live candidate of cluster `c` (requires `c` locked):
     /// `(candidate, squared distance)`.
-    fn nearest(
-        &self,
-        cx: &mut TaskCtx<'_>,
-        c: u32,
-    ) -> Result<Option<(u32, f64)>, Abort> {
+    fn nearest(&self, cx: &mut TaskCtx<'_>, c: u32) -> Result<Option<(u32, f64)>, Abort> {
         let my_centroid = cx.read(&self.clusters, c as usize)?.centroid();
         let cands = cx.read(&self.clusters, c as usize)?.cands.clone();
         let mut best: Option<(u32, f64)> = None;

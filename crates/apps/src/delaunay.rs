@@ -51,7 +51,10 @@ impl RefineConfig {
             (0.0..30.0).contains(&min_angle_deg),
             "angle thresholds ≥ 30° are not guaranteed to terminate"
         );
-        assert!(angle_area_floor > 0.0, "the area floor guarantees termination");
+        assert!(
+            angle_area_floor > 0.0,
+            "the area floor guarantees termination"
+        );
         RefineConfig {
             max_area,
             min_angle_deg: Some(min_angle_deg),
@@ -66,9 +69,7 @@ impl RefineConfig {
             return true;
         }
         if let Some(deg) = self.min_angle_deg {
-            if area > self.angle_area_floor
-                && geometry::min_angle(a, b, c) < deg.to_radians()
-            {
+            if area > self.angle_area_floor && geometry::min_angle(a, b, c) < deg.to_radians() {
                 return true;
             }
         }
@@ -203,17 +204,16 @@ impl DelaunayOp {
     }
 
     fn corners_of(&self, tri: &Tri) -> [Point; 3] {
-        [self.corner(tri, 0), self.corner(tri, 1), self.corner(tri, 2)]
+        [
+            self.corner(tri, 0),
+            self.corner(tri, 1),
+            self.corner(tri, 2),
+        ]
     }
 
     /// BFS the Bowyer–Watson cavity of `p` seeded at live triangle
     /// `seed`, locking every triangle visited.
-    fn cavity_spec(
-        &self,
-        cx: &mut TaskCtx<'_>,
-        seed: u32,
-        p: Point,
-    ) -> Result<Vec<u32>, Abort> {
+    fn cavity_spec(&self, cx: &mut TaskCtx<'_>, seed: u32, p: Point) -> Result<Vec<u32>, Abort> {
         let mut cavity = vec![seed];
         let mut seen: HashSet<u32> = HashSet::from([seed]);
         let mut stack = vec![seed];
@@ -377,9 +377,7 @@ mod tests {
             Point::new(0.0, 1.0),
         ];
         let mut rng = StdRng::seed_from_u64(seed);
-        pts.extend(
-            (0..extra).map(|_| Point::new(rng.random::<f64>(), rng.random::<f64>())),
-        );
+        pts.extend((0..extra).map(|_| Point::new(rng.random::<f64>(), rng.random::<f64>())));
         Mesh::delaunay(&pts)
     }
 

@@ -123,7 +123,9 @@ pub fn min_angle(a: Point, b: Point, c: Point) -> f64 {
     let angle = |opp: f64, s1: f64, s2: f64| {
         (((s1 * s1 + s2 * s2 - opp * opp) / (2.0 * s1 * s2)).clamp(-1.0, 1.0)).acos()
     };
-    angle(la, lb, lc).min(angle(lb, la, lc)).min(angle(lc, la, lb))
+    angle(la, lb, lc)
+        .min(angle(lb, la, lc))
+        .min(angle(lc, la, lb))
 }
 
 /// Is `p` inside (or on the boundary of) CCW triangle `abc`?
@@ -146,10 +148,7 @@ mod tests {
     fn orientation() {
         assert_eq!(orient2d(A, B, C), Orientation::Ccw);
         assert_eq!(orient2d(A, C, B), Orientation::Cw);
-        assert_eq!(
-            orient2d(A, B, Point::new(2.0, 0.0)),
-            Orientation::Collinear
-        );
+        assert_eq!(orient2d(A, B, Point::new(2.0, 0.0)), Orientation::Collinear);
     }
 
     #[test]

@@ -68,9 +68,7 @@ impl FlowNetwork {
             let mut q = VecDeque::from([self.source]);
             'bfs: while let Some(u) = q.pop_front() {
                 for &v in self.graph.neighbors_slice(u) {
-                    if parent[v as usize].is_none()
-                        && res.get(&(u, v)).copied().unwrap_or(0) > 0
-                    {
+                    if parent[v as usize].is_none() && res.get(&(u, v)).copied().unwrap_or(0) > 0 {
                         parent[v as usize] = Some(u);
                         if v == self.sink {
                             break 'bfs;

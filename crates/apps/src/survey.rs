@@ -355,15 +355,18 @@ mod tests {
             .iter()
             .flat_map(|e| e.iter())
             .fold(0.0f64, |a, &b| a.max(b));
-        assert!(max < 1e-6, "paramagnetic fixed point expected, max η = {max}");
+        assert!(
+            max < 1e-6,
+            "paramagnetic fixed point expected, max η = {max}"
+        );
     }
 
     #[test]
     fn surveys_stay_in_unit_interval() {
         let mut rng = StdRng::seed_from_u64(3);
         let f = Formula::random_3sat(60, 240, &mut rng); // α = 4, near-critical
-        // Even without convergence, every intermediate η must stay in
-        // [0, 1]; run a bounded number of sweeps.
+                                                         // Even without convergence, every intermediate η must stay in
+                                                         // [0, 1]; run a bounded number of sweeps.
         let occ = f.occurrences();
         let mut eta = vec![[0.9; 3]; f.clauses.len()];
         for _ in 0..30 {

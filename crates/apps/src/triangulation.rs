@@ -81,8 +81,12 @@ impl Mesh {
     pub fn delaunay(points: &[Point]) -> Mesh {
         assert!(points.len() >= 3, "need at least 3 points");
         // Super-triangle big enough to contain everything.
-        let (mut minx, mut miny, mut maxx, mut maxy) =
-            (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let (mut minx, mut miny, mut maxx, mut maxy) = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
         for p in points {
             minx = minx.min(p.x);
             miny = miny.min(p.y);
@@ -292,10 +296,14 @@ impl Mesh {
             tri.nbr[2] = outer;
             // Edge (b, v) is opposite a = v[0]; shared with the new
             // triangle whose boundary edge starts at b.
-            tri.nbr[0] = *by_start.get(&b).expect("cavity boundary must be a closed loop");
+            tri.nbr[0] = *by_start
+                .get(&b)
+                .expect("cavity boundary must be a closed loop");
             // Edge (v, a) is opposite b = v[1]; shared with the new
             // triangle whose boundary edge ends at a.
-            tri.nbr[1] = *by_end.get(&a).expect("cavity boundary must be a closed loop");
+            tri.nbr[1] = *by_end
+                .get(&a)
+                .expect("cavity boundary must be a closed loop");
             self.tris.push(tri);
             created.push(t);
             // Patch the outer neighbour's back-pointer.
@@ -368,9 +376,7 @@ impl Mesh {
                     }
                     Some(j) => {
                         if ntri.nbr[j] != t {
-                            return Err(format!(
-                                "adjacency not symmetric between {t} and {n}"
-                            ));
+                            return Err(format!("adjacency not symmetric between {t} and {n}"));
                         }
                     }
                 }

@@ -2,12 +2,12 @@
 //! substrate.
 
 use optpar_apps::boruvka::{BoruvkaOp, WeightedGraph};
-use optpar_apps::preflow::{FlowNetwork, PreflowOp};
-use optpar_apps::sssp::{SsspInput, SsspOp};
 use optpar_apps::coloring::{sequential_coloring, ColoringOp};
 use optpar_apps::geometry::{self, Point};
 use optpar_apps::matching::{sequential_matching, MatchingOp};
 use optpar_apps::misapp::{sequential_mis, MisOp};
+use optpar_apps::preflow::{FlowNetwork, PreflowOp};
+use optpar_apps::sssp::{SsspInput, SsspOp};
 use optpar_apps::triangulation::Mesh;
 use optpar_graph::{CsrGraph, NodeId};
 use optpar_runtime::{ConflictPolicy, Executor, ExecutorConfig, WorkSet};
@@ -22,10 +22,9 @@ fn edges(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(NodeId, NodeI
 /// Non-degenerate triangle corners in a bounded box.
 fn triangle() -> impl Strategy<Value = (Point, Point, Point)> {
     let pt = (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y));
-    (pt.clone(), pt.clone(), pt)
-        .prop_filter("non-degenerate", |(a, b, c)| {
-            geometry::area(*a, *b, *c) > 1e-3
-        })
+    (pt.clone(), pt.clone(), pt).prop_filter("non-degenerate", |(a, b, c)| {
+        geometry::area(*a, *b, *c) > 1e-3
+    })
 }
 
 proptest! {

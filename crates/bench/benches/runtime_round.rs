@@ -33,18 +33,13 @@ fn bench_round(c: &mut Criterion) {
                     policy: ConflictPolicy::FirstWins,
                 },
             );
-            group.bench_with_input(
-                BenchmarkId::new(format!("w{workers}"), m),
-                &m,
-                |b, &m| {
-                    let mut rng = StdRng::seed_from_u64(9);
-                    b.iter(|| {
-                        let mut ws =
-                            WorkSet::from_vec((0..10_000u32).collect::<Vec<_>>());
-                        ex.run_round(&mut ws, m, &mut rng)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("w{workers}"), m), &m, |b, &m| {
+                let mut rng = StdRng::seed_from_u64(9);
+                b.iter(|| {
+                    let mut ws = WorkSet::from_vec((0..10_000u32).collect::<Vec<_>>());
+                    ex.run_round(&mut ws, m, &mut rng)
+                })
+            });
         }
     }
     group.finish();

@@ -13,7 +13,7 @@
 
 use optpar_bench::{f, Table, SEED};
 use optpar_core::control::{
-    Controller, HybridController, HybridParams, BisectionController, RecurrenceA, RecurrenceB,
+    BisectionController, Controller, HybridController, HybridParams, RecurrenceA, RecurrenceB,
     RecurrenceParams,
 };
 use optpar_core::estimate;
@@ -56,7 +56,15 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(SEED);
 
     let mut table = Table::new([
-        "n", "d", "rho", "mu", "hybrid", "hybrid+smart", "rec_B", "rec_A", "bisection",
+        "n",
+        "d",
+        "rho",
+        "mu",
+        "hybrid",
+        "hybrid+smart",
+        "rec_B",
+        "rec_A",
+        "bisection",
     ]);
     for &(n, d) in &[(1000usize, 8.0f64), (2000, 16.0), (4000, 32.0), (2000, 4.0)] {
         for &rho in &[0.15, 0.25] {

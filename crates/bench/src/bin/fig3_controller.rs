@@ -12,8 +12,8 @@
 
 use optpar_bench::{downsample, f, sparkline, Table, SEED};
 use optpar_core::control::{HybridController, HybridParams, RecurrenceA, RecurrenceParams};
-use optpar_core::sim::{run_loop, SimTrace, StaticGraphPlant};
 use optpar_core::estimate;
+use optpar_core::sim::{run_loop, SimTrace, StaticGraphPlant};
 use optpar_graph::gen;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -24,7 +24,10 @@ fn main() {
     let d = 12usize;
 
     let families: Vec<(&str, CsrGraph)> = vec![
-        ("random G(n,m)", gen::random_with_avg_degree(n, d as f64, &mut rng)),
+        (
+            "random G(n,m)",
+            gen::random_with_avg_degree(n, d as f64, &mut rng),
+        ),
         ("clique union K_d^n", {
             // (d+1) | n not required to hold for others; here 13 | 600
             // fails, so use d=11 cliques... keep d exact: build with

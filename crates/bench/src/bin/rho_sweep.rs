@@ -27,7 +27,12 @@ fn main() {
     let g = gen::random_with_avg_degree(n, d, &mut rng);
 
     let mut table = Table::new([
-        "rho", "mu(rho)", "steady_m", "steady_r", "efficiency", "commits/round",
+        "rho",
+        "mu(rho)",
+        "steady_m",
+        "steady_r",
+        "efficiency",
+        "commits/round",
     ]);
     for &rho in &[0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.40, 0.50] {
         let mu = estimate::find_mu(&g, rho, 600, &mut rng);

@@ -57,7 +57,13 @@ fn report(table: &mut Table, app: &str, policy: &str, run: &RunStats) {
 fn main() {
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut table = Table::new([
-        "app", "allocation", "rounds", "launched", "committed", "abort%", "commits/round",
+        "app",
+        "allocation",
+        "rounds",
+        "launched",
+        "committed",
+        "abort%",
+        "commits/round",
     ]);
     let rho = 0.25;
     let fixed = [4usize, 32, 256, 1024];
@@ -75,7 +81,11 @@ fn main() {
             &op,
             &space,
             op.initial_tasks(),
-            HybridController::new(HybridParams { rho, m_max: 4096, ..HybridParams::default() }),
+            HybridController::new(HybridParams {
+                rho,
+                m_max: 4096,
+                ..HybridParams::default()
+            }),
             1,
         );
         report(&mut table, "mis", "hybrid", &run);
@@ -96,7 +106,11 @@ fn main() {
             &op,
             &space,
             op.initial_tasks(),
-            HybridController::new(HybridParams { rho, m_max: 4096, ..HybridParams::default() }),
+            HybridController::new(HybridParams {
+                rho,
+                m_max: 4096,
+                ..HybridParams::default()
+            }),
             2,
         );
         report(&mut table, "coloring", "hybrid", &run);
@@ -119,7 +133,11 @@ fn main() {
             &op,
             &space,
             op.initial_tasks(),
-            HybridController::new(HybridParams { rho, m_max: 4096, ..HybridParams::default() }),
+            HybridController::new(HybridParams {
+                rho,
+                m_max: 4096,
+                ..HybridParams::default()
+            }),
             3,
         );
         report(&mut table, "boruvka", "hybrid", &run);
@@ -142,7 +160,11 @@ fn main() {
             &op,
             &space,
             op.initial_tasks(),
-            HybridController::new(HybridParams { rho, m_max: 4096, ..HybridParams::default() }),
+            HybridController::new(HybridParams {
+                rho,
+                m_max: 4096,
+                ..HybridParams::default()
+            }),
             5,
         );
         report(&mut table, "sssp", "hybrid", &run);
@@ -173,7 +195,11 @@ fn main() {
             &op,
             &space,
             tasks,
-            HybridController::new(HybridParams { rho, m_max: 4096, ..HybridParams::default() }),
+            HybridController::new(HybridParams {
+                rho,
+                m_max: 4096,
+                ..HybridParams::default()
+            }),
             4,
         );
         report(&mut table, "delaunay", "hybrid", &run);
@@ -184,18 +210,25 @@ fn main() {
 
     // --- Agglomerative clustering ----------------------------------------
     {
-        let pts = blobs(16, 125, 500.0, 2.0, &mut rng); // 2000 points
+        // 2000 points. k = 16: "one cluster per blob" below needs each
+        // blob's k-NN candidate graph connected, which k = 8 does not
+        // guarantee for a 125-point Gaussian blob.
+        let pts = blobs(16, 125, 500.0, 2.0, &mut rng);
         for &m in &fixed {
-            let (space, op) = ClusteringOp::new(pts.clone(), 8, 20.0);
+            let (space, op) = ClusteringOp::new(pts.clone(), 16, 20.0);
             let run = drive(&op, &space, op.initial_tasks(), FixedController::new(m), 6);
             report(&mut table, "clustering", &format!("fixed {m}"), &run);
         }
-        let (space, op) = ClusteringOp::new(pts, 8, 20.0);
+        let (space, op) = ClusteringOp::new(pts, 16, 20.0);
         let run = drive(
             &op,
             &space,
             op.initial_tasks(),
-            HybridController::new(HybridParams { rho, m_max: 4096, ..HybridParams::default() }),
+            HybridController::new(HybridParams {
+                rho,
+                m_max: 4096,
+                ..HybridParams::default()
+            }),
             6,
         );
         report(&mut table, "clustering", "hybrid", &run);
@@ -217,7 +250,11 @@ fn main() {
             &op,
             &space,
             op.initial_tasks(),
-            HybridController::new(HybridParams { rho, m_max: 4096, ..HybridParams::default() }),
+            HybridController::new(HybridParams {
+                rho,
+                m_max: 4096,
+                ..HybridParams::default()
+            }),
             7,
         );
         report(&mut table, "survey-prop", "hybrid", &run);

@@ -1,0 +1,280 @@
+//! **BENCH-RT** — round-throughput microbenchmark for the persistent
+//! worker pool.
+//!
+//! Sweeps `workers × {pooled, scoped} × {delaunay, boruvka, sssp}` at a
+//! small fixed allocation (`m = 32`, the regime where per-round thread
+//! spawning dominates) and reports rounds/s, tasks/s, and commit
+//! throughput. `pooled` is [`Executor::run_round`] (persistent parked
+//! threads, chunked claiming, epoch-bump barrier); `scoped` is
+//! [`Executor::run_round_scoped`], the previous
+//! spawn-threads-every-round implementation retained as the baseline.
+//!
+//! Emits `BENCH_runtime.json` (schema in EXPERIMENTS.md) next to the
+//! invocation directory in addition to the text table.
+//!
+//! Usage: `cargo run --release -p optpar-bench --bin throughput
+//! [--smoke]`
+
+use optpar_apps::boruvka::{BoruvkaOp, WeightedGraph};
+use optpar_apps::delaunay::{DelaunayOp, RefineConfig};
+use optpar_apps::geometry::Point;
+use optpar_apps::sssp::{SsspInput, SsspOp};
+use optpar_apps::triangulation::Mesh;
+use optpar_bench::{f, Table, SEED};
+use optpar_graph::gen;
+use optpar_runtime::{Executor, ExecutorConfig, LockSpace, Operator, WorkSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Which round implementation a measurement used.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Persistent pool: `run_round`.
+    Pooled,
+    /// Per-round `std::thread::scope` baseline: `run_round_scoped`.
+    Scoped,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Pooled => "pooled",
+            Mode::Scoped => "scoped",
+        }
+    }
+}
+
+/// One measured configuration.
+struct Row {
+    app: &'static str,
+    mode: Mode,
+    workers: usize,
+    rounds: usize,
+    launched: usize,
+    committed: usize,
+    secs: f64,
+}
+
+impl Row {
+    fn rounds_per_s(&self) -> f64 {
+        self.rounds as f64 / self.secs
+    }
+    fn tasks_per_s(&self) -> f64 {
+        self.launched as f64 / self.secs
+    }
+    fn commits_per_s(&self) -> f64 {
+        self.committed as f64 / self.secs
+    }
+}
+
+/// The fixed per-round allocation: small enough that per-round
+/// overhead dominates — the regime the pool exists for.
+const M: usize = 32;
+
+/// Safety valve so a non-draining workload fails loudly instead of
+/// spinning forever.
+const MAX_ROUNDS: usize = 1_000_000;
+
+/// Drain a workload with fixed allocation [`M`], timing the whole
+/// drain.
+fn drain<O: Operator>(
+    app: &'static str,
+    op: &O,
+    space: &LockSpace,
+    tasks: Vec<O::Task>,
+    mode: Mode,
+    workers: usize,
+    seed: u64,
+) -> Row {
+    let ex = Executor::new(
+        op,
+        space,
+        ExecutorConfig {
+            workers,
+            ..ExecutorConfig::default()
+        },
+    );
+    let mut ws = WorkSet::from_vec(tasks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (mut rounds, mut launched, mut committed) = (0usize, 0usize, 0usize);
+    let t0 = Instant::now();
+    while !ws.is_empty() && rounds < MAX_ROUNDS {
+        let rs = match mode {
+            Mode::Pooled => ex.run_round(&mut ws, M, &mut rng),
+            Mode::Scoped => ex.run_round_scoped(&mut ws, M, &mut rng),
+        };
+        rounds += 1;
+        launched += rs.launched;
+        committed += rs.committed;
+    }
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    assert!(
+        ws.is_empty(),
+        "{app}/{}/w{workers} did not drain",
+        mode.name()
+    );
+    Row {
+        app,
+        mode,
+        workers,
+        rounds,
+        launched,
+        committed,
+        secs,
+    }
+}
+
+/// Render the measurements as `BENCH_runtime.json` (no serde in the
+/// tree; the schema is flat enough to emit by hand).
+fn to_json(smoke: bool, rows: &[Row], speedups: &[(String, f64)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"runtime_throughput\",");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    let _ = writeln!(s, "  \"m\": {M},");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"app\": \"{}\", \"mode\": \"{}\", \"workers\": {}, \
+             \"rounds\": {}, \"launched\": {}, \"committed\": {}, \
+             \"elapsed_s\": {:.6}, \"rounds_per_s\": {:.1}, \
+             \"tasks_per_s\": {:.1}, \"commits_per_s\": {:.1}}}",
+            r.app,
+            r.mode.name(),
+            r.workers,
+            r.rounds,
+            r.launched,
+            r.committed,
+            r.secs,
+            r.rounds_per_s(),
+            r.tasks_per_s(),
+            r.commits_per_s(),
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"pooled_vs_scoped_rounds_per_s\": {\n");
+    for (i, (key, v)) in speedups.iter().enumerate() {
+        let _ = write!(s, "    \"{key}\": {v:.2}");
+        s.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let worker_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Fresh app state per measured configuration (drains are
+    // destructive), same seeds throughout so workloads are comparable.
+
+    // --- Delaunay refinement -------------------------------------------
+    {
+        let npts = if smoke { 60 } else { 250 };
+        let area = if smoke { 1e-3 } else { 2e-4 };
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        pts.extend((0..npts).map(|_| Point::new(rng.random::<f64>(), rng.random::<f64>())));
+        let mesh = Mesh::delaunay(&pts);
+        let cfg = RefineConfig::area_only(area);
+        for &workers in worker_counts {
+            for mode in [Mode::Pooled, Mode::Scoped] {
+                let (space, mut op) = DelaunayOp::with_auto_capacity(&mesh, cfg);
+                let tasks = op.initial_tasks();
+                rows.push(drain("delaunay", &op, &space, tasks, mode, workers, 4));
+            }
+        }
+    }
+
+    // --- Boruvka MST ---------------------------------------------------
+    {
+        let n = if smoke { 400 } else { 3000 };
+        let g = gen::random_with_avg_degree(n, 8.0, &mut rng);
+        let wg = WeightedGraph::random(g, &mut rng);
+        for &workers in worker_counts {
+            for mode in [Mode::Pooled, Mode::Scoped] {
+                let (space, op) = BoruvkaOp::new(&wg);
+                let tasks = op.initial_tasks();
+                rows.push(drain("boruvka", &op, &space, tasks, mode, workers, 3));
+            }
+        }
+    }
+
+    // --- SSSP (chaotic relaxation) -------------------------------------
+    {
+        let n = if smoke { 1500 } else { 10_000 };
+        let g = gen::random_with_avg_degree(n, 8.0, &mut rng);
+        let input = SsspInput::random(g, 0, 1000, &mut rng);
+        for &workers in worker_counts {
+            for mode in [Mode::Pooled, Mode::Scoped] {
+                let (space, op) = SsspOp::new(input.clone());
+                let tasks = op.initial_tasks();
+                rows.push(drain("sssp", &op, &space, tasks, mode, workers, 5));
+            }
+        }
+    }
+
+    // --- Report --------------------------------------------------------
+    let mut table = Table::new([
+        "app",
+        "mode",
+        "workers",
+        "rounds",
+        "committed",
+        "elapsed_s",
+        "rounds/s",
+        "tasks/s",
+        "commits/s",
+    ]);
+    for r in &rows {
+        table.row([
+            r.app.to_string(),
+            r.mode.name().to_string(),
+            r.workers.to_string(),
+            r.rounds.to_string(),
+            r.committed.to_string(),
+            f(r.secs, 4),
+            f(r.rounds_per_s(), 0),
+            f(r.tasks_per_s(), 0),
+            f(r.commits_per_s(), 0),
+        ]);
+    }
+    println!(
+        "BENCH-RT: persistent pool vs per-round thread spawning, m = {M}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    table.print("round throughput: pooled run_round vs scoped baseline");
+
+    // Pooled-over-scoped speedup in rounds/s, per (app, workers).
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    for pooled in rows.iter().filter(|r| r.mode == Mode::Pooled) {
+        if let Some(scoped) = rows
+            .iter()
+            .find(|r| r.mode == Mode::Scoped && r.app == pooled.app && r.workers == pooled.workers)
+        {
+            speedups.push((
+                format!("{}/w{}", pooled.app, pooled.workers),
+                pooled.rounds_per_s() / scoped.rounds_per_s(),
+            ));
+        }
+    }
+    println!("\npooled/scoped rounds-per-second ratio:");
+    for (key, v) in &speedups {
+        println!("  {key:<16} {v:>6.2}x");
+    }
+
+    let json = to_json(smoke, &rows, &speedups);
+    std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
+    println!("\nwrote BENCH_runtime.json ({} configs)", rows.len());
+}

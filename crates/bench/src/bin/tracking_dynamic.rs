@@ -17,7 +17,9 @@
 //! [rounds_per_phase] [--csv]`
 
 use optpar_bench::{pct, Table, SEED};
-use optpar_core::control::{Controller, HybridController, HybridParams, RecurrenceA, RecurrenceParams};
+use optpar_core::control::{
+    Controller, HybridController, HybridParams, RecurrenceA, RecurrenceParams,
+};
 use optpar_core::dynamics::{spike_script, Phase, PhasedPlant};
 use optpar_core::estimate;
 use optpar_core::sim::run_loop;
@@ -67,7 +69,13 @@ fn main() {
     let rho = 0.20;
     let mut rng = StdRng::seed_from_u64(SEED);
 
-    let mut table = Table::new(["script/controller", "phase", "mu", "lag (rounds)", "track err"]);
+    let mut table = Table::new([
+        "script/controller",
+        "phase",
+        "mu",
+        "lag (rounds)",
+        "track err",
+    ]);
 
     // Script 1: Delaunay-like ramp, built explicitly so we can compute
     // the per-phase μ.
@@ -118,10 +126,38 @@ fn main() {
         m_max: 8192,
         ..RecurrenceParams::default()
     };
-    evaluate("ramp", ramp, HybridController::new(hp), rho, &mut rng, &mut table);
-    evaluate("ramp", ramp, RecurrenceA::new(rp), rho, &mut rng, &mut table);
-    evaluate("spike", spike, HybridController::new(hp), rho, &mut rng, &mut table);
-    evaluate("spike", spike, RecurrenceA::new(rp), rho, &mut rng, &mut table);
+    evaluate(
+        "ramp",
+        ramp,
+        HybridController::new(hp),
+        rho,
+        &mut rng,
+        &mut table,
+    );
+    evaluate(
+        "ramp",
+        ramp,
+        RecurrenceA::new(rp),
+        rho,
+        &mut rng,
+        &mut table,
+    );
+    evaluate(
+        "spike",
+        spike,
+        HybridController::new(hp),
+        rho,
+        &mut rng,
+        &mut table,
+    );
+    evaluate(
+        "spike",
+        spike,
+        RecurrenceA::new(rp),
+        rho,
+        &mut rng,
+        &mut table,
+    );
 
     println!("TAB-TRACK: dynamic tracking, ρ = 20%, {rpp} rounds/phase");
     table.print("§4.1 — tracking abrupt parallelism changes");

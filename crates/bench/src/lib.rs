@@ -129,7 +129,10 @@ pub fn pct(x: f64) -> String {
 /// Constant series render as a flat mid-level line; empty input gives
 /// an empty string.
 pub fn sparkline(series: &[f64]) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if series.is_empty() {
         return String::new();
     }

@@ -410,7 +410,7 @@ impl HybridController {
             win: Window::new(win_len),
             last_branch: None,
             adjustments: 0,
-        p,
+            p,
         }
     }
 

@@ -239,19 +239,13 @@ mod tests {
         });
         let tr = run_loop(&mut plant, &mut ctl, 180, &mut rng);
         assert_eq!(tr.steps.len(), 180);
-        let m_high: f64 =
-            tr.steps[40..60].iter().map(|s| s.m as f64).sum::<f64>() / 20.0;
-        let m_low: f64 =
-            tr.steps[100..120].iter().map(|s| s.m as f64).sum::<f64>() / 20.0;
-        let m_rec: f64 =
-            tr.steps[160..180].iter().map(|s| s.m as f64).sum::<f64>() / 20.0;
+        let m_high: f64 = tr.steps[40..60].iter().map(|s| s.m as f64).sum::<f64>() / 20.0;
+        let m_low: f64 = tr.steps[100..120].iter().map(|s| s.m as f64).sum::<f64>() / 20.0;
+        let m_rec: f64 = tr.steps[160..180].iter().map(|s| s.m as f64).sum::<f64>() / 20.0;
         assert!(
             m_low < m_high / 3.0,
             "no collapse response: high {m_high}, low {m_low}"
         );
-        assert!(
-            m_rec > m_low * 3.0,
-            "no recovery: low {m_low}, rec {m_rec}"
-        );
+        assert!(m_rec > m_low * 3.0, "no recovery: low {m_low}, rec {m_rec}");
     }
 }

@@ -38,7 +38,11 @@ fn summarize(samples: &[f64]) -> Estimate {
     assert!(n > 0, "need at least one sample");
     let mean = samples.iter().sum::<f64>() / n as f64;
     let var = if n > 1 {
-        samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (n - 1) as f64
     } else {
         0.0
     };
@@ -331,10 +335,7 @@ mod tests {
         for &m in &[5usize, 20, 40] {
             let exact = theory::b_m_exact(&g, m);
             let est = b_m_mc(&g, m, 6000, &mut rng);
-            assert!(
-                est.consistent_with(exact, 4.0),
-                "m={m}: {est:?} vs {exact}"
-            );
+            assert!(est.consistent_with(exact, 4.0), "m={m}: {est:?} vs {exact}");
         }
     }
 
@@ -364,8 +365,7 @@ mod tests {
         let crn = conflict_curve_crn(&g, &ms, 3000, &mut rng);
         for (a, b) in plain.iter().zip(&crn) {
             assert!(
-                (a.rbar.mean - b.rbar.mean).abs()
-                    < 4.0 * (a.rbar.stderr + b.rbar.stderr),
+                (a.rbar.mean - b.rbar.mean).abs() < 4.0 * (a.rbar.stderr + b.rbar.stderr),
                 "m={}: {a:?} vs {b:?}",
                 a.m
             );

@@ -50,7 +50,13 @@ pub trait Morph {
     /// `v` just committed and has been removed; `nbrs` were its
     /// neighbours at commit time (all still live unless they also
     /// committed this round and were removed first).
-    fn on_commit<R: Rng + ?Sized>(&mut self, g: &mut AdjGraph, v: NodeId, nbrs: &[NodeId], rng: &mut R);
+    fn on_commit<R: Rng + ?Sized>(
+        &mut self,
+        g: &mut AdjGraph,
+        v: NodeId,
+        nbrs: &[NodeId],
+        rng: &mut R,
+    );
 }
 
 /// The no-op morph: the CC graph only shrinks (work-set drains).
@@ -58,7 +64,8 @@ pub trait Morph {
 pub struct NoMorph;
 
 impl Morph for NoMorph {
-    fn on_commit<R: Rng + ?Sized>(&mut self, _: &mut AdjGraph, _: NodeId, _: &[NodeId], _: &mut R) {}
+    fn on_commit<R: Rng + ?Sized>(&mut self, _: &mut AdjGraph, _: NodeId, _: &[NodeId], _: &mut R) {
+    }
 }
 
 /// Refinement-style morph: each commit spawns `Binomial(spawn_max,
@@ -297,10 +304,7 @@ mod tests {
             assert!(safety < 10_000);
         }
         assert_eq!(s.total_committed, 200);
-        assert_eq!(
-            s.total_launched,
-            s.total_committed + s.total_aborted
-        );
+        assert_eq!(s.total_launched, s.total_committed + s.total_aborted);
     }
 
     #[test]
@@ -377,10 +381,7 @@ mod tests {
         let before = s.live_nodes();
         let out = s.run_round_morph(10, &mut morph, &mut rng);
         // Every commit removes 1 node and adds exactly 3.
-        assert_eq!(
-            s.live_nodes(),
-            before - out.committed + 3 * out.committed
-        );
+        assert_eq!(s.live_nodes(), before - out.committed + 3 * out.committed);
         s.graph().check_invariants().unwrap();
     }
 

@@ -227,15 +227,12 @@ impl PdesWorkload {
     /// Generate the initial event population. Priorities are unique by
     /// construction (spaced lanes), which keeps per-priority
     /// bookkeeping in tests and experiment harnesses unambiguous.
-    pub fn initial<R: rand::Rng + ?Sized>(
-        &self,
-        n_events: usize,
-        rng: &mut R,
-    ) -> Vec<OrderedTask> {
+    pub fn initial<R: rand::Rng + ?Sized>(&self, n_events: usize, rng: &mut R) -> Vec<OrderedTask> {
         (0..n_events)
             .map(|i| {
                 let mut t = self.random_task(0, rng);
-                t.priority = i as u64 * (self.horizon + 1) + 1 + rng.random_range(0..self.horizon.max(1));
+                t.priority =
+                    i as u64 * (self.horizon + 1) + 1 + rng.random_range(0..self.horizon.max(1));
                 t
             })
             .collect()

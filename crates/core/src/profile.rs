@@ -86,20 +86,13 @@ pub fn measure_profile<M: Morph, R: Rng + ?Sized>(
 }
 
 /// Convenience wrapper: profile of a static (non-morphing) workload.
-pub fn measure_static_profile<R: Rng + ?Sized>(
-    g: &CsrGraph,
-    rng: &mut R,
-) -> ParallelismProfile {
+pub fn measure_static_profile<R: Rng + ?Sized>(g: &CsrGraph, rng: &mut R) -> ParallelismProfile {
     measure_profile(g, &mut NoMorph, usize::MAX, rng)
 }
 
 /// Estimate the *instantaneous* available parallelism of a graph (the
 /// expected greedy-random MIS size) by Monte-Carlo averaging.
-pub fn available_parallelism<R: Rng + ?Sized>(
-    g: &CsrGraph,
-    trials: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn available_parallelism<R: Rng + ?Sized>(g: &CsrGraph, trials: usize, rng: &mut R) -> f64 {
     assert!(trials >= 1);
     let total: usize = (0..trials)
         .map(|_| mis::greedy_random_mis(g, rng).len())

@@ -151,9 +151,6 @@ mod tests {
             .sum::<f64>()
             / trials as f64;
         let exact = seating_path_exact(n);
-        assert!(
-            (mean - exact).abs() < 0.2,
-            "MC {mean} vs exact {exact}"
-        );
+        assert!((mean - exact).abs() < 0.2, "MC {mean} vs exact {exact}");
     }
 }

@@ -45,8 +45,7 @@ impl SimTrace {
     /// `sustain` consecutive rounds; `None` if never.
     pub fn convergence_round(&self, mu: usize, tol: f64, sustain: usize) -> Option<usize> {
         assert!(mu > 0 && sustain > 0);
-        let ok =
-            |s: &SimStep| (s.m as f64 - mu as f64).abs() / mu as f64 <= tol;
+        let ok = |s: &SimStep| (s.m as f64 - mu as f64).abs() / mu as f64 <= tol;
         let mut run = 0usize;
         for (i, s) in self.steps.iter().enumerate() {
             if ok(s) {
@@ -253,8 +252,7 @@ pub fn run_loop<P: Plant, C: Controller, R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::control::{
-        FixedController, HybridController, HybridParams, RecurrenceA,
-        RecurrenceParams,
+        FixedController, HybridController, HybridParams, RecurrenceA, RecurrenceParams,
     };
     use crate::estimate;
     use optpar_graph::gen;
@@ -264,9 +262,27 @@ mod tests {
     #[test]
     fn trace_helpers() {
         let steps = vec![
-            SimStep { t: 0, m: 10, launched: 10, committed: 5, r: 0.5 },
-            SimStep { t: 1, m: 20, launched: 20, committed: 16, r: 0.2 },
-            SimStep { t: 2, m: 20, launched: 20, committed: 16, r: 0.2 },
+            SimStep {
+                t: 0,
+                m: 10,
+                launched: 10,
+                committed: 5,
+                r: 0.5,
+            },
+            SimStep {
+                t: 1,
+                m: 20,
+                launched: 20,
+                committed: 16,
+                r: 0.2,
+            },
+            SimStep {
+                t: 2,
+                m: 20,
+                launched: 20,
+                committed: 16,
+                r: 0.2,
+            },
         ];
         let tr = SimTrace { steps };
         assert_eq!(tr.total_committed(), 37);
@@ -375,9 +391,6 @@ mod tests {
         let mut ctl = HybridController::with_rho(0.25);
         let tr = run_loop(&mut plant, &mut ctl, 400, &mut rng);
         let r = tr.steady_r(200);
-        assert!(
-            (r - 0.25).abs() < 0.08,
-            "steady-state r = {r}, target 0.25"
-        );
+        assert!((r - 0.25).abs() < 0.08, "steady-state r = {r}, target 0.25");
     }
 }

@@ -300,10 +300,7 @@ mod tests {
         for &m in &[1usize, 10, 50, 100, 500, 1000, 2000] {
             let e = rbar_worst_exact(n, d, m);
             let a = rbar_worst_asymptotic(n, d, m);
-            assert!(
-                (e - a).abs() < 0.01,
-                "m = {m}: exact {e} vs asymptotic {a}"
-            );
+            assert!((e - a).abs() < 0.01, "m = {m}: exact {e} vs asymptotic {a}");
         }
     }
 
@@ -342,7 +339,10 @@ mod tests {
             let closed = em_worst_exact(12, 3, m);
             let series = b_m_worst(12, 3, m);
             assert!((b - closed).abs() < 1e-9, "m={m}: {b} vs {closed}");
-            assert!((series - closed).abs() < 1e-9, "m={m}: {series} vs {closed}");
+            assert!(
+                (series - closed).abs() < 1e-9,
+                "m={m}: {series} vs {closed}"
+            );
         }
     }
 

@@ -135,6 +135,19 @@ proptest! {
     }
 }
 
+/// The case recorded in `proptests.proptest-regressions` (shrunk to
+/// `alpha = 0.01, d = 0` by upstream proptest): pinned as a plain unit
+/// test so the vendored proptest stand-in — which does not read
+/// regression files — still re-checks it on every run.
+#[test]
+fn cor3_regression_alpha_tiny_d_zero() {
+    let b = theory::rbar_alpha_bound(0.01, 0);
+    let l = theory::rbar_alpha_limit(0.01);
+    assert!(b <= l + 1e-12, "bound {b} exceeds limit {l}");
+    assert!((0.0..1.0).contains(&b), "bound {b} out of [0, 1)");
+    assert!((0.0..1.0).contains(&l), "limit {l} out of [0, 1)");
+}
+
 /// Heap's algorithm (test-local copy; the library keeps its own
 /// private).
 fn permute<F: FnMut(&[NodeId])>(v: &mut [NodeId], k: usize, f: &mut F) {

@@ -237,10 +237,7 @@ impl AdjGraph {
             }
         }
         if live != self.live_nodes {
-            return Err(format!(
-                "live counter {} != actual {live}",
-                self.live_nodes
-            ));
+            return Err(format!("live counter {} != actual {live}", self.live_nodes));
         }
         if half_edges != 2 * self.edges {
             return Err(format!(

@@ -49,7 +49,8 @@ pub fn clique_union(n: usize, d: usize) -> CsrGraph {
 pub fn cliques_plus_isolated(num_cliques: usize, clique_size: usize, isolated: usize) -> CsrGraph {
     let nc = num_cliques * clique_size;
     let n = nc + isolated;
-    let mut canon = Vec::with_capacity(num_cliques * clique_size * clique_size.saturating_sub(1) / 2);
+    let mut canon =
+        Vec::with_capacity(num_cliques * clique_size * clique_size.saturating_sub(1) / 2);
     for c in 0..num_cliques {
         let base = (c * clique_size) as NodeId;
         for i in 0..clique_size as NodeId {

@@ -45,11 +45,7 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
 }
 
 /// Sample `m` distinct canonical edges of `K_n` by rejection.
-fn sample_edge_set<R: Rng + ?Sized>(
-    n: usize,
-    m: usize,
-    rng: &mut R,
-) -> HashSet<(NodeId, NodeId)> {
+fn sample_edge_set<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> HashSet<(NodeId, NodeId)> {
     let mut set = HashSet::with_capacity(m);
     while set.len() < m {
         let u = rng.random_range(0..n as NodeId);

@@ -46,7 +46,10 @@ impl std::fmt::Display for ParseError {
             ParseError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
             ParseError::Header(msg) => write!(f, "header: {msg}"),
             ParseError::CountMismatch { expected, got } => {
-                write!(f, "edge count mismatch: header says {expected}, found {got}")
+                write!(
+                    f,
+                    "edge count mismatch: header says {expected}, found {got}"
+                )
             }
         }
     }
@@ -182,10 +185,7 @@ mod tests {
             from_edge_list_str("e 0 1\n"),
             Err(ParseError::Header(_))
         ));
-        assert!(matches!(
-            from_edge_list_str(""),
-            Err(ParseError::Header(_))
-        ));
+        assert!(matches!(from_edge_list_str(""), Err(ParseError::Header(_))));
     }
 
     #[test]

@@ -102,12 +102,8 @@ pub fn is_maximal_independent_set(g: &CsrGraph, set: &[NodeId]) -> bool {
     for &v in set {
         inset[v as usize] = true;
     }
-    (0..g.node_count() as NodeId).all(|v| {
-        inset[v as usize]
-            || g.neighbors_slice(v)
-                .iter()
-                .any(|&w| inset[w as usize])
-    })
+    (0..g.node_count() as NodeId)
+        .all(|v| inset[v as usize] || g.neighbors_slice(v).iter().any(|&w| inset[w as usize]))
 }
 
 /// Is `set` a maximal independent set *of the subgraph induced by
@@ -129,12 +125,9 @@ pub fn is_maximal_in_induced(g: &CsrGraph, active: &[NodeId], set: &[NodeId]) ->
     if !is_independent_set(g, set) {
         return false;
     }
-    active.iter().all(|&v| {
-        inset[v as usize]
-            || g.neighbors_slice(v)
-                .iter()
-                .any(|&w| inset[w as usize])
-    })
+    active
+        .iter()
+        .all(|&v| inset[v as usize] || g.neighbors_slice(v).iter().any(|&w| inset[w as usize]))
 }
 
 /// Exact `EM_m(G)`: the expected size of the greedy maximal independent

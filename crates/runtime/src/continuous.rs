@@ -73,8 +73,7 @@ impl<O: Operator> Executor<'_, O> {
             .map(|_| AtomicU8::new(state::ACQUIRING))
             .collect();
 
-        let shared_ws: Mutex<WorkSet<O::Task>> =
-            Mutex::new(std::mem::replace(ws, WorkSet::new()));
+        let shared_ws: Mutex<WorkSet<O::Task>> = Mutex::new(std::mem::replace(ws, WorkSet::new()));
         let target = AtomicUsize::new(ctl.current_m());
         let done = AtomicBool::new(false);
         let inflight = AtomicUsize::new(0);
@@ -121,105 +120,92 @@ impl<O: Operator> Executor<'_, O> {
             });
         };
 
-        std::thread::scope(|s| {
-            for w in 0..workers {
-                let states = &states;
-                let shared_ws = &shared_ws;
-                let target = &target;
-                let inflight = &inflight;
-                let done = &done;
-                let counters = &counters;
-                let completions = &completions;
-                let winstate = &winstate;
-                let flush = &flush;
-                s.spawn(move || {
-                    let mut wrng = StdRng::seed_from_u64(base_seed ^ (w as u64) << 32);
-                    loop {
-                        if done.load(Ordering::Acquire) {
-                            break;
-                        }
-                        // Respect the in-flight budget.
-                        let cur = inflight.load(Ordering::Acquire);
-                        if cur >= target.load(Ordering::Acquire)
-                            || inflight
-                                .compare_exchange(
-                                    cur,
-                                    cur + 1,
-                                    Ordering::AcqRel,
-                                    Ordering::Acquire,
-                                )
-                                .is_err()
-                        {
-                            std::thread::yield_now();
-                            continue;
-                        }
-                        // Draw a uniformly random pending task.
-                        let task = {
-                            let mut q = shared_ws.lock().expect("workset lock");
-                            let batch = q.sample_drain(1, &mut wrng);
-                            batch.into_iter().next()
-                        };
-                        let Some(task) = task else {
-                            inflight.fetch_sub(1, Ordering::AcqRel);
-                            // Nothing pending: if nothing is running
-                            // either, the system is quiescent.
-                            if inflight.load(Ordering::Acquire) == 0 {
-                                done.store(true, Ordering::Release);
-                                break;
-                            }
-                            std::thread::yield_now();
-                            continue;
-                        };
-                        // Use the worker index as the (recycled) slot.
-                        states[w].store(state::ACQUIRING, Ordering::Release);
-                        let mut cx =
-                            TaskCtx::new(w, self.space(), states, ConflictPolicy::FirstWins);
-                        let outcome = self.op().execute(&task, &mut cx);
-                        let aborted = match outcome {
-                            Ok(spawned) => {
-                                // Commit releases immediately in
-                                // continuous mode (no barrier).
-                                let lockset =
-                                    cx.finish_commit().expect("first-wins cannot be doomed");
-                                crate::lock::release_all(self.space().owners(), w, &lockset);
-                                counters.committed.fetch_add(1, Ordering::Relaxed);
-                                if !spawned.is_empty() {
-                                    let mut q = shared_ws.lock().expect("workset lock");
-                                    q.extend(spawned);
-                                }
-                                false
-                            }
-                            Err(_abort) => {
-                                cx.finish_abort();
-                                counters.aborted.fetch_add(1, Ordering::Relaxed);
-                                let mut q = shared_ws.lock().expect("workset lock");
-                                q.push(task);
-                                true
-                            }
-                        };
-                        let fin = completions.fetch_add(1, Ordering::AcqRel) + 1;
-                        inflight.fetch_sub(1, Ordering::AcqRel);
-                        // The worker crossing a window boundary flushes
-                        // the window to the controller.
-                        if fin.is_multiple_of(window) {
-                            let mut st = winstate.lock().expect("window lock");
-                            flush(&mut st);
-                        }
-                        if fin >= max_completions {
-                            done.store(true, Ordering::Release);
-                            break;
-                        }
-                        if aborted {
-                            // Abort backoff: without it, a retry storm
-                            // forms while the conflicting holder is
-                            // descheduled (contention meltdown) —
-                            // yielding lets the holder finish.
-                            std::thread::yield_now();
-                        }
+        let worker = |w: usize| {
+            let mut wrng = StdRng::seed_from_u64(base_seed ^ (w as u64) << 32);
+            loop {
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                // Respect the in-flight budget.
+                let cur = inflight.load(Ordering::Acquire);
+                if cur >= target.load(Ordering::Acquire)
+                    || inflight
+                        .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_err()
+                {
+                    std::thread::yield_now();
+                    continue;
+                }
+                // Draw a uniformly random pending task.
+                let task = {
+                    let mut q = shared_ws.lock().expect("workset lock");
+                    let batch = q.sample_drain(1, &mut wrng);
+                    batch.into_iter().next()
+                };
+                let Some(task) = task else {
+                    inflight.fetch_sub(1, Ordering::AcqRel);
+                    // Nothing pending: if nothing is running
+                    // either, the system is quiescent.
+                    if inflight.load(Ordering::Acquire) == 0 {
+                        done.store(true, Ordering::Release);
+                        break;
                     }
-                });
+                    std::thread::yield_now();
+                    continue;
+                };
+                // Use the worker index as the (recycled) slot.
+                states[w].store(state::ACQUIRING, Ordering::Release);
+                let mut cx = TaskCtx::new(w, self.space(), &states, ConflictPolicy::FirstWins);
+                let outcome = self.op().execute(&task, &mut cx);
+                let aborted = match outcome {
+                    Ok(spawned) => {
+                        // Commit releases immediately in
+                        // continuous mode (no barrier).
+                        let lockset = cx.finish_commit().expect("first-wins cannot be doomed");
+                        crate::lock::release_all(self.space(), w, &lockset);
+                        counters.committed.fetch_add(1, Ordering::Relaxed);
+                        if !spawned.is_empty() {
+                            let mut q = shared_ws.lock().expect("workset lock");
+                            q.extend(spawned);
+                        }
+                        false
+                    }
+                    Err(_abort) => {
+                        cx.finish_abort();
+                        counters.aborted.fetch_add(1, Ordering::Relaxed);
+                        let mut q = shared_ws.lock().expect("workset lock");
+                        q.push(task);
+                        true
+                    }
+                };
+                let fin = completions.fetch_add(1, Ordering::AcqRel) + 1;
+                inflight.fetch_sub(1, Ordering::AcqRel);
+                // The worker crossing a window boundary flushes
+                // the window to the controller.
+                if fin.is_multiple_of(window) {
+                    let mut st = winstate.lock().expect("window lock");
+                    flush(&mut st);
+                }
+                if fin >= max_completions {
+                    done.store(true, Ordering::Release);
+                    break;
+                }
+                if aborted {
+                    // Abort backoff: without it, a retry storm
+                    // forms while the conflicting holder is
+                    // descheduled (contention meltdown) —
+                    // yielding lets the holder finish.
+                    std::thread::yield_now();
+                }
             }
-        });
+        };
+        // Dispatch on the executor's persistent pool (threads created
+        // once per executor, parked between calls); workers == 1 runs
+        // inline on the calling thread.
+        match self.pool() {
+            Some(pool) => pool.run(&worker),
+            None => worker(0),
+        }
         // Flush the final partial window.
         let mut st = winstate.into_inner().expect("window lock");
         flush(&mut st);

@@ -15,18 +15,39 @@
 //! order, which makes it *bitwise deterministic* given the RNG seed —
 //! the differential-testing anchor against the sequential model in
 //! `optpar-core`.
+//!
+//! ## Round mechanics (the hot path)
+//!
+//! The executor owns a persistent [`WorkerPool`]: threads are created
+//! once and parked between rounds, so a round costs one
+//! wake/rendezvous, not `workers` thread spawns. Workers claim task
+//! indices in contiguous chunks of `max(1, launched / (8 · workers))`
+//! from a shared counter — one `fetch_add` per chunk instead of per
+//! task — and write each outcome into a pre-indexed result slot, so
+//! results come back in priority order with no post-round sort. The
+//! per-task state array is a pool-owned scratch buffer reused across
+//! rounds, and the round barrier itself is a single
+//! [`LockSpace::advance_epoch`] bump: committed tasks' locks simply
+//! expire with the epoch instead of being walked and released.
+//!
+//! [`Executor::run_round_scoped`] preserves the old
+//! spawn-threads-every-round implementation as a baseline for
+//! benchmarks and differential tests.
 
 use crate::lock::{state, ConflictPolicy, LockSpace};
+use crate::pool::WorkerPool;
 use crate::stats::{RoundStats, RunStats};
 use crate::task::{Operator, TaskCtx};
 use optpar_core::control::Controller;
 use rand::Rng;
+use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// The pending-task multiset (the paper's work-set).
 ///
 /// Uniform random sampling without replacement is O(m) via partial
-/// Fisher-Yates over the backing vector.
+/// Fisher-Yates over the tail of the backing vector.
 #[derive(Clone, Debug, Default)]
 pub struct WorkSet<T> {
     tasks: Vec<T>,
@@ -65,14 +86,23 @@ impl<T> WorkSet<T> {
 
     /// Remove and return `min(m, len)` tasks drawn uniformly at random;
     /// the returned order is the commit-priority order.
+    ///
+    /// O(m) regardless of the work-set size: the i-th draw swaps a
+    /// uniform pick from the surviving prefix into position `n-1-i`,
+    /// then the sampled tail is split off — no front-drain shifting
+    /// the entire remainder.
     pub fn sample_drain<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> Vec<T> {
         let n = self.tasks.len();
         let m = m.min(n);
         for i in 0..m {
-            let j = rng.random_range(i..n);
-            self.tasks.swap(i, j);
+            let j = rng.random_range(0..n - i);
+            self.tasks.swap(j, n - 1 - i);
         }
-        self.tasks.drain(..m).collect()
+        let mut batch = self.tasks.split_off(n - m);
+        // The tail holds draws in reverse draw order; restore priority
+        // order (first draw = highest priority).
+        batch.reverse();
+        batch
     }
 }
 
@@ -102,26 +132,46 @@ pub struct Executor<'a, O: Operator> {
     op: &'a O,
     space: &'a LockSpace,
     cfg: ExecutorConfig,
+    /// Persistent parked threads; `None` when `workers == 1` (inline
+    /// execution needs no threads at all).
+    pool: Option<WorkerPool>,
+    /// Per-task speculation states, reused across rounds (grown on
+    /// demand, reset per round). Behind a mutex so `run_round` can
+    /// take `&self`; rounds on one executor are serialized anyway.
+    scratch: Mutex<Vec<AtomicU8>>,
 }
 
-/// Outcome of one task within a round.
+/// Outcome of one task within a round. Committed tasks' locks are not
+/// carried here: they stay stamped in the lock space until the round's
+/// epoch bump expires them wholesale.
 enum TaskResult<T> {
-    /// Committed; `lockset` stays held until the round barrier (the
-    /// model's semantics: later tasks of the round conflict with
-    /// committed ones regardless of execution interleaving).
-    Committed {
-        spawned: Vec<T>,
-        acquires: usize,
-        lockset: Vec<usize>,
-    },
+    Committed { spawned: Vec<T>, acquires: usize },
     Aborted { acquires: usize },
 }
 
+/// One pre-indexed result cell. Each cell is written by exactly one
+/// worker (the one that claimed its index) and read only after the
+/// pool rendezvous, so the unsynchronized interior access is disjoint
+/// in time and space.
+struct ResultSlot<T>(UnsafeCell<Option<TaskResult<T>>>);
+
+// SAFETY: see `ResultSlot` — disjoint single-writer cells, read only
+// after the pool rendezvous (which synchronizes via its mutex).
+unsafe impl<T: Send> Sync for ResultSlot<T> {}
+
 impl<'a, O: Operator> Executor<'a, O> {
     /// Pair an operator with its lock space under the given config.
+    /// Spawns the persistent worker pool when `workers > 1`.
     pub fn new(op: &'a O, space: &'a LockSpace, cfg: ExecutorConfig) -> Self {
         assert!(cfg.workers >= 1, "need at least one worker");
-        Executor { op, space, cfg }
+        let pool = (cfg.workers > 1).then(|| WorkerPool::new(cfg.workers));
+        Executor {
+            op,
+            space,
+            cfg,
+            pool,
+            scratch: Mutex::new(Vec::new()),
+        }
     }
 
     /// The active configuration.
@@ -139,6 +189,11 @@ impl<'a, O: Operator> Executor<'a, O> {
         self.op
     }
 
+    /// The persistent worker pool (`None` when `workers == 1`).
+    pub(crate) fn pool(&self) -> Option<&WorkerPool> {
+        self.pool.as_ref()
+    }
+
     /// Run one round launching up to `m` tasks from `ws`.
     pub fn run_round<R: Rng + ?Sized>(
         &self,
@@ -154,6 +209,53 @@ impl<'a, O: Operator> Executor<'a, O> {
                 ..RoundStats::default()
             };
         }
+        // Slot indices must fit the 32-bit owner field of a lock word.
+        assert!(launched < u32::MAX as usize, "round too large");
+        let mut scratch = self.scratch.lock().expect("executor scratch");
+        if scratch.len() < launched {
+            scratch.resize_with(launched, || AtomicU8::new(state::ACQUIRING));
+        }
+        // Relaxed is enough: the pool rendezvous (mutex + condvar)
+        // orders these resets before any worker's first load.
+        for s in &scratch[..launched] {
+            s.store(state::ACQUIRING, Ordering::Relaxed);
+        }
+        let states = &scratch[..launched];
+
+        let results: Vec<TaskResult<O::Task>> = if self.cfg.workers == 1 {
+            batch
+                .iter()
+                .enumerate()
+                .map(|(slot, t)| self.run_task(slot, t, states))
+                .collect()
+        } else {
+            self.run_parallel(&batch, states)
+        };
+        drop(scratch);
+
+        self.merge_round(ws, m, batch, results)
+    }
+
+    /// Baseline round implementation that spawns fresh scoped threads
+    /// every round (per-task work claiming, post-round sort). Kept as
+    /// the comparison point for the `throughput` benchmark and for
+    /// differential tests against the pooled path; semantics are
+    /// identical to [`Self::run_round`].
+    pub fn run_round_scoped<R: Rng + ?Sized>(
+        &self,
+        ws: &mut WorkSet<O::Task>,
+        m: usize,
+        rng: &mut R,
+    ) -> RoundStats {
+        let batch = ws.sample_drain(m, rng);
+        let launched = batch.len();
+        if launched == 0 {
+            return RoundStats {
+                m,
+                ..RoundStats::default()
+            };
+        }
+        assert!(launched < u32::MAX as usize, "round too large");
         let states: Vec<AtomicU8> = (0..launched)
             .map(|_| AtomicU8::new(state::ACQUIRING))
             .collect();
@@ -165,28 +267,62 @@ impl<'a, O: Operator> Executor<'a, O> {
                 .map(|(slot, t)| self.run_task(slot, t, &states))
                 .collect()
         } else {
-            self.run_parallel(&batch, &states)
+            let next = AtomicUsize::new(0);
+            let workers = self.cfg.workers.min(launched);
+            let batch = &batch;
+            let states = &states;
+            let mut pairs: Vec<(usize, TaskResult<O::Task>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        s.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= batch.len() {
+                                    break;
+                                }
+                                local.push((i, self.run_task(i, &batch[i], states)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            });
+            pairs.sort_unstable_by_key(|&(i, _)| i);
+            debug_assert_eq!(pairs.len(), batch.len());
+            pairs.into_iter().map(|(_, r)| r).collect()
         };
 
+        self.merge_round(ws, m, batch, results)
+    }
+
+    /// Fold one round's results back into the work-set and stats, then
+    /// perform the round barrier (one epoch bump — committed tasks'
+    /// locks expire without being traversed).
+    fn merge_round(
+        &self,
+        ws: &mut WorkSet<O::Task>,
+        m: usize,
+        batch: Vec<O::Task>,
+        results: Vec<TaskResult<O::Task>>,
+    ) -> RoundStats {
         let mut stats = RoundStats {
             m,
-            launched,
+            launched: batch.len(),
             ..RoundStats::default()
         };
-        for (slot, (task, result)) in batch.into_iter().zip(results).enumerate() {
+        for (task, result) in batch.into_iter().zip(results) {
             match result {
-                TaskResult::Committed {
-                    spawned,
-                    acquires,
-                    lockset,
-                } => {
+                TaskResult::Committed { spawned, acquires } => {
                     stats.committed += 1;
                     stats.spawned += spawned.len();
                     stats.lock_acquires += acquires;
                     ws.extend(spawned);
-                    // Round barrier: committed locks are released only
-                    // now that every task of the round has resolved.
-                    crate::lock::release_all(self.space.owners(), slot, &lockset);
                 }
                 TaskResult::Aborted { acquires } => {
                     stats.aborted += 1;
@@ -195,6 +331,7 @@ impl<'a, O: Operator> Executor<'a, O> {
                 }
             }
         }
+        self.space.advance_epoch();
         debug_assert!(self.space.check_all_free().is_ok());
         stats
     }
@@ -221,22 +358,15 @@ impl<'a, O: Operator> Executor<'a, O> {
         run
     }
 
-    fn run_task(
-        &self,
-        slot: usize,
-        task: &O::Task,
-        states: &[AtomicU8],
-    ) -> TaskResult<O::Task> {
+    fn run_task(&self, slot: usize, task: &O::Task, states: &[AtomicU8]) -> TaskResult<O::Task> {
         let mut cx = TaskCtx::new(slot, self.space, states, self.cfg.policy);
         match self.op.execute(task, &mut cx) {
             Ok(spawned) => {
                 let acquires = cx.acquires;
                 match cx.finish_commit() {
-                    Some(lockset) => TaskResult::Committed {
-                        spawned,
-                        acquires,
-                        lockset,
-                    },
+                    // The committed lockset stays stamped in the lock
+                    // space; the round's epoch bump will expire it.
+                    Some(_lockset) => TaskResult::Committed { spawned, acquires },
                     None => TaskResult::Aborted { acquires },
                 }
             }
@@ -248,44 +378,37 @@ impl<'a, O: Operator> Executor<'a, O> {
         }
     }
 
-    fn run_parallel(
-        &self,
-        batch: &[O::Task],
-        states: &[AtomicU8],
-    ) -> Vec<TaskResult<O::Task>>
-    where
-        O::Task: Send,
-    {
+    /// Dispatch one round onto the persistent pool: chunked index
+    /// claiming, results into pre-indexed slots (no sort).
+    fn run_parallel(&self, batch: &[O::Task], states: &[AtomicU8]) -> Vec<TaskResult<O::Task>> {
+        let pool = self.pool.as_ref().expect("workers > 1 implies a pool");
+        let n = batch.len();
+        // Chunked claiming: ~8 chunks per worker balances the tail
+        // (large final chunks straggle) against counter contention
+        // (per-task fetch_add).
+        let chunk = (n / (8 * self.cfg.workers)).max(1);
         let next = AtomicUsize::new(0);
-        let workers = self.cfg.workers.min(batch.len());
-        // Workers dynamically claim task indices with a shared counter
-        // and collect (index, result) pairs locally; results are merged
-        // after the scope joins — no shared mutable result array.
-        let mut pairs: Vec<(usize, TaskResult<O::Task>)> = std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let next = &next;
-                    s.spawn(move || {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= batch.len() {
-                                break;
-                            }
-                            local.push((i, self.run_task(i, &batch[i], states)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
-        pairs.sort_unstable_by_key(|&(i, _)| i);
-        debug_assert_eq!(pairs.len(), batch.len());
-        pairs.into_iter().map(|(_, r)| r).collect()
+        let slots: Vec<ResultSlot<O::Task>> =
+            (0..n).map(|_| ResultSlot(UnsafeCell::new(None))).collect();
+        let job = |_w: usize| loop {
+            let start = next.fetch_add(chunk, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + chunk).min(n);
+            for i in start..end {
+                let r = self.run_task(i, &batch[i], states);
+                // SAFETY: index `i` belongs to exactly one claimed
+                // chunk, so this cell has a single writer; readers wait
+                // for the rendezvous below.
+                unsafe { *slots[i].0.get() = Some(r) };
+            }
+        };
+        pool.run(&job);
+        slots
+            .into_iter()
+            .map(|s| s.0.into_inner().expect("every claimed slot was written"))
+            .collect()
     }
 }
 
@@ -335,6 +458,28 @@ mod tests {
         let mut all: Vec<_> = batch.into_iter().chain(batch2).collect();
         all.sort_unstable();
         assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workset_sampling_is_uniform() {
+        // Chi-squared-style sanity check on the tail-sampling rewrite:
+        // over many draws of 1-of-8, every element must appear with
+        // frequency close to 1/8.
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 16_000;
+        let mut hits = [0usize; 8];
+        for _ in 0..trials {
+            let mut ws = WorkSet::from_vec((0..8usize).collect::<Vec<_>>());
+            let batch = ws.sample_drain(1, &mut rng);
+            hits[batch[0]] += 1;
+        }
+        let expect = trials / 8;
+        for (v, &h) in hits.iter().enumerate() {
+            assert!(
+                (h as i64 - expect as i64).abs() < (expect / 5) as i64,
+                "element {v} drawn {h} times, expected ≈{expect}"
+            );
+        }
     }
 
     #[test]
@@ -417,6 +562,33 @@ mod tests {
         while !ws.is_empty() {
             let rs = ex.run_round(&mut ws, 32, &mut rng);
             committed += rs.committed;
+        }
+        assert_eq!(committed, n);
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+    }
+
+    #[test]
+    fn scoped_baseline_matches_semantics() {
+        // The retained scoped-thread baseline must drain the same
+        // workload to the same final state.
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 64;
+        let (space, r) = ring_setup(n);
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 4,
+                policy: ConflictPolicy::FirstWins,
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut committed = 0;
+        while !ws.is_empty() {
+            committed += ex.run_round_scoped(&mut ws, 16, &mut rng).committed;
         }
         assert_eq!(committed, n);
         let mut store = store;

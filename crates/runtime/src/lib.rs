@@ -6,11 +6,14 @@
 //! (Galois-style) parallelization runtime. No such runtime exists in
 //! the Rust ecosystem, so this crate builds one:
 //!
-//! * [`lock`] — **abstract locks**: one atomic owner word per shared
-//!   datum. A task must hold the lock on every datum it touches;
-//!   conflicting acquisition triggers speculation-abort according to a
-//!   [`lock::ConflictPolicy`] (first-wins, or priority-wins with a
-//!   write-phase guard that makes lock stealing sound).
+//! * [`lock`] — **abstract locks**: one epoch-stamped atomic owner
+//!   word per shared datum. A task must hold the lock on every datum
+//!   it touches; conflicting acquisition triggers speculation-abort
+//!   according to a [`lock::ConflictPolicy`] (first-wins, or
+//!   priority-wins with a write-phase guard that makes lock stealing
+//!   sound). The round barrier is a single epoch bump.
+//! * [`pool`] — [`pool::WorkerPool`], persistent worker threads
+//!   created once per executor and parked between rounds.
 //! * [`store`] — [`store::SpecStore`], a speculation-aware shared
 //!   array: reads and writes go through a [`task::TaskCtx`], which
 //!   enforces lock ownership and records copy-on-write undo snapshots.
@@ -49,6 +52,7 @@ pub mod arena;
 pub mod continuous;
 pub mod exec;
 pub mod lock;
+pub mod pool;
 pub mod stats;
 pub mod store;
 pub mod task;
@@ -56,6 +60,7 @@ pub mod task;
 pub use arena::AppendArena;
 pub use exec::{Executor, ExecutorConfig, WorkSet};
 pub use lock::{ConflictPolicy, LockSpace, Region};
+pub use pool::WorkerPool;
 pub use stats::{RoundStats, RunStats};
 pub use store::SpecStore;
 pub use task::{Abort, Operator, TaskCtx};

@@ -1,10 +1,18 @@
 //! Abstract locks: the conflict-detection substrate.
 //!
 //! Every shared datum is assigned one word in a [`LockSpace`]. A word
-//! holds `0` (free) or `slot + 1` where `slot` is the per-round index
-//! (= commit priority) of the owning task. Acquisition is a CAS loop;
-//! a collision is a *speculative conflict*, resolved by the round's
-//! [`ConflictPolicy`]:
+//! packs `(epoch, owner)` into one `AtomicU64`: the high 32 bits carry
+//! the epoch tag under which the word was last written, the low 32
+//! bits carry `slot + 1` for the owning task (`0` = free). A word
+//! whose epoch tag differs from the space's current epoch is *free by
+//! definition* — it is residue from an earlier round. The round
+//! barrier is therefore a single counter increment
+//! ([`LockSpace::advance_epoch`]): committed tasks keep their locks
+//! held until the barrier (the model's semantics) without anyone
+//! walking their locksets to release them.
+//!
+//! Acquisition is a CAS loop; a collision is a *speculative conflict*,
+//! resolved by the round's [`ConflictPolicy`]:
 //!
 //! * [`ConflictPolicy::FirstWins`] — the requester aborts (Galois's
 //!   default arbitration). Simple and always sound.
@@ -20,9 +28,18 @@
 //!   which acquire all locks before touching data.
 //!
 //! Locks are held until the owning task commits or rolls back — never
-//! across rounds — so there is no waiting and hence no deadlock.
+//! across epochs — so there is no waiting and hence no deadlock.
+//! Aborting tasks still release eagerly (same epoch) so that their
+//! words are reusable within the round; only the commit-time release
+//! traversal is subsumed by the epoch bump.
 
-use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Low 32 bits of a lock word: the owner mark (`slot + 1`, 0 = free).
+const OWNER_MASK: u64 = 0xFFFF_FFFF;
+
+/// Shift of the epoch tag within a lock word.
+const EPOCH_SHIFT: u32 = 32;
 
 /// How a lock collision between two speculative tasks is resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -105,18 +122,21 @@ impl LockSpaceBuilder {
 
     /// Freeze into an immutable lock space.
     pub fn build(self) -> LockSpace {
-        let owners = (0..self.total).map(|_| AtomicUsize::new(0)).collect();
+        let owners = (0..self.total).map(|_| AtomicU64::new(0)).collect();
         LockSpace {
             owners,
+            epoch: AtomicU64::new(0),
             regions: self.regions,
         }
     }
 }
 
-/// The global table of abstract-lock owner words.
+/// The global table of epoch-stamped abstract-lock owner words.
 #[derive(Debug)]
 pub struct LockSpace {
-    owners: Box<[AtomicUsize]>,
+    owners: Box<[AtomicU64]>,
+    /// Monotonic round counter; its low 32 bits tag live lock words.
+    epoch: AtomicU64,
     regions: Vec<Region>,
 }
 
@@ -143,23 +163,61 @@ impl LockSpace {
 
     /// The raw owner words (used by [`crate::task::TaskCtx`]).
     #[inline]
-    pub(crate) fn owners(&self) -> &[AtomicUsize] {
+    pub(crate) fn owners(&self) -> &[AtomicU64] {
         &self.owners
     }
 
-    /// Current owner of lock `l`: `None` if free, else the owning slot.
-    pub fn owner_of(&self, l: usize) -> Option<usize> {
-        match self.owners[l].load(Ordering::Acquire) {
-            0 => None,
-            s => Some(s - 1),
+    /// The current epoch counter (monotonic; one step per round).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The 32-bit tag live lock words must carry.
+    #[inline]
+    fn epoch_tag(&self) -> u64 {
+        self.epoch() & OWNER_MASK
+    }
+
+    /// Advance the epoch: the O(1) round barrier. Every word still
+    /// stamped with the previous epoch — i.e. every lock still held by
+    /// a committed task of the finished round — becomes free without
+    /// being touched.
+    ///
+    /// The 32-bit tag wraps once every 2^32 rounds; on wrap the space
+    /// is swept to zero so a word abandoned 2^32 rounds ago cannot
+    /// alias the reused tag. Amortized cost is nil.
+    pub fn advance_epoch(&self) {
+        let new = self.epoch.fetch_add(1, Ordering::AcqRel).wrapping_add(1);
+        if new & OWNER_MASK == 0 {
+            for w in self.owners.iter() {
+                w.store(0, Ordering::Release);
+            }
         }
     }
 
-    /// Assert every lock is free (round boundary invariant). Returns
-    /// the first held lock on violation.
+    /// Current owner of lock `l`: `None` if free (including words from
+    /// stale epochs), else the owning slot.
+    pub fn owner_of(&self, l: usize) -> Option<usize> {
+        let w = self.owners[l].load(Ordering::Acquire);
+        if w >> EPOCH_SHIFT == self.epoch_tag() && w & OWNER_MASK != 0 {
+            Some((w & OWNER_MASK) as usize - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Assert every lock is free under the current epoch (round
+    /// boundary invariant). Returns the first held lock on violation.
+    ///
+    /// Immediately after [`Self::advance_epoch`] this holds by
+    /// construction — the scan exists for tests and debug assertions,
+    /// not for the hot path (which needs no check at all).
     pub fn check_all_free(&self) -> Result<(), usize> {
+        let tag = self.epoch_tag();
         for (l, w) in self.owners.iter().enumerate() {
-            if w.load(Ordering::Acquire) != 0 {
+            let w = w.load(Ordering::Acquire);
+            if w >> EPOCH_SHIFT == tag && w & OWNER_MASK != 0 {
                 return Err(l);
             }
         }
@@ -186,22 +244,26 @@ pub enum AcquireError {
 /// `states` is the per-round task-state array. Returns `Ok(true)` if
 /// newly acquired, `Ok(false)` if already held (reentrant).
 pub(crate) fn acquire(
-    owners: &[AtomicUsize],
+    space: &LockSpace,
     states: &[AtomicU8],
     policy: ConflictPolicy,
     slot: usize,
     l: usize,
 ) -> Result<bool, AcquireError> {
-    let me = slot + 1;
+    let owners = space.owners();
+    let tag = space.epoch_tag();
+    let me = (tag << EPOCH_SHIFT) | (slot as u64 + 1);
     loop {
         // A doomed task must stop acquiring.
         if states[slot].load(Ordering::Acquire) == state::DOOMED {
             return Err(AcquireError::Doomed);
         }
         let cur = owners[l].load(Ordering::Acquire);
-        if cur == 0 {
+        let held = cur >> EPOCH_SHIFT == tag && cur & OWNER_MASK != 0;
+        if !held {
+            // Free — either genuinely (owner 0) or by epoch staleness.
             if owners[l]
-                .compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(cur, me, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
                 return Ok(true);
@@ -211,7 +273,7 @@ pub(crate) fn acquire(
         if cur == me {
             return Ok(false); // reentrant
         }
-        let other = cur - 1;
+        let other = (cur & OWNER_MASK) as usize - 1;
         match policy {
             ConflictPolicy::FirstWins => {
                 return Err(AcquireError::Conflict {
@@ -262,13 +324,18 @@ pub(crate) fn acquire(
     }
 }
 
-/// Release every lock in `lockset` held by `slot`, skipping stolen
-/// entries.
-pub(crate) fn release_all(owners: &[AtomicUsize], slot: usize, lockset: &[usize]) {
-    let me = slot + 1;
+/// Release every lock in `lockset` held by `slot` under the current
+/// epoch, skipping stolen entries. Used by aborting tasks (which must
+/// free their words within the round) and by unit tests; committed
+/// tasks rely on [`LockSpace::advance_epoch`] instead.
+pub(crate) fn release_all(space: &LockSpace, slot: usize, lockset: &[usize]) {
+    let owners = space.owners();
+    let tag = space.epoch_tag();
+    let me = (tag << EPOCH_SHIFT) | (slot as u64 + 1);
+    let free = tag << EPOCH_SHIFT;
     for &l in lockset {
         // A stolen lock no longer carries our mark; leave it alone.
-        let _ = owners[l].compare_exchange(me, 0, Ordering::AcqRel, Ordering::Acquire);
+        let _ = owners[l].compare_exchange(me, free, Ordering::AcqRel, Ordering::Acquire);
     }
 }
 
@@ -311,21 +378,21 @@ mod tests {
         let space = b.build();
         let st = states(2);
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::FirstWins, 0, 2),
+            acquire(&space, &st, ConflictPolicy::FirstWins, 0, 2),
             Ok(true)
         );
         assert_eq!(space.owner_of(2), Some(0));
         // Reentrant.
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::FirstWins, 0, 2),
+            acquire(&space, &st, ConflictPolicy::FirstWins, 0, 2),
             Ok(false)
         );
         // Contender loses under first-wins.
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::FirstWins, 1, 2),
+            acquire(&space, &st, ConflictPolicy::FirstWins, 1, 2),
             Err(AcquireError::Conflict { lock: 2, holder: 0 })
         );
-        release_all(space.owners(), 0, &[2]);
+        release_all(&space, 0, &[2]);
         assert_eq!(space.owner_of(2), None);
         assert!(space.check_all_free().is_ok());
     }
@@ -338,18 +405,18 @@ mod tests {
         let st = states(2);
         // Slot 1 (lower priority) takes the lock first.
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::PriorityWins, 1, 0),
+            acquire(&space, &st, ConflictPolicy::PriorityWins, 1, 0),
             Ok(true)
         );
         // Slot 0 steals it and dooms slot 1.
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::PriorityWins, 0, 0),
+            acquire(&space, &st, ConflictPolicy::PriorityWins, 0, 0),
             Ok(true)
         );
         assert_eq!(space.owner_of(0), Some(0));
         assert_eq!(st[1].load(Ordering::Acquire), state::DOOMED);
         // The victim's release must not clobber the thief's ownership.
-        release_all(space.owners(), 1, &[0]);
+        release_all(&space, 1, &[0]);
         assert_eq!(space.owner_of(0), Some(0));
     }
 
@@ -360,13 +427,13 @@ mod tests {
         let space = b.build();
         let st = states(2);
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::PriorityWins, 1, 0),
+            acquire(&space, &st, ConflictPolicy::PriorityWins, 1, 0),
             Ok(true)
         );
         // Victim enters its access phase.
         st[1].store(state::ACCESSING, Ordering::Release);
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::PriorityWins, 0, 0),
+            acquire(&space, &st, ConflictPolicy::PriorityWins, 0, 0),
             Err(AcquireError::Conflict { lock: 0, holder: 1 })
         );
         assert_eq!(space.owner_of(0), Some(1));
@@ -379,11 +446,11 @@ mod tests {
         let space = b.build();
         let st = states(2);
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::PriorityWins, 0, 0),
+            acquire(&space, &st, ConflictPolicy::PriorityWins, 0, 0),
             Ok(true)
         );
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::PriorityWins, 1, 0),
+            acquire(&space, &st, ConflictPolicy::PriorityWins, 1, 0),
             Err(AcquireError::Conflict { lock: 0, holder: 0 })
         );
         assert_eq!(st[0].load(Ordering::Acquire), state::ACQUIRING);
@@ -397,9 +464,96 @@ mod tests {
         let st = states(1);
         st[0].store(state::DOOMED, Ordering::Release);
         assert_eq!(
-            acquire(space.owners(), &st, ConflictPolicy::FirstWins, 0, 1),
+            acquire(&space, &st, ConflictPolicy::FirstWins, 0, 1),
             Err(AcquireError::Doomed)
         );
+    }
+
+    #[test]
+    fn epoch_bump_frees_held_words_in_o1() {
+        let mut b = LockSpace::builder();
+        let _ = b.region(8);
+        let space = b.build();
+        let st = states(3);
+        for l in 0..8 {
+            assert_eq!(
+                acquire(&space, &st, ConflictPolicy::FirstWins, l % 3, l),
+                Ok(true)
+            );
+        }
+        assert!(space.check_all_free().is_err(), "words are held");
+        let e0 = space.epoch();
+        space.advance_epoch();
+        assert_eq!(space.epoch(), e0 + 1);
+        // No release traversal happened, yet everything reads free.
+        assert!(space.check_all_free().is_ok());
+        for l in 0..8 {
+            assert_eq!(space.owner_of(l), None, "stale word {l} must read free");
+        }
+        // The words are re-acquirable under the new epoch.
+        let st2 = states(1);
+        assert_eq!(
+            acquire(&space, &st2, ConflictPolicy::FirstWins, 0, 3),
+            Ok(true)
+        );
+        assert_eq!(space.owner_of(3), Some(0));
+    }
+
+    #[test]
+    fn stale_epoch_word_is_never_reported_held() {
+        // Regression guard for the epoch encoding: a word written under
+        // epoch e must read as free under every later epoch, through
+        // owner_of, check_all_free, AND the acquire fast path.
+        let mut b = LockSpace::builder();
+        let _ = b.region(2);
+        let space = b.build();
+        let st = states(2);
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::PriorityWins, 1, 0),
+            Ok(true)
+        );
+        for step in 1..=100u64 {
+            space.advance_epoch();
+            assert_eq!(space.owner_of(0), None, "stale at +{step}");
+            assert!(space.check_all_free().is_ok(), "stale at +{step}");
+        }
+        // First-wins acquire by a *different* slot must not conflict
+        // with the 100-epochs-stale residue.
+        let st2 = states(1);
+        assert_eq!(
+            acquire(&space, &st2, ConflictPolicy::FirstWins, 0, 0),
+            Ok(true),
+            "stale word must be treated as free by acquire"
+        );
+        assert_eq!(space.owner_of(0), Some(0));
+    }
+
+    #[test]
+    fn release_is_scoped_to_current_epoch() {
+        // An abort-path release under epoch e+1 must not resurrect or
+        // clobber a same-slot word left over from epoch e.
+        let mut b = LockSpace::builder();
+        let _ = b.region(1);
+        let space = b.build();
+        let st = states(1);
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::FirstWins, 0, 0),
+            Ok(true)
+        );
+        space.advance_epoch();
+        // Stale-scoped release: the CAS expects an epoch-current mark,
+        // so the stale word is left alone (and still reads free).
+        release_all(&space, 0, &[0]);
+        assert_eq!(space.owner_of(0), None);
+        // Fresh acquire + release round-trips under the new epoch.
+        let st2 = states(1);
+        assert_eq!(
+            acquire(&space, &st2, ConflictPolicy::FirstWins, 0, 0),
+            Ok(true)
+        );
+        release_all(&space, 0, &[0]);
+        assert_eq!(space.owner_of(0), None);
+        assert!(space.check_all_free().is_ok());
     }
 
     #[test]
@@ -418,7 +572,7 @@ mod tests {
                 let st = &st;
                 let wins = &wins;
                 s.spawn(move || {
-                    if acquire(space.owners(), st, ConflictPolicy::FirstWins, slot, 0).is_ok() {
+                    if acquire(space, st, ConflictPolicy::FirstWins, slot, 0).is_ok() {
                         wins.fetch_add(1, Ordering::Relaxed);
                     }
                 });
@@ -442,7 +596,7 @@ mod tests {
                 let space = &space;
                 let st = &st;
                 s.spawn(move || {
-                    let _ = acquire(space.owners(), st, ConflictPolicy::PriorityWins, slot, 0);
+                    let _ = acquire(space, st, ConflictPolicy::PriorityWins, slot, 0);
                 });
             }
         });

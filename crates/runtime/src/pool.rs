@@ -1,0 +1,282 @@
+//! A persistent worker pool: threads are created once per
+//! [`crate::exec::Executor`] lifetime and parked between rounds.
+//!
+//! The round-synchronous executor used to spawn fresh OS threads via
+//! `std::thread::scope` every round; at small round sizes (`m ≤ 64`)
+//! thread creation dominated the round itself. [`WorkerPool`] amortizes
+//! that cost: [`WorkerPool::run`] publishes one type-erased job
+//! pointer, wakes the parked workers, and blocks until every worker
+//! has finished the job — a *rendezvous*, not a fire-and-forget
+//! submit.
+//!
+//! ## Soundness of the lifetime erasure
+//!
+//! `run` smuggles a `&dyn Fn(usize)` with an arbitrary caller lifetime
+//! into the (necessarily `'static`) worker threads as a raw pointer.
+//! This is sound because `run` does not return until `remaining == 0`,
+//! i.e. until every worker has both finished calling the job and
+//! stopped holding the pointer; the borrow therefore strictly outlives
+//! every dereference, exactly as with `std::thread::scope`.
+//!
+//! A panic inside a job is caught on the worker (so the pool survives
+//! and the round's rendezvous still completes) and re-raised on the
+//! submitting thread.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased job pointer shipped to workers. The pointee is only
+/// dereferenced while [`WorkerPool::run`] is blocked, which keeps the
+/// erased borrow alive.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from many threads are
+// fine) and outlives every dereference (see module docs), so moving
+// the pointer across threads is safe.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Bumped once per submitted job; workers compare against their
+    /// last-seen value so a job runs exactly once per worker.
+    seq: u64,
+    job: Option<Job>,
+    /// Workers still executing the current job.
+    remaining: usize,
+    /// A worker's job invocation panicked; re-raised by `run`.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Workers park here between rounds.
+    work_cv: Condvar,
+    /// `run` parks here until the rendezvous completes.
+    done_cv: Condvar,
+}
+
+/// A fixed-size pool of parked worker threads (see module docs).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: usize,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` (≥ 1) threads, immediately parked.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                seq: 0,
+                job: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("optpar-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            workers,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `job(w)` once on every worker `w ∈ 0..workers`, blocking
+    /// until all invocations return (a rendezvous). Concurrent callers
+    /// are serialized.
+    ///
+    /// # Panics
+    /// Re-raises (as a fresh panic) if any worker's invocation
+    /// panicked.
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+        let ptr: *const (dyn Fn(usize) + Sync) = job;
+        // SAFETY: lifetime erasure only — same fat-pointer layout. The
+        // pointee outlives every dereference because this function
+        // blocks until all workers are done with it (module docs).
+        let job = Job(unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(ptr)
+        });
+        let mut st = self.shared.state.lock().expect("pool state");
+        // Serialize with any in-flight submission.
+        while st.job.is_some() {
+            st = self.shared.done_cv.wait(st).expect("pool state");
+        }
+        st.job = Some(job);
+        st.seq += 1;
+        st.remaining = self.workers;
+        st.panicked = false;
+        drop(st);
+        self.shared.work_cv.notify_all();
+
+        let mut st = self.shared.state.lock().expect("pool state");
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool state");
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        // Wake a queued submitter (if any) now that `job` is cleared.
+        self.shared.done_cv.notify_all();
+        if panicked {
+            panic!("worker pool job panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, w: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.seq != seen {
+                    if let Some(job) = st.job {
+                        seen = st.seq;
+                        break job;
+                    }
+                }
+                st = shared.work_cv.wait(st).expect("pool state");
+            }
+        };
+        // SAFETY: `run` keeps the pointee alive until the rendezvous
+        // below completes (module docs).
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(w) }));
+        let mut st = shared.state.lock().expect("pool state");
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_the_job_once() {
+        let pool = WorkerPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        let job = |w: usize| {
+            hits[w].fetch_add(1, Ordering::Relaxed);
+        };
+        pool.run(&job);
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn reuse_across_many_rounds() {
+        let pool = WorkerPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..100 {
+            let job = |_w: usize| {
+                total.fetch_add(1, Ordering::Relaxed);
+            };
+            pool.run(&job);
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn run_is_a_rendezvous() {
+        // Every borrow made by the job must be dead when run() returns:
+        // mutate a local through the job, then read it directly.
+        let pool = WorkerPool::new(8);
+        let sum = AtomicUsize::new(0);
+        let job = |w: usize| {
+            sum.fetch_add(w + 1, Ordering::Relaxed);
+        };
+        pool.run(&job);
+        assert_eq!(sum.load(Ordering::Relaxed), (1..=8).sum::<usize>());
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_job() {
+        let pool = WorkerPool::new(2);
+        let bad = |w: usize| {
+            if w == 0 {
+                panic!("boom");
+            }
+        };
+        let caught = catch_unwind(AssertUnwindSafe(|| pool.run(&bad)));
+        assert!(caught.is_err(), "panic must propagate to the submitter");
+        // The pool must still be usable afterwards.
+        let ok = AtomicUsize::new(0);
+        let good = |_w: usize| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        };
+        pool.run(&good);
+        assert_eq!(ok.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn drop_joins_parked_workers() {
+        let pool = WorkerPool::new(4);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize() {
+        let pool = WorkerPool::new(2);
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = &pool;
+                let count = &count;
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        let job = |_w: usize| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        };
+                        pool.run(&job);
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 4 * 25 * 2);
+    }
+}

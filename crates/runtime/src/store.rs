@@ -235,7 +235,10 @@ mod tests {
             let handles: Vec<_> = (0..4)
                 .map(|_| sc.spawn(|| (0..16).map(|_| s.alloc()).collect::<Vec<_>>()))
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         all.sort_unstable();
         all.dedup();

@@ -118,7 +118,7 @@ impl<'rt> TaskCtx<'rt> {
 
     /// Acquire a raw lock index.
     pub fn lock_raw(&mut self, l: usize) -> Result<(), Abort> {
-        match lock::acquire(self.space.owners(), self.states, self.policy, self.slot, l) {
+        match lock::acquire(self.space, self.states, self.policy, self.slot, l) {
             Ok(true) => {
                 self.lockset.push(l);
                 self.acquires += 1;
@@ -164,11 +164,7 @@ impl<'rt> TaskCtx<'rt> {
     /// The returned reference borrows the context, so it cannot outlive
     /// the next context operation — references never dangle across
     /// lock transitions.
-    pub fn read<'c, T: Send>(
-        &'c mut self,
-        store: &SpecStore<T>,
-        i: usize,
-    ) -> Result<&'c T, Abort> {
+    pub fn read<'c, T: Send>(&'c mut self, store: &SpecStore<T>, i: usize) -> Result<&'c T, Abort> {
         let l = store.region().lock_of(i);
         self.lock_raw(l)?;
         self.enter_access()?;
@@ -251,8 +247,10 @@ impl<'rt> TaskCtx<'rt> {
     /// is returned: **committed tasks keep their locks until the round
     /// barrier** so that later tasks of the same round conflict with
     /// them, exactly as in the paper's model (a node aborts iff a
-    /// neighbour *committed* in the same round). The executor releases
-    /// these locksets once the round completes. Returns `None` (after
+    /// neighbour *committed* in the same round). The round-based
+    /// executor expires these locks wholesale with its end-of-round
+    /// epoch bump ([`LockSpace::advance_epoch`]); the continuous
+    /// executor releases them explicitly. Returns `None` (after
     /// rolling back) if the task was doomed.
     pub(crate) fn finish_commit(mut self) -> Option<Vec<usize>> {
         let committed = self.states[self.slot]
@@ -285,7 +283,7 @@ impl<'rt> TaskCtx<'rt> {
         for entry in self.undo.drain(..).rev() {
             (entry.restore)();
         }
-        lock::release_all(self.space.owners(), self.slot, &self.lockset);
+        lock::release_all(self.space, self.slot, &self.lockset);
         self.states[self.slot].store(state::ABORTED, Ordering::Release);
     }
 }
@@ -299,14 +297,13 @@ mod tests {
     use super::*;
     use crate::lock::LockSpace;
 
-
     /// Commit and immediately release (round-barrier stand-in for unit
     /// tests; the executor does this at the end of each round).
     fn commit_release(cx: TaskCtx<'_>, space: &LockSpace) -> bool {
         let slot = cx.slot();
         match cx.finish_commit() {
             Some(lockset) => {
-                crate::lock::release_all(space.owners(), slot, &lockset);
+                crate::lock::release_all(space, slot, &lockset);
                 true
             }
             None => false,
@@ -317,7 +314,9 @@ mod tests {
         let mut b = LockSpace::builder();
         let r = b.region(cap);
         let space = b.build();
-        let states = (0..tasks).map(|_| AtomicU8::new(state::ACQUIRING)).collect();
+        let states = (0..tasks)
+            .map(|_| AtomicU8::new(state::ACQUIRING))
+            .collect();
         (space, states, r)
     }
 

@@ -37,7 +37,10 @@ fn main() {
     };
     let nn = g.node_count();
     let dd = g.average_degree();
-    println!("family = {family}, n = {nn}, |E| = {}, d = {dd:.2}", g.edge_count());
+    println!(
+        "family = {family}, n = {nn}, |E| = {}, d = {dd:.2}",
+        g.edge_count()
+    );
     println!(
         "Turán bound on available parallelism: {:.1}",
         theory::turan_bound(nn, dd)

@@ -71,14 +71,12 @@ pub use optpar_runtime as runtime;
 /// assert_eq!(sched.total_committed, 200);
 /// ```
 pub mod prelude {
-    pub use optpar_core::control::{
-        Controller, FixedController, HybridController, HybridParams,
-    };
+    pub use optpar_core::control::{Controller, FixedController, HybridController, HybridParams};
     pub use optpar_core::model::RoundScheduler;
     pub use optpar_core::{estimate, theory};
     pub use optpar_graph::{gen, ConflictGraph, CsrGraph};
     pub use optpar_runtime::{
-        Abort, ConflictPolicy, Executor, ExecutorConfig, LockSpace, Operator, SpecStore,
-        TaskCtx, WorkSet,
+        Abort, ConflictPolicy, Executor, ExecutorConfig, LockSpace, Operator, SpecStore, TaskCtx,
+        WorkSet,
     };
 }

@@ -1,0 +1,272 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock timing harness with the API subset the
+//! workspace's benches use: [`criterion_group!`], [`criterion_main!`],
+//! [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`], [`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`BatchSize`], and [`black_box`].
+//!
+//! No statistics, plots, or baselines — each benchmark is warmed up
+//! briefly, then timed over enough iterations to fill a fixed
+//! measurement budget, and the mean ns/iter is printed. `--test` (what
+//! `cargo bench -- --test` passes through) runs every body exactly
+//! once, which is what CI uses to keep bench code from bit-rotting.
+
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on —
+/// the stub always runs setup per batch of one).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A named benchmark id (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<S: std::fmt::Display, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to benchmark closures; runs and times the body.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    budget: Duration,
+    /// Written back so the harness can report.
+    report: &'a mut Option<(u64, Duration)>,
+}
+
+impl Bencher<'_> {
+    /// Time `f` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            *self.report = None;
+            return;
+        }
+        // Warm-up + calibration: run until 5ms or 32 iters.
+        let warm = Instant::now();
+        let mut calib = 0u64;
+        while warm.elapsed() < Duration::from_millis(5) && calib < 32 {
+            black_box(f());
+            calib += 1;
+        }
+        let per = warm.elapsed().as_nanos().max(1) as u64 / calib.max(1);
+        let iters = (self.budget.as_nanos() as u64 / per.max(1)).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        *self.report = Some((iters, start.elapsed()));
+    }
+
+    /// Time `routine` over inputs produced by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        if self.test_mode {
+            black_box(routine(setup()));
+            *self.report = None;
+            return;
+        }
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < self.budget && iters < 100_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            spent += start.elapsed();
+            iters += 1;
+        }
+        *self.report = Some((iters.max(1), spent));
+    }
+}
+
+/// The harness entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    test_mode: bool,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            budget: Duration::from_millis(60),
+        }
+    }
+}
+
+fn run_one(test_mode: bool, budget: Duration, label: &str, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut report = None;
+    let mut b = Bencher {
+        test_mode,
+        budget,
+        report: &mut report,
+    };
+    f(&mut b);
+    match report {
+        Some((iters, spent)) => {
+            let per = spent.as_nanos() as f64 / iters as f64;
+            println!("bench {label:<56} {per:>14.1} ns/iter ({iters} iters)");
+        }
+        None => println!("bench {label:<56} ok (test mode)"),
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, mut f: F) {
+        run_one(self.test_mode, self.budget, name, &mut f);
+    }
+
+    /// Accepted for API compatibility; the stub has one fixed budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.budget = d;
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run a benchmark named `name` within the group.
+    pub fn bench_function<S: std::fmt::Display, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: S,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, name);
+        run_one(self.c.test_mode, self.c.budget, &label, &mut f);
+    }
+
+    /// Run a parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        let mut g = |b: &mut Bencher<'_>| f(b, input);
+        run_one(self.c.test_mode, self.c.budget, &label, &mut g);
+    }
+
+    /// Accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Finish the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports() {
+        let mut c = Criterion {
+            test_mode: false,
+            budget: Duration::from_millis(2),
+        };
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut g = c.benchmark_group("grp");
+        g.bench_with_input(BenchmarkId::new("param", 3), &3usize, |b, &n| {
+            b.iter_batched(|| vec![0u8; n], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            budget: Duration::from_millis(50),
+        };
+        let mut runs = 0u64;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

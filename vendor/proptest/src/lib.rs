@@ -1,0 +1,550 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(pat in strategy, ...) { body }`),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter`, range and
+//!   tuple strategies, [`collection::vec`], and [`arbitrary::any`],
+//! * the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, by design: cases are seeded
+//! *deterministically* from the test name (so CI failures reproduce
+//! locally without a regression file), and there is **no shrinking** —
+//! a failure reports the exact generated inputs instead. Case count
+//! defaults to 64 and is overridable via `PROPTEST_CASES`.
+
+#![warn(missing_docs)]
+
+/// Failure value carried out of a generated test-case body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the case (and test) fails.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; draw a fresh one.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Construct a failure.
+    pub fn fail<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Construct a rejection.
+    pub fn reject<S: Into<String>>(msg: S) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Strategy trait and combinators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test-case values.
+    ///
+    /// `sample` returns `None` when a `prop_filter` rejects the draw;
+    /// the runner retries with fresh randomness.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draw one value (or reject).
+        fn sample(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+        /// Transform generated values.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Discard values failing `pred` (retried by the runner).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<U> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// `prop_filter` adapter.
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            let _ = self.reason;
+            self.inner.sample(rng).filter(|v| (self.pred)(v))
+        }
+    }
+
+    /// A reference-counted type-erased strategy.
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<T> {
+            self.0.sample(rng)
+        }
+    }
+
+    /// A constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.random_range(self.clone()))
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.random_range(self.clone()))
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                    Some(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+    }
+}
+
+/// `any::<T>()` — full-domain strategies.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draw an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_std {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.random()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_std!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+
+    /// A strategy over `T`'s full domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Collection strategies (`prop::collection` subset).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length distribution for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange {
+                lo,
+                hi_inclusive: hi,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Option<Vec<S::Value>> {
+            let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `Vec` strategy: `len` drawn from `size`, elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// The per-test case loop invoked by the [`proptest!`] expansion.
+pub mod runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Outcome of one generated case.
+    pub enum CaseResult {
+        /// Body ran to completion.
+        Pass,
+        /// Strategy filter or `prop_assume!` rejected the draw.
+        Reject,
+        /// An assertion failed (message includes the inputs).
+        Fail(String),
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `cases` deterministic cases of `body` (default 64; env
+    /// `PROPTEST_CASES` overrides). Panics on the first failing case.
+    pub fn run<F: FnMut(&mut StdRng) -> CaseResult>(name: &str, mut body: F) {
+        let cases: u64 = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        let base = fnv1a(name);
+        let max_rejects = cases * 16;
+        let mut rejects = 0u64;
+        let mut passed = 0u64;
+        let mut stream = 0u64;
+        while passed < cases {
+            let mut rng = StdRng::seed_from_u64(base ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            stream += 1;
+            match body(&mut rng) {
+                CaseResult::Pass => passed += 1,
+                CaseResult::Reject => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejects} rejects for {passed}/{cases} passes)"
+                        );
+                    }
+                }
+                CaseResult::Fail(msg) => {
+                    panic!("proptest '{name}' failed (case seed stream {stream}):\n{msg}");
+                }
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use super::arbitrary::any;
+    pub use super::collection;
+    pub use super::strategy::{BoxedStrategy, Just, Strategy};
+    pub use super::TestCaseError;
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __strategies = ($(($strat),)*);
+                #[allow(unused_variables, unused_mut)]
+                $crate::runner::run(stringify!($name), |__rng| {
+                    let mut __desc = String::new();
+                    $crate::__bind_args!(__rng, __desc, __strategies, ($($arg),*));
+                    let __res: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match __res {
+                        ::std::result::Result::Ok(()) => $crate::runner::CaseResult::Pass,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) =>
+                            $crate::runner::CaseResult::Reject,
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(__m)) =>
+                            $crate::runner::CaseResult::Fail(
+                                format!("{__m}\n  inputs: {__desc}")),
+                    }
+                });
+            }
+        )*
+    };
+}
+
+/// Internal: sample each strategy of a tuple, record a debug rendering
+/// of the value, and bind it to its pattern.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __bind_args {
+    ($rng:ident, $desc:ident, $strats:ident, ()) => {};
+    ($rng:ident, $desc:ident, $strats:ident, ($p0:pat_param)) => {
+        $crate::__bind_one!($rng, $desc, $strats.0, $p0);
+    };
+    ($rng:ident, $desc:ident, $strats:ident, ($p0:pat_param, $p1:pat_param)) => {
+        $crate::__bind_one!($rng, $desc, $strats.0, $p0);
+        $crate::__bind_one!($rng, $desc, $strats.1, $p1);
+    };
+    ($rng:ident, $desc:ident, $strats:ident, ($p0:pat_param, $p1:pat_param, $p2:pat_param)) => {
+        $crate::__bind_one!($rng, $desc, $strats.0, $p0);
+        $crate::__bind_one!($rng, $desc, $strats.1, $p1);
+        $crate::__bind_one!($rng, $desc, $strats.2, $p2);
+    };
+    ($rng:ident, $desc:ident, $strats:ident,
+     ($p0:pat_param, $p1:pat_param, $p2:pat_param, $p3:pat_param)) => {
+        $crate::__bind_one!($rng, $desc, $strats.0, $p0);
+        $crate::__bind_one!($rng, $desc, $strats.1, $p1);
+        $crate::__bind_one!($rng, $desc, $strats.2, $p2);
+        $crate::__bind_one!($rng, $desc, $strats.3, $p3);
+    };
+    ($rng:ident, $desc:ident, $strats:ident,
+     ($p0:pat_param, $p1:pat_param, $p2:pat_param, $p3:pat_param, $p4:pat_param)) => {
+        $crate::__bind_one!($rng, $desc, $strats.0, $p0);
+        $crate::__bind_one!($rng, $desc, $strats.1, $p1);
+        $crate::__bind_one!($rng, $desc, $strats.2, $p2);
+        $crate::__bind_one!($rng, $desc, $strats.3, $p3);
+        $crate::__bind_one!($rng, $desc, $strats.4, $p4);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __bind_one {
+    ($rng:ident, $desc:ident, $strat:expr, $pat:pat_param) => {
+        let __sampled = match $crate::strategy::Strategy::sample(&$strat, $rng) {
+            ::std::option::Option::Some(v) => v,
+            ::std::option::Option::None => return $crate::runner::CaseResult::Reject,
+        };
+        $desc.push_str(&format!(concat!(stringify!($pat), " = {:?}; "), &__sampled));
+        let $pat = __sampled;
+    };
+}
+
+/// `assert!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), format!($($fmt)*), __a, __b
+        );
+    }};
+}
+
+/// `assert_ne!` that fails the current proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), __a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: {} != {} ({})\n  both: {:?}",
+            stringify!($a), stringify!($b), format!($($fmt)*), __a
+        );
+    }};
+}
+
+/// Reject the current case (does not count as a pass or a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5i64..=9), v in prop::collection::vec(0usize..4, 2..6)) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn map_filter_assume(x in (0f64..1.0).prop_map(|v| v * 10.0).prop_filter("big", |v| *v > 1.0), y in any::<u64>()) {
+            prop_assume!(y % 2 == 0);
+            prop_assert!(x > 1.0 && x < 10.0);
+            prop_assert_eq!(y % 2, 0);
+            prop_assert_ne!(x, -1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn failure_reports_inputs() {
+        proptest! {
+            fn inner(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
