@@ -1,0 +1,352 @@
+//! Eraser-style dynamic lockset/race analysis over round traces.
+//!
+//! Within one epoch the protocol guarantees: a lock word has at most
+//! one current-epoch owner at a time, a committed task's locks stay
+//! held until the barrier, and every data access happens under the
+//! accessor's held lock. From a round's [`TaskTrace`]s those
+//! guarantees become checkable facts:
+//!
+//! 1. **Coverage** — every recorded access must have been covered by a
+//!    held, current-epoch lock at access time (the Eraser candidate
+//!    set, specialized to the one lock that guards each datum).
+//! 2. **Committed exclusivity** — no lock may appear in the acquired
+//!    set of two *committed* tasks of the same epoch: the first
+//!    committer keeps the lock until the barrier, so the second could
+//!    only have gotten it through a lost release, a stale-epoch
+//!    aliasing bug, or a broken CAS path.
+//! 3. **Real conflicts** — an abort that names a holder must name a
+//!    task that actually acquired the contested lock this round.
+//! 4. **Epoch coherence** — all traces of a round carry one epoch.
+//!
+//! Aborted tasks overlapping anything are *fine* (they rolled back and
+//! released within the epoch); the analysis never flags the legal
+//! abort-then-reacquire pattern, so it is noise-free by construction.
+
+use crate::report::{AccessSummary, Report};
+use crate::trace::{AccessKind, Outcome, TaskTrace, TraceEvent};
+use std::collections::HashMap;
+
+/// Strongest access kind `slot` performed on `lock` in `t`, if any.
+fn kind_of(t: &TaskTrace, lock: usize) -> Option<AccessKind> {
+    t.accessed()
+        .into_iter()
+        .find(|(l, _)| *l == lock)
+        .map(|(_, k)| k)
+}
+
+/// Run the full lockset/race analysis over one round's traces.
+///
+/// Returns every violation found (empty = the round is clean).
+pub fn audit_round(traces: &[TaskTrace]) -> Vec<Report> {
+    let mut reports = Vec::new();
+    if traces.is_empty() {
+        return reports;
+    }
+    let epoch = traces[0].epoch;
+
+    // (4) Epoch coherence.
+    for t in traces {
+        if t.epoch != epoch {
+            reports.push(Report::EpochInvariant {
+                epoch,
+                detail: format!(
+                    "task {} ran under epoch {} but the round audit covers epoch {epoch}",
+                    t.slot, t.epoch
+                ),
+            });
+        }
+    }
+
+    // (1) Coverage: uncovered accesses, each reported once per
+    // (slot, lock, kind).
+    for t in traces {
+        let mut seen: Vec<(usize, AccessKind)> = Vec::new();
+        for e in &t.events {
+            if let TraceEvent::Access {
+                lock,
+                kind,
+                covered: false,
+            } = e
+            {
+                if !seen.contains(&(*lock, *kind)) {
+                    seen.push((*lock, *kind));
+                    reports.push(Report::UncoveredAccess {
+                        lock: *lock,
+                        epoch: t.epoch,
+                        slot: t.slot,
+                        kind: *kind,
+                    });
+                }
+            }
+        }
+    }
+
+    // (2) Committed exclusivity: a lock acquired by two committers.
+    let mut committed_holder: HashMap<usize, &TaskTrace> = HashMap::new();
+    for t in traces {
+        if t.outcome != Outcome::Committed {
+            continue;
+        }
+        for lock in t.acquired() {
+            match committed_holder.get(&lock) {
+                Some(first) => {
+                    let (a, b) = if first.slot <= t.slot {
+                        (*first, t)
+                    } else {
+                        (t, *first)
+                    };
+                    reports.push(Report::Race {
+                        lock,
+                        epoch,
+                        pair: (
+                            AccessSummary {
+                                slot: a.slot,
+                                kind: kind_of(a, lock).unwrap_or(AccessKind::Read),
+                                committed: true,
+                            },
+                            AccessSummary {
+                                slot: b.slot,
+                                kind: kind_of(b, lock).unwrap_or(AccessKind::Read),
+                                committed: true,
+                            },
+                        ),
+                    });
+                }
+                None => {
+                    committed_holder.insert(lock, t);
+                }
+            }
+        }
+    }
+
+    // (1b) An uncovered access racing any *other* task's covered
+    // access of the same datum is a race pair, not just a discipline
+    // slip; name the pair.
+    for t in traces {
+        for e in &t.events {
+            let TraceEvent::Access {
+                lock,
+                kind,
+                covered: false,
+            } = e
+            else {
+                continue;
+            };
+            for u in traces {
+                if u.slot == t.slot {
+                    continue;
+                }
+                if let Some(other_kind) = kind_of(u, *lock) {
+                    if *kind == AccessKind::Write || other_kind == AccessKind::Write {
+                        let (a, ak, ac, b, bk, bc) = if t.slot <= u.slot {
+                            (t, *kind, t.outcome, u, other_kind, u.outcome)
+                        } else {
+                            (u, other_kind, u.outcome, t, *kind, t.outcome)
+                        };
+                        let race = Report::Race {
+                            lock: *lock,
+                            epoch,
+                            pair: (
+                                AccessSummary {
+                                    slot: a.slot,
+                                    kind: ak,
+                                    committed: ac == Outcome::Committed,
+                                },
+                                AccessSummary {
+                                    slot: b.slot,
+                                    kind: bk,
+                                    committed: bc == Outcome::Committed,
+                                },
+                            ),
+                        };
+                        if !reports.contains(&race) {
+                            reports.push(race);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // (3) Real conflicts: the named holder must have acquired the lock.
+    for t in traces {
+        for e in &t.events {
+            if let TraceEvent::Conflicted { lock, holder } = e {
+                let holder_has_it = traces
+                    .iter()
+                    .find(|u| u.slot == *holder)
+                    .is_some_and(|u| u.acquired().contains(lock));
+                if !holder_has_it {
+                    reports.push(Report::PhantomConflict {
+                        lock: *lock,
+                        epoch: t.epoch,
+                        slot: t.slot,
+                        holder: *holder,
+                    });
+                }
+            }
+        }
+    }
+
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(slot: usize, epoch: u64, outcome: Outcome, events: Vec<TraceEvent>) -> TaskTrace {
+        TaskTrace {
+            slot,
+            epoch,
+            events,
+            outcome,
+        }
+    }
+
+    fn acq(lock: usize) -> TraceEvent {
+        TraceEvent::Acquired { lock }
+    }
+
+    fn wr(lock: usize) -> TraceEvent {
+        TraceEvent::Access {
+            lock,
+            kind: AccessKind::Write,
+            covered: true,
+        }
+    }
+
+    #[test]
+    fn clean_round_is_clean() {
+        let ts = vec![
+            trace(0, 3, Outcome::Committed, vec![acq(0), wr(0), acq(1), wr(1)]),
+            trace(1, 3, Outcome::Committed, vec![acq(2), wr(2)]),
+            trace(
+                2,
+                3,
+                Outcome::Aborted,
+                vec![acq(3), TraceEvent::Conflicted { lock: 0, holder: 0 }],
+            ),
+        ];
+        assert!(audit_round(&ts).is_empty());
+    }
+
+    #[test]
+    fn abort_then_reacquire_is_legal() {
+        // Slot 0 aborts and releases lock 5; slot 1 then takes it and
+        // commits. Same lock, same epoch — no race.
+        let ts = vec![
+            trace(
+                0,
+                1,
+                Outcome::Aborted,
+                vec![acq(5), wr(5), TraceEvent::Conflicted { lock: 9, holder: 1 }],
+            ),
+            trace(1, 1, Outcome::Committed, vec![acq(9), acq(5), wr(5)]),
+        ];
+        assert!(audit_round(&ts).is_empty());
+    }
+
+    #[test]
+    fn two_committers_on_one_lock_is_a_race() {
+        let ts = vec![
+            trace(0, 7, Outcome::Committed, vec![acq(4), wr(4)]),
+            trace(2, 7, Outcome::Committed, vec![acq(4), wr(4)]),
+        ];
+        let reports = audit_round(&ts);
+        assert!(
+            reports.iter().any(|r| matches!(
+                r,
+                Report::Race {
+                    lock: 4,
+                    epoch: 7,
+                    pair: (AccessSummary { slot: 0, .. }, AccessSummary { slot: 2, .. }),
+                }
+            )),
+            "expected a race on lock 4 naming slots 0 and 2: {reports:?}"
+        );
+    }
+
+    #[test]
+    fn uncovered_access_is_reported() {
+        let ts = vec![trace(
+            1,
+            2,
+            Outcome::Committed,
+            vec![TraceEvent::Access {
+                lock: 8,
+                kind: AccessKind::Write,
+                covered: false,
+            }],
+        )];
+        let reports = audit_round(&ts);
+        assert_eq!(
+            reports,
+            vec![Report::UncoveredAccess {
+                lock: 8,
+                epoch: 2,
+                slot: 1,
+                kind: AccessKind::Write,
+            }]
+        );
+    }
+
+    #[test]
+    fn uncovered_write_racing_covered_write_names_the_pair() {
+        let ts = vec![
+            trace(
+                0,
+                4,
+                Outcome::Committed,
+                vec![TraceEvent::Access {
+                    lock: 3,
+                    kind: AccessKind::Write,
+                    covered: false,
+                }],
+            ),
+            trace(1, 4, Outcome::Committed, vec![acq(3), wr(3)]),
+        ];
+        let reports = audit_round(&ts);
+        assert!(reports.iter().any(|r| matches!(
+            r,
+            Report::Race {
+                lock: 3,
+                epoch: 4,
+                pair: (AccessSummary { slot: 0, .. }, AccessSummary { slot: 1, .. }),
+            }
+        )));
+    }
+
+    #[test]
+    fn phantom_conflict_is_reported() {
+        let ts = vec![
+            trace(
+                0,
+                6,
+                Outcome::Aborted,
+                vec![TraceEvent::Conflicted { lock: 2, holder: 5 }],
+            ),
+            trace(5, 6, Outcome::Committed, vec![acq(7)]),
+        ];
+        let reports = audit_round(&ts);
+        assert_eq!(
+            reports,
+            vec![Report::PhantomConflict {
+                lock: 2,
+                epoch: 6,
+                slot: 0,
+                holder: 5,
+            }]
+        );
+    }
+
+    #[test]
+    fn mixed_epochs_flagged() {
+        let ts = vec![
+            trace(0, 1, Outcome::Committed, vec![]),
+            trace(1, 2, Outcome::Committed, vec![]),
+        ];
+        let reports = audit_round(&ts);
+        assert!(matches!(reports[0], Report::EpochInvariant { .. }));
+    }
+}

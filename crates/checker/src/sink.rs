@@ -1,0 +1,259 @@
+//! The audit sink: where the runtime deposits traces and the analyses
+//! deposit reports.
+//!
+//! One [`AuditSink`] lives inside each `LockSpace` in checker builds.
+//! The round-synchronous executor *arms* it before launching a round
+//! and *drains* it at the barrier, which runs the lockset analysis
+//! (always) and the sequential commit-set oracle (inline rounds). The
+//! continuous executor never arms it, so its per-completion trace
+//! pushes are dropped in O(1) — the round analyses do not apply to
+//! barrier-free execution.
+//!
+//! Epoch-transition assertions ([`AuditSink::assert_epoch_step`],
+//! [`AuditSink::assert_wrap_swept`], [`AuditSink::report_now`]) bypass
+//! arming: they fire on every `LockSpace` transition regardless of
+//! execution mode.
+
+use crate::lockset;
+use crate::oracle;
+use crate::report::Report;
+use crate::trace::TaskTrace;
+use std::sync::Mutex;
+
+/// What to do when a round's audit finds violations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CheckerMode {
+    /// Panic with the joined report text (fail fast; the default).
+    #[default]
+    Panic,
+    /// Store reports for later inspection via
+    /// [`AuditSink::take_reports`] — used by fault-injection tests
+    /// that assert on report structure.
+    Collect,
+}
+
+#[derive(Debug, Default)]
+struct SinkState {
+    armed: bool,
+    sequential: bool,
+    traces: Vec<TaskTrace>,
+    reports: Vec<Report>,
+    mode: CheckerMode,
+}
+
+/// Shared deposit point for traces and reports (see module docs).
+#[derive(Debug, Default)]
+pub struct AuditSink {
+    state: Mutex<SinkState>,
+}
+
+impl AuditSink {
+    /// A fresh, disarmed sink in [`CheckerMode::Panic`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Switch violation handling mode.
+    pub fn set_mode(&self, mode: CheckerMode) {
+        self.state.lock().expect("checker sink").mode = mode;
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> CheckerMode {
+        self.state.lock().expect("checker sink").mode
+    }
+
+    /// Begin collecting traces for one round. `sequential` marks the
+    /// round as inline-in-priority-order, enabling the commit-set
+    /// oracle at drain time.
+    pub fn arm(&self, sequential: bool) {
+        let mut st = self.state.lock().expect("checker sink");
+        st.armed = true;
+        st.sequential = sequential;
+        st.traces.clear();
+    }
+
+    /// Deposit one finished task's trace. Dropped when disarmed.
+    pub fn push_trace(&self, t: TaskTrace) {
+        let mut st = self.state.lock().expect("checker sink");
+        if st.armed {
+            st.traces.push(t);
+        }
+    }
+
+    /// Round barrier: run the analyses over the collected traces,
+    /// disarm, and handle any findings per the mode.
+    ///
+    /// # Panics
+    /// In [`CheckerMode::Panic`], panics with the joined report text
+    /// if any violation was found.
+    pub fn drain_round(&self) {
+        let (found, mode) = {
+            let mut st = self.state.lock().expect("checker sink");
+            if !st.armed {
+                return;
+            }
+            st.armed = false;
+            let traces = std::mem::take(&mut st.traces);
+            let mut found = lockset::audit_round(&traces);
+            if st.sequential {
+                found.extend(oracle::audit_sequential_round(&traces));
+            }
+            st.reports.extend(found.iter().cloned());
+            (found, st.mode)
+        };
+        if mode == CheckerMode::Panic && !found.is_empty() {
+            panic!("{}", join_reports(&found));
+        }
+    }
+
+    /// File a report immediately (epoch invariants fire outside the
+    /// arm/drain cycle). Respects the mode.
+    ///
+    /// # Panics
+    /// In [`CheckerMode::Panic`], panics with the report text.
+    pub fn report_now(&self, r: Report) {
+        let mode = {
+            let mut st = self.state.lock().expect("checker sink");
+            st.reports.push(r.clone());
+            st.mode
+        };
+        if mode == CheckerMode::Panic {
+            panic!("{r}");
+        }
+    }
+
+    /// Assert an epoch bump was a monotonic `+1` step.
+    pub fn assert_epoch_step(&self, old: u64, new: u64) {
+        if new != old.wrapping_add(1) {
+            self.report_now(Report::EpochInvariant {
+                epoch: new,
+                detail: format!("epoch stepped {old} -> {new}, expected {}", old + 1),
+            });
+        }
+    }
+
+    /// Assert the wraparound sweep left no non-zero word behind.
+    /// `stale_word` is the first offending `(index, raw word)` found
+    /// by the caller's post-sweep scan, if any.
+    pub fn assert_wrap_swept(&self, epoch: u64, stale_word: Option<(usize, u64)>) {
+        if let Some((idx, raw)) = stale_word {
+            self.report_now(Report::EpochInvariant {
+                epoch,
+                detail: format!(
+                    "wraparound sweep left word {idx} = {raw:#x} non-zero; a task \
+                     abandoned 2^32 rounds ago could alias the reused tag"
+                ),
+            });
+        }
+    }
+
+    /// Take all accumulated reports (drains the log).
+    pub fn take_reports(&self) -> Vec<Report> {
+        std::mem::take(&mut self.state.lock().expect("checker sink").reports)
+    }
+
+    /// Number of accumulated reports without draining.
+    pub fn report_count(&self) -> usize {
+        self.state.lock().expect("checker sink").reports.len()
+    }
+}
+
+/// Join reports into one panic message.
+fn join_reports(reports: &[Report]) -> String {
+    let mut s = format!(
+        "speculation-safety audit failed ({} finding(s)):",
+        reports.len()
+    );
+    for r in reports {
+        s.push_str("\n  - ");
+        s.push_str(&r.to_string());
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Outcome, TraceEvent};
+
+    fn committed_pair_on(lock: usize) -> Vec<TaskTrace> {
+        (0..2)
+            .map(|slot| TaskTrace {
+                slot,
+                epoch: 1,
+                events: vec![TraceEvent::Acquired { lock }],
+                outcome: Outcome::Committed,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disarmed_sink_drops_traces() {
+        let sink = AuditSink::new();
+        for t in committed_pair_on(0) {
+            sink.push_trace(t);
+        }
+        sink.drain_round(); // no-op: never armed
+        assert_eq!(sink.report_count(), 0);
+    }
+
+    #[test]
+    fn armed_sink_audits_and_collects() {
+        let sink = AuditSink::new();
+        sink.set_mode(CheckerMode::Collect);
+        sink.arm(false);
+        for t in committed_pair_on(3) {
+            sink.push_trace(t);
+        }
+        sink.drain_round();
+        let reports = sink.take_reports();
+        assert_eq!(reports.len(), 1);
+        assert!(matches!(reports[0], Report::Race { lock: 3, .. }));
+        // Drained.
+        assert_eq!(sink.report_count(), 0);
+    }
+
+    #[test]
+    fn panic_mode_panics_with_report_text() {
+        let sink = AuditSink::new();
+        sink.arm(false);
+        for t in committed_pair_on(9) {
+            sink.push_trace(t);
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sink.drain_round()))
+            .expect_err("must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic payload is a String");
+        assert!(msg.contains("RACE on lock 9"), "got: {msg}");
+    }
+
+    #[test]
+    fn epoch_step_assertion() {
+        let sink = AuditSink::new();
+        sink.set_mode(CheckerMode::Collect);
+        sink.assert_epoch_step(5, 6); // fine
+        assert_eq!(sink.report_count(), 0);
+        sink.assert_epoch_step(5, 7); // broken
+        let reports = sink.take_reports();
+        assert!(matches!(reports[0], Report::EpochInvariant { .. }));
+    }
+
+    #[test]
+    fn sequential_arm_runs_oracle() {
+        let sink = AuditSink::new();
+        sink.set_mode(CheckerMode::Collect);
+        sink.arm(true);
+        // Slot 1 commits over slot 0's committed lock: oracle + race.
+        for t in committed_pair_on(4) {
+            sink.push_trace(t);
+        }
+        sink.drain_round();
+        let reports = sink.take_reports();
+        assert!(reports
+            .iter()
+            .any(|r| matches!(r, Report::OracleDivergence { .. })));
+        assert!(reports.iter().any(|r| matches!(r, Report::Race { .. })));
+    }
+}

@@ -29,7 +29,19 @@ pub struct AppendArena<T> {
 // flag is set with Release; readers only dereference after an Acquire
 // load of `ready`, so reads never race the write.
 unsafe impl<T: Send + Sync> Sync for AppendArena<T> {}
+// SAFETY: moving the arena moves its values with it; `T: Send` is all
+// that ownership transfer across threads requires (the interior
+// UnsafeCell/MaybeUninit wrappers add no thread affinity).
 unsafe impl<T: Send> Send for AppendArena<T> {}
+
+impl<T> std::fmt::Debug for AppendArena<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppendArena")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .finish()
+    }
+}
 
 impl<T> AppendArena<T> {
     /// An arena able to hold `capacity` values.
@@ -201,7 +213,7 @@ mod tests {
         struct D;
         impl Drop for D {
             fn drop(&mut self) {
-                DROPS.fetch_add(1, Ordering::Relaxed);
+                DROPS.fetch_add(1, Ordering::AcqRel);
             }
         }
         {
@@ -209,6 +221,6 @@ mod tests {
             a.push(D);
             a.push(D);
         }
-        assert_eq!(DROPS.load(Ordering::Relaxed), 2);
+        assert_eq!(DROPS.load(Ordering::Acquire), 2);
     }
 }

@@ -97,8 +97,8 @@ impl<O: Operator> Executor<'_, O> {
             rounds: Vec::new(),
         });
         let flush = |ws_: &mut WindowState<'_, C>| {
-            let c = counters.committed.load(Ordering::Relaxed);
-            let a = counters.aborted.load(Ordering::Relaxed);
+            let c = counters.committed.load(Ordering::Acquire);
+            let a = counters.aborted.load(Ordering::Acquire);
             let dc = c - ws_.last_committed;
             let da = a - ws_.last_aborted;
             let launched = dc + da;
@@ -163,7 +163,7 @@ impl<O: Operator> Executor<'_, O> {
                         // continuous mode (no barrier).
                         let lockset = cx.finish_commit().expect("first-wins cannot be doomed");
                         crate::lock::release_all(self.space(), w, &lockset);
-                        counters.committed.fetch_add(1, Ordering::Relaxed);
+                        counters.committed.fetch_add(1, Ordering::AcqRel);
                         if !spawned.is_empty() {
                             let mut q = shared_ws.lock().expect("workset lock");
                             q.extend(spawned);
@@ -172,7 +172,7 @@ impl<O: Operator> Executor<'_, O> {
                     }
                     Err(_abort) => {
                         cx.finish_abort();
-                        counters.aborted.fetch_add(1, Ordering::Relaxed);
+                        counters.aborted.fetch_add(1, Ordering::AcqRel);
                         let mut q = shared_ws.lock().expect("workset lock");
                         q.push(task);
                         true

@@ -1,4 +1,6 @@
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 //! # optpar-runtime — a speculative task runtime built from scratch
 //!
@@ -56,6 +58,11 @@ pub mod pool;
 pub mod stats;
 pub mod store;
 pub mod task;
+
+/// The speculation-safety analysis layer (`optpar-checker`),
+/// re-exported so downstream tests can drive the audit sink.
+#[cfg(feature = "checker")]
+pub use optpar_checker as checker;
 
 pub use arena::AppendArena;
 pub use exec::{Executor, ExecutorConfig, WorkSet};

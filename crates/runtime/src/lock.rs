@@ -127,6 +127,8 @@ impl LockSpaceBuilder {
             owners,
             epoch: AtomicU64::new(0),
             regions: self.regions,
+            #[cfg(feature = "checker")]
+            audit: optpar_checker::AuditSink::new(),
         }
     }
 }
@@ -138,6 +140,10 @@ pub struct LockSpace {
     /// Monotonic round counter; its low 32 bits tag live lock words.
     epoch: AtomicU64,
     regions: Vec<Region>,
+    /// Speculation-safety audit sink: tasks deposit traces here and
+    /// the round barrier runs the lockset/oracle analyses over them.
+    #[cfg(feature = "checker")]
+    audit: optpar_checker::AuditSink,
 }
 
 impl LockSpace {
@@ -188,12 +194,30 @@ impl LockSpace {
     /// is swept to zero so a word abandoned 2^32 rounds ago cannot
     /// alias the reused tag. Amortized cost is nil.
     pub fn advance_epoch(&self) {
-        let new = self.epoch.fetch_add(1, Ordering::AcqRel).wrapping_add(1);
+        let old = self.epoch.fetch_add(1, Ordering::AcqRel);
+        let new = old.wrapping_add(1);
+        #[cfg(feature = "checker")]
+        self.audit.assert_epoch_step(old, new);
         if new & OWNER_MASK == 0 {
             for w in self.owners.iter() {
                 w.store(0, Ordering::Release);
             }
+            #[cfg(feature = "checker")]
+            self.audit.assert_wrap_swept(
+                new,
+                self.owners
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| (i, w.load(Ordering::Acquire)))
+                    .find(|&(_, w)| w != 0),
+            );
         }
+    }
+
+    /// The speculation-safety audit sink attached to this space.
+    #[cfg(feature = "checker")]
+    pub fn audit(&self) -> &optpar_checker::AuditSink {
+        &self.audit
     }
 
     /// Current owner of lock `l`: `None` if free (including words from
@@ -336,6 +360,18 @@ pub(crate) fn release_all(space: &LockSpace, slot: usize, lockset: &[usize]) {
     for &l in lockset {
         // A stolen lock no longer carries our mark; leave it alone.
         let _ = owners[l].compare_exchange(me, free, Ordering::AcqRel, Ordering::Acquire);
+        // Stale-owner assertion: whatever the CAS outcome, the word
+        // must no longer carry this slot's current-epoch mark (either
+        // we freed it or a thief overwrote it).
+        #[cfg(feature = "checker")]
+        if owners[l].load(Ordering::Acquire) == me {
+            space
+                .audit()
+                .report_now(optpar_checker::Report::EpochInvariant {
+                    epoch: space.epoch(),
+                    detail: format!("lock {l} still owned by slot {slot} after its release"),
+                });
+        }
     }
 }
 
@@ -607,5 +643,95 @@ mod tests {
         // strongest cheap invariant: the owner is not doomed and holds
         // the lock exclusively.
         assert_ne!(st[owner].load(Ordering::Acquire), state::DOOMED);
+    }
+
+    /// Drive the epoch across the 32-bit tag wraparound: words stamped
+    /// with the maximal tag must read free after the wrap sweep, the
+    /// monotonic counter must keep counting, and the space must be
+    /// immediately reusable under the fresh zero tag.
+    #[test]
+    fn epoch_tag_wraparound_sweeps_stale_owners() {
+        let mut b = LockSpace::builder();
+        let _ = b.region(3);
+        let space = b.build();
+
+        // Jump to the last epoch before the tag wraps (tag =
+        // 0xFFFF_FFFF) with some high bits set, as after ~6 * 2^32
+        // real rounds.
+        let pre_wrap: u64 = (6 << EPOCH_SHIFT) | OWNER_MASK;
+        space.epoch.store(pre_wrap, Ordering::Release);
+        assert_eq!(space.epoch_tag(), OWNER_MASK);
+
+        // Stamp locks 0 and 2 under the maximal tag (lock 1 stays 0).
+        let st = states(2);
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::FirstWins, 0, 0),
+            Ok(true)
+        );
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::FirstWins, 1, 2),
+            Ok(true)
+        );
+        assert_eq!(space.owner_of(0), Some(0));
+        assert_eq!(space.owner_of(2), Some(1));
+
+        // The round barrier that crosses the wrap. With the checker
+        // enabled this also exercises `assert_epoch_step` across the
+        // tag boundary and the post-sweep `assert_wrap_swept` audit
+        // (panicking if any stale word survived).
+        space.advance_epoch();
+
+        // Monotonic counter kept counting; tag wrapped to zero.
+        assert_eq!(space.epoch(), pre_wrap + 1);
+        assert_eq!(space.epoch_tag(), 0);
+
+        // Stale words were physically swept, not merely out-tagged:
+        // a zero tag is the one value a lazy (unswept) expiry scheme
+        // would alias, so the sweep must leave literal zeros behind.
+        for w in space.owners.iter() {
+            assert_eq!(w.load(Ordering::Acquire), 0);
+        }
+        assert_eq!(space.owner_of(0), None);
+        assert_eq!(space.owner_of(2), None);
+        assert!(space.check_all_free().is_ok());
+
+        // The space is immediately reusable under the fresh tag.
+        let st = states(1);
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::FirstWins, 0, 0),
+            Ok(true)
+        );
+        assert_eq!(space.owner_of(0), Some(0));
+        release_all(&space, 0, &[0]);
+        assert_eq!(space.owner_of(0), None);
+    }
+
+    /// A non-wrapping epoch step must *not* sweep: expiry of held
+    /// locks is lazy (the stale word survives physically but reads
+    /// free under the new tag) — that O(1) barrier is the whole point.
+    #[test]
+    fn ordinary_epoch_step_expires_lazily() {
+        let mut b = LockSpace::builder();
+        let _ = b.region(1);
+        let space = b.build();
+        let st = states(1);
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::FirstWins, 0, 0),
+            Ok(true)
+        );
+        let stamped = space.owners[0].load(Ordering::Acquire);
+        assert_ne!(stamped, 0);
+
+        space.advance_epoch();
+
+        // Word untouched, yet the lock reads free and is reusable.
+        assert_eq!(space.owners[0].load(Ordering::Acquire), stamped);
+        assert_eq!(space.owner_of(0), None);
+        assert!(space.check_all_free().is_ok());
+        let st = states(1);
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::FirstWins, 0, 0),
+            Ok(true)
+        );
     }
 }

@@ -64,6 +64,14 @@ pub struct WorkerPool {
     handles: Vec<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
 impl WorkerPool {
     /// Spawn `workers` (≥ 1) threads, immediately parked.
     pub fn new(workers: usize) -> Self {

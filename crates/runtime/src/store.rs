@@ -26,6 +26,11 @@ pub struct SpecStore<T> {
     region: Region,
     slots: Box<[UnsafeCell<T>]>,
     live: AtomicUsize,
+    /// Checker builds count every raw slot-pointer handout, so audits
+    /// can reconcile traced accesses against actual data touches (one
+    /// `slot_ptr` call per `TaskCtx::read`/`TaskCtx::write`).
+    #[cfg(feature = "checker")]
+    raw_accesses: AtomicUsize,
 }
 
 // SAFETY: slots are only dereferenced through `TaskCtx`, which proves
@@ -34,6 +39,8 @@ pub struct SpecStore<T> {
 // Send` is required because values move between worker threads across
 // rounds.
 unsafe impl<T: Send> Sync for SpecStore<T> {}
+// SAFETY: moving the store moves its values; `T: Send` suffices for
+// the transfer (UnsafeCell wrappers impose no thread affinity).
 unsafe impl<T: Send> Send for SpecStore<T> {}
 
 impl<T> SpecStore<T> {
@@ -54,6 +61,8 @@ impl<T> SpecStore<T> {
             region,
             slots: init.into_iter().map(UnsafeCell::new).collect(),
             live: AtomicUsize::new(live),
+            #[cfg(feature = "checker")]
+            raw_accesses: AtomicUsize::new(0),
         }
     }
 
@@ -123,7 +132,19 @@ impl<T> SpecStore<T> {
     #[inline]
     pub(crate) fn slot_ptr(&self, i: usize) -> *mut T {
         assert!(i < self.len(), "slot {i} beyond live prefix {}", self.len());
+        #[cfg(feature = "checker")]
+        self.raw_accesses.fetch_add(1, Ordering::AcqRel);
         self.slots[i].get()
+    }
+
+    /// Total raw slot-pointer handouts so far (checker builds only).
+    ///
+    /// Every `TaskCtx::read`/`TaskCtx::write` takes exactly one raw
+    /// pointer, so this must equal the number of traced access events
+    /// across all rounds — a cross-layer reconciliation invariant.
+    #[cfg(feature = "checker")]
+    pub fn raw_access_count(&self) -> usize {
+        self.raw_accesses.load(Ordering::Acquire)
     }
 
     /// Read slot `i` outside speculation (requires `&mut self`, i.e.

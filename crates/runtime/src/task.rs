@@ -81,6 +81,22 @@ pub struct TaskCtx<'rt> {
     accessed: bool,
     /// Locks acquired (for stats).
     pub acquires: usize,
+    /// Audit trail of every lock transition and data access, deposited
+    /// in the space's sink when the task finishes.
+    #[cfg(feature = "checker")]
+    trace: optpar_checker::TaskTrace,
+}
+
+impl std::fmt::Debug for TaskCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCtx")
+            .field("slot", &self.slot)
+            .field("policy", &self.policy)
+            .field("locks_held", &self.lockset.len())
+            .field("undo_entries", &self.undo.len())
+            .field("accessed", &self.accessed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'rt> TaskCtx<'rt> {
@@ -99,6 +115,8 @@ impl<'rt> TaskCtx<'rt> {
             undo: Vec::new(),
             accessed: false,
             acquires: 0,
+            #[cfg(feature = "checker")]
+            trace: optpar_checker::TaskTrace::new(slot, space.epoch()),
         }
     }
 
@@ -122,10 +140,22 @@ impl<'rt> TaskCtx<'rt> {
             Ok(true) => {
                 self.lockset.push(l);
                 self.acquires += 1;
+                #[cfg(feature = "checker")]
+                self.trace
+                    .events
+                    .push(optpar_checker::TraceEvent::Acquired { lock: l });
                 Ok(())
             }
             Ok(false) => Ok(()),
-            Err(e) => Err(e.into()),
+            Err(e) => {
+                #[cfg(feature = "checker")]
+                if let AcquireError::Conflict { lock, holder } = e {
+                    self.trace
+                        .events
+                        .push(optpar_checker::TraceEvent::Conflicted { lock, holder });
+                }
+                Err(e.into())
+            }
         }
     }
 
@@ -159,6 +189,20 @@ impl<'rt> TaskCtx<'rt> {
         }
     }
 
+    /// Record a data access that is about to happen. Coverage is
+    /// re-derived from the lock word itself (not from `verify_owned`'s
+    /// verdict, which aborts the access), so a protocol bug that lets
+    /// an access through uncovered shows up in the trace.
+    #[cfg(feature = "checker")]
+    fn trace_access(&mut self, l: usize, kind: optpar_checker::AccessKind) {
+        let covered = self.space.owner_of(l) == Some(self.slot) && self.lockset.contains(&l);
+        self.trace.events.push(optpar_checker::TraceEvent::Access {
+            lock: l,
+            kind,
+            covered,
+        });
+    }
+
     /// Read `store[i]`, acquiring its lock if necessary.
     ///
     /// The returned reference borrows the context, so it cannot outlive
@@ -169,6 +213,8 @@ impl<'rt> TaskCtx<'rt> {
         self.lock_raw(l)?;
         self.enter_access()?;
         self.verify_owned(l)?;
+        #[cfg(feature = "checker")]
+        self.trace_access(l, optpar_checker::AccessKind::Read);
         // SAFETY: we hold the abstract lock of slot `i` (verified above)
         // and, having entered the access phase, it cannot be stolen;
         // the lock grants exclusive access, and the returned shared
@@ -198,6 +244,8 @@ impl<'rt> TaskCtx<'rt> {
         self.lock_raw(l)?;
         self.enter_access()?;
         self.verify_owned(l)?;
+        #[cfg(feature = "checker")]
+        self.trace_access(l, optpar_checker::AccessKind::Write);
         let ptr = store.slot_ptr(i);
         if !self.undo.iter().any(|u| u.lock == l) {
             // SAFETY: exclusive access as in `read`; we clone the
@@ -206,7 +254,7 @@ impl<'rt> TaskCtx<'rt> {
             let raw = SendPtr(ptr);
             self.undo.push(UndoEntry {
                 lock: l,
-                // SAFETY (deferred to call time): the restore closure
+                // SAFETY: deferred to call time — the restore closure
                 // runs during rollback, while this task still holds the
                 // lock of slot `i` (writes only happen under held,
                 // unstealable locks), so the store slot is exclusively
@@ -267,6 +315,14 @@ impl<'rt> TaskCtx<'rt> {
             .is_ok();
         if committed {
             self.undo.clear();
+            #[cfg(feature = "checker")]
+            {
+                self.trace.outcome = optpar_checker::Outcome::Committed;
+                self.space.audit().push_trace(std::mem::replace(
+                    &mut self.trace,
+                    optpar_checker::TaskTrace::new(self.slot, 0),
+                ));
+            }
             Some(std::mem::take(&mut self.lockset))
         } else {
             // Doomed between our last access and commit: this can only
@@ -285,6 +341,32 @@ impl<'rt> TaskCtx<'rt> {
         }
         lock::release_all(self.space, self.slot, &self.lockset);
         self.states[self.slot].store(state::ABORTED, Ordering::Release);
+        #[cfg(feature = "checker")]
+        {
+            self.trace.outcome = optpar_checker::Outcome::Aborted;
+            self.space.audit().push_trace(std::mem::replace(
+                &mut self.trace,
+                optpar_checker::TaskTrace::new(self.slot, 0),
+            ));
+        }
+    }
+
+    /// Mark this task's abort as operator-requested in the audit
+    /// trail, so the commit-set oracle does not expect it to commit.
+    #[cfg(feature = "checker")]
+    pub(crate) fn note_requested_abort(&mut self) {
+        self.trace
+            .events
+            .push(optpar_checker::TraceEvent::AbortRequested);
+    }
+
+    /// Deliberately buggy lock release for checker fault-injection
+    /// tests: frees the lock word *before* commit while keeping the
+    /// local lockset bookkeeping — exactly the "lost release" class of
+    /// bug the committed-exclusivity analysis exists to catch.
+    #[cfg(all(test, feature = "checker"))]
+    pub(crate) fn buggy_release_lock(&self, l: usize) {
+        lock::release_all(self.space, self.slot, &[l]);
     }
 }
 
@@ -448,6 +530,40 @@ mod tests {
         cx.finish_abort();
         let mut store = store;
         assert_eq!(*store.get_mut(0), 1, "requested abort must roll back");
+    }
+
+    /// Fault injection: a lost pre-commit lock release lets a second
+    /// task acquire, write, and commit on the same datum in the same
+    /// epoch. The runtime itself cannot see this (both tasks followed
+    /// the API); the committed-exclusivity analysis must.
+    #[cfg(feature = "checker")]
+    #[test]
+    fn seeded_lost_release_race_is_detected() {
+        use optpar_checker::{CheckerMode, Report};
+        let (space, states, r) = setup(1, 2);
+        space.audit().set_mode(CheckerMode::Collect);
+        space.audit().arm(false);
+        let store = SpecStore::filled(r, 1, 0u8);
+        let epoch = space.epoch();
+        let mut cx0 = TaskCtx::new(0, &space, &states, ConflictPolicy::FirstWins);
+        *cx0.write(&store, 0).unwrap() = 1;
+        // The seeded bug: the held lock leaks out before commit.
+        cx0.buggy_release_lock(r.lock_of(0));
+        assert!(cx0.finish_commit().is_some());
+        // Task 1 sneaks in on the leaked lock and also commits.
+        let mut cx1 = TaskCtx::new(1, &space, &states, ConflictPolicy::FirstWins);
+        *cx1.write(&store, 0).unwrap() = 2;
+        assert!(cx1.finish_commit().is_some());
+        space.audit().drain_round();
+        let reports = space.audit().take_reports();
+        assert!(
+            reports.iter().any(|rep| matches!(
+                rep,
+                Report::Race { lock: 0, epoch: e, pair }
+                    if *e == epoch && pair.0.slot == 0 && pair.1.slot == 1
+            )),
+            "expected a race on lock 0 naming tasks 0 and 1: {reports:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,23 @@
+//! Deliberately non-compliant fixture for xtask's lint tests. The
+//! workspace walk skips `fixtures/` directories, so this file is only
+//! ever seen by the tests that feed it to the engine directly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static HITS: AtomicUsize = AtomicUsize::new(0);
+
+pub fn bump() -> usize {
+    HITS.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn detach() {
+    std::thread::spawn(|| {});
+}
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

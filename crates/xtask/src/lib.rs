@@ -1,0 +1,549 @@
+//! Workspace concurrency-audit lint.
+//!
+//! The speculative runtime's correctness hangs on a handful of
+//! repo-wide disciplines that the compiler cannot enforce:
+//!
+//! 1. **Memory orderings** — `Ordering::Relaxed` is only permitted in
+//!    the two files whose protocols have been argued through
+//!    explicitly (`lock.rs`, `pool.rs`); everywhere else the stronger
+//!    default orderings must be used so the lock-word happens-before
+//!    edges are never accidentally weakened.
+//! 2. **`unsafe` annotations** — every `unsafe` token must be preceded
+//!    by a `// SAFETY:` comment stating the invariant it relies on.
+//! 3. **Thread creation** — all OS threads come from the persistent
+//!    [`WorkerPool`](../optpar_runtime/pool) (`pool.rs`); stray
+//!    `thread::spawn`/`thread::Builder` calls bypass its parking,
+//!    panic-propagation, and shutdown protocols. (Scoped helper
+//!    threads in `#[cfg(test)]` code use `thread::scope`, which the
+//!    rule deliberately does not match.)
+//! 4. **Timing discipline** — `Instant::now` is banned from the
+//!    round-critical files (`lock.rs`, `task.rs`, `store.rs`,
+//!    `exec.rs`): a syscall on the acquire path skews exactly the
+//!    conflict-ratio measurements the controller feeds on.
+//!
+//! The analysis is a layout-preserving lexical strip (comments,
+//! strings, and char literals blanked; nesting and escapes handled)
+//! followed by word-boundary pattern scans, so occurrences inside
+//! comments or string literals never trigger and identifiers such as
+//! `unsafe_op_in_unsafe_fn` never match the `unsafe` keyword.
+//!
+//! Run with `cargo run -p xtask -- lint`.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to use `Ordering::Relaxed`.
+const RELAXED_ALLOWLIST: &[&str] = &["crates/runtime/src/lock.rs", "crates/runtime/src/pool.rs"];
+
+/// Files allowed to create OS threads.
+const SPAWN_ALLOWLIST: &[&str] = &["crates/runtime/src/pool.rs"];
+
+/// Round-critical files in which `Instant::now` is banned.
+const INSTANT_BANLIST: &[&str] = &[
+    "crates/runtime/src/lock.rs",
+    "crates/runtime/src/task.rs",
+    "crates/runtime/src/store.rs",
+    "crates/runtime/src/exec.rs",
+];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-indexed line of the offending token.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.detail
+        )
+    }
+}
+
+/// Blank out comments, string literals, and char literals while
+/// preserving byte positions of everything else (newlines survive, so
+/// line numbers in the stripped text match the original).
+fn strip_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Rust block comments nest.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_string(b, &mut out, i, 0),
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (start, hashes) = raw_string_params(b, i);
+                // Copy the prefix (`r`, `br`, hashes) as-is; it is code.
+                for (k, o) in out.iter_mut().enumerate().take(start).skip(i) {
+                    *o = b[k];
+                }
+                i = skip_raw_string(b, &mut out, start, hashes);
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a lifetime is `'` followed
+                // by an identifier NOT closed by another `'`.
+                if is_char_literal(b, i) {
+                    out[i] = b'\'';
+                    i += 1;
+                    i = skip_char_literal(b, &mut out, i);
+                } else {
+                    out[i] = b'\'';
+                    i += 1;
+                }
+            }
+            c => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("stripping preserves UTF-8: multibyte chars are copied verbatim")
+}
+
+/// Skip a `"..."` literal starting at `i` (which indexes the quote).
+/// Returns the index just past the closing quote.
+fn skip_string(b: &[u8], out: &mut [u8], i: usize, _hashes: usize) -> usize {
+    out[i] = b'"';
+    let mut i = i + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if i + 1 < b.len() => {
+                i += 2;
+            }
+            b'"' => {
+                out[i] = b'"';
+                return i + 1;
+            }
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does a raw (byte) string literal start at `i`?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// For a raw string at `i`, return (index of the opening quote, hash
+/// count).
+fn raw_string_params(b: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j, hashes)
+}
+
+/// Skip a raw string whose opening quote is at `i`; the literal ends
+/// at `"` followed by `hashes` `#`s.
+fn skip_raw_string(b: &[u8], out: &mut [u8], i: usize, hashes: usize) -> usize {
+    out[i] = b'"';
+    let mut i = i + 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            out[i] = b'\n';
+            i += 1;
+        } else if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            out[i] = b'"';
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Is the `'` at `i` the start of a char literal (vs a lifetime)?
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    // `'\...'` is always a char; `'x'` is a char; `'ident` (no closing
+    // quote after one identifier char) is a lifetime.
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // `'x'` — closed after exactly one char (ASCII fast path; a
+    // multibyte char literal still ends with `'` within a few bytes).
+    for (off, &c) in b[i + 1..].iter().enumerate().take(5) {
+        if c == b'\'' {
+            return off > 0;
+        }
+        if off > 0 && c & 0x80 == 0 && !c.is_ascii_alphanumeric() && c != b'_' {
+            return false;
+        }
+    }
+    false
+}
+
+/// Blank out a char literal body; `i` indexes just past the opening
+/// quote. Returns the index just past the closing quote.
+fn skip_char_literal(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    let mut i = i;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if i + 1 < b.len() => i += 2,
+            b'\'' => {
+                out[i] = b'\'';
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Byte offset → 1-indexed line number.
+fn line_of(src: &str, offset: usize) -> usize {
+    src.as_bytes()[..offset]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// Word-boundary check: `pat` found at `pos` in `hay` must not be
+/// flanked by identifier characters.
+fn is_word_bounded(hay: &str, pos: usize, len: usize) -> bool {
+    let b = hay.as_bytes();
+    let before_ok = pos == 0 || {
+        let c = b[pos - 1];
+        !(c.is_ascii_alphanumeric() || c == b'_')
+    };
+    let after_ok = pos + len >= b.len() || {
+        let c = b[pos + len];
+        !(c.is_ascii_alphanumeric() || c == b'_')
+    };
+    before_ok && after_ok
+}
+
+/// All word-bounded occurrences of `pat` in `hay`, as byte offsets.
+fn find_all(hay: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(pat) {
+        let pos = from + p;
+        if is_word_bounded(hay, pos, pat.len()) {
+            out.push(pos);
+        }
+        from = pos + 1;
+    }
+    out
+}
+
+/// Does the `unsafe` token on 1-indexed line `ln` have a `// SAFETY:`
+/// comment on its own line or in the contiguous comment/attribute
+/// block above it?
+fn has_safety_comment(lines: &[&str], ln: usize) -> bool {
+    if lines[ln - 1].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = ln - 1; // 0-indexed line of the token; walk upward
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.is_empty() || t.starts_with("#[") || t.starts_with("#!") || t == ")]" {
+            continue;
+        }
+        if t.starts_with("//") || t.starts_with("/*") || t.starts_with('*') || t.ends_with("*/") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Lint one file's source. `rel` is its repo-relative path (forward
+/// slashes), which decides allowlist membership.
+pub fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
+    let stripped = strip_source(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+
+    if !RELAXED_ALLOWLIST.contains(&rel) {
+        for pos in find_all(&stripped, "Ordering::Relaxed") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line_of(src, pos),
+                rule: "relaxed-ordering",
+                detail: "Ordering::Relaxed outside the audited allowlist \
+                         (crates/runtime/src/{lock,pool}.rs); use Acquire/Release/AcqRel"
+                    .to_string(),
+            });
+        }
+    }
+
+    for pos in find_all(&stripped, "unsafe") {
+        let ln = line_of(src, pos);
+        if !has_safety_comment(&lines, ln) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: ln,
+                rule: "unsafe-without-safety",
+                detail: "`unsafe` without a `// SAFETY:` comment stating its invariant".to_string(),
+            });
+        }
+    }
+
+    if !SPAWN_ALLOWLIST.contains(&rel) {
+        for pat in ["thread::spawn", "thread::Builder"] {
+            for pos in find_all(&stripped, pat) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: line_of(src, pos),
+                    rule: "stray-thread-spawn",
+                    detail: format!(
+                        "{pat} outside crates/runtime/src/pool.rs; all OS threads \
+                         come from the WorkerPool"
+                    ),
+                });
+            }
+        }
+    }
+
+    if INSTANT_BANLIST.contains(&rel) {
+        for pos in find_all(&stripped, "Instant::now") {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: line_of(src, pos),
+                rule: "instant-in-round-path",
+                detail: "Instant::now in a round-critical file skews the measured \
+                         conflict ratio; time at round granularity in the driver instead"
+                    .to_string(),
+            });
+        }
+    }
+
+    out
+}
+
+/// Directories never descended into.
+fn skip_dir(name: &str) -> bool {
+    name == "target" || name == "vendor" || name == "fixtures" || name.starts_with('.')
+}
+
+/// Collect every `.rs` file under `root`, skipping `target/`,
+/// `vendor/`, `fixtures/`, and hidden directories.
+fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut stack = vec![root.to_path_buf()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Lint the whole workspace rooted at `root`. Returns all violations,
+/// sorted by file and line.
+pub fn lint_workspace(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for path in collect_rs_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(src) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        out.extend(lint_file(&rel, &src));
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(s) = std::fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = include_str!("../fixtures/bad.rs");
+
+    fn rules_of(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn fixture_trips_every_applicable_rule() {
+        let vs = lint_file("crates/xtask/fixtures/bad.rs", FIXTURE);
+        let rules = rules_of(&vs);
+        assert!(rules.contains(&"relaxed-ordering"), "{vs:?}");
+        assert!(rules.contains(&"unsafe-without-safety"), "{vs:?}");
+        assert!(rules.contains(&"stray-thread-spawn"), "{vs:?}");
+    }
+
+    #[test]
+    fn fixture_under_round_critical_path_trips_instant_rule() {
+        let vs = lint_file("crates/runtime/src/exec.rs", FIXTURE);
+        assert!(rules_of(&vs).contains(&"instant-in-round-path"), "{vs:?}");
+    }
+
+    #[test]
+    fn allowlisted_files_may_relax_and_spawn() {
+        let src = "fn f(x: &std::sync::atomic::AtomicUsize) { \
+                   x.load(Ordering::Relaxed); }";
+        assert!(lint_file("crates/runtime/src/lock.rs", src).is_empty());
+        let spawn = "fn g() { std::thread::Builder::new(); }";
+        assert!(lint_file("crates/runtime/src/pool.rs", spawn).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trigger() {
+        let src = r#"
+// Ordering::Relaxed in a comment is fine; so is unsafe.
+/* block comment: thread::spawn */
+fn f() -> &'static str {
+    "Ordering::Relaxed unsafe thread::spawn Instant::now"
+}
+"#;
+        assert!(lint_file("crates/runtime/src/exec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_keyword_matches_word_bounded_only() {
+        let src = "#![deny(unsafe_op_in_unsafe_fn)]\nfn f() {}\n";
+        assert!(lint_file("src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_covers_unsafe() {
+        let good = "// SAFETY: the pointer is valid for the call.\nunsafe fn f() {}\n";
+        assert!(lint_file("src/a.rs", good).is_empty());
+        // Through attributes and blank lines too.
+        let attr = "// SAFETY: exclusive.\n#[inline]\nunsafe fn g() {}\n";
+        assert!(lint_file("src/a.rs", attr).is_empty());
+        // Same-line trailing comment.
+        let inline = "let v = unsafe { *p }; // SAFETY: p is valid\n";
+        assert!(lint_file("src/a.rs", inline).is_empty());
+        let bad = "fn h() { let _ = unsafe { 1 }; }\n";
+        assert_eq!(
+            rules_of(&lint_file("src/a.rs", bad)),
+            vec!["unsafe-without-safety"]
+        );
+    }
+
+    #[test]
+    fn scoped_threads_are_not_spawns() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert!(lint_file("crates/runtime/src/exec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_derail_the_lexer() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let _c = 'x'; let _e = '\\n'; x }\n\
+                   fn g() { let _ = Ordering::Relaxed; }";
+        let vs = lint_file("crates/apps/src/foo.rs", src);
+        assert_eq!(rules_of(&vs), vec!["relaxed-ordering"]);
+        assert_eq!(vs[0].line, 2);
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root findable");
+        let vs = lint_workspace(&root);
+        assert!(
+            vs.is_empty(),
+            "workspace lint violations:\n{}",
+            vs.iter().map(|v| format!("  {v}\n")).collect::<String>()
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! `cargo run -p xtask -- lint [files...]`
+//!
+//! With no file arguments, lints every `.rs` file in the workspace
+//! (excluding `target/`, `vendor/`, and `fixtures/`). With arguments,
+//! lints exactly those files, resolving allowlists against their
+//! workspace-relative paths. Exits nonzero if any violation is found.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [files...]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(files: &[String]) -> ExitCode {
+    let cwd = std::env::current_dir().expect("current dir");
+    let Some(root) = xtask::find_workspace_root(&cwd) else {
+        eprintln!("xtask: no workspace root found above {}", cwd.display());
+        return ExitCode::from(2);
+    };
+
+    let violations = if files.is_empty() {
+        xtask::lint_workspace(&root)
+    } else {
+        let mut out = Vec::new();
+        for f in files {
+            let path = cwd.join(f);
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(Path::new(f))
+                .to_string_lossy()
+                .replace('\\', "/");
+            match std::fs::read_to_string(&path) {
+                Ok(src) => out.extend(xtask::lint_file(&rel, &src)),
+                Err(e) => {
+                    eprintln!("xtask: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        out
+    };
+
+    if violations.is_empty() {
+        println!("xtask lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
