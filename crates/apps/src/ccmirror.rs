@@ -110,6 +110,7 @@ mod tests {
             ExecutorConfig {
                 workers: 1,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(1);
@@ -141,6 +142,7 @@ mod tests {
             ExecutorConfig {
                 workers: 1,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         // Runtime estimate of r̄(m).
@@ -181,6 +183,7 @@ mod tests {
             ExecutorConfig {
                 workers: 4,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let m = 60;

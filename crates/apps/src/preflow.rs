@@ -314,6 +314,7 @@ mod tests {
             ExecutorConfig {
                 workers,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(seed);

@@ -100,7 +100,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
 
         let (space, op) = MisOp::new(g.clone());
-        let ex = Executor::new(&op, &space, ExecutorConfig { workers, policy: ConflictPolicy::FirstWins });
+        let ex = Executor::new(&op, &space, ExecutorConfig { workers, policy: ConflictPolicy::FirstWins, ..ExecutorConfig::default() });
         let mut ws = WorkSet::from_vec(op.initial_tasks());
         let mut guard = 0;
         while !ws.is_empty() {
@@ -112,7 +112,7 @@ proptest! {
         MisOp::validate(&g, &op.decisions()).unwrap();
 
         let (space, op) = ColoringOp::new(g.clone());
-        let ex = Executor::new(&op, &space, ExecutorConfig { workers, policy: ConflictPolicy::FirstWins });
+        let ex = Executor::new(&op, &space, ExecutorConfig { workers, policy: ConflictPolicy::FirstWins, ..ExecutorConfig::default() });
         let mut ws = WorkSet::from_vec(op.initial_tasks());
         while !ws.is_empty() {
             ex.run_round(&mut ws, m, &mut rng);
@@ -134,6 +134,7 @@ proptest! {
         let ex = Executor::new(&op, &space, ExecutorConfig {
             workers: 2,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         });
         let mut ws = WorkSet::from_vec(op.initial_tasks());
         let mut guard = 0;
@@ -158,6 +159,7 @@ proptest! {
         let ex = Executor::new(&op, &space, ExecutorConfig {
             workers: 2,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         });
         let mut ws = WorkSet::from_vec(op.initial_tasks());
         let mut guard = 0;
@@ -183,6 +185,7 @@ proptest! {
         let ex = Executor::new(&op, &space, ExecutorConfig {
             workers: 2,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         });
         let mut ws = WorkSet::from_vec(active);
         let mut guard = 0;
@@ -206,6 +209,7 @@ proptest! {
         let ex = Executor::new(&op, &space, ExecutorConfig {
             workers,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         });
         let mut ws = WorkSet::from_vec(op.initial_tasks());
         let mut guard = 0;

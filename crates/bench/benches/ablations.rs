@@ -29,7 +29,15 @@ fn bench_conflict_policy(c: &mut Criterion) {
         ("first_wins", ConflictPolicy::FirstWins),
         ("priority_wins", ConflictPolicy::PriorityWins),
     ] {
-        let ex = Executor::new(&op, &space, ExecutorConfig { workers: 4, policy });
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 4,
+                policy,
+                ..ExecutorConfig::default()
+            },
+        );
         group.bench_function(name, |b| {
             let mut rng = StdRng::seed_from_u64(12);
             b.iter(|| {

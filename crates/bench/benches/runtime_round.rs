@@ -31,6 +31,7 @@ fn bench_round(c: &mut Criterion) {
                 ExecutorConfig {
                     workers,
                     policy: ConflictPolicy::FirstWins,
+                    ..ExecutorConfig::default()
                 },
             );
             group.bench_with_input(BenchmarkId::new(format!("w{workers}"), m), &m, |b, &m| {

@@ -51,6 +51,7 @@ fn main() {
             ExecutorConfig {
                 workers,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(SEED + 1);
@@ -73,6 +74,7 @@ fn main() {
             ExecutorConfig {
                 workers,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(SEED + 1);
@@ -95,6 +97,7 @@ fn main() {
             ExecutorConfig {
                 workers,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(SEED + 2);
@@ -119,6 +122,7 @@ fn main() {
             ExecutorConfig {
                 workers,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut rng = StdRng::seed_from_u64(SEED + 2);

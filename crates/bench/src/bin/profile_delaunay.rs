@@ -42,6 +42,7 @@ fn main() {
         ExecutorConfig {
             workers: 1, // oracle measurement wants the model's exact rule
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         },
     );
     let mut ws = WorkSet::from_vec(tasks);

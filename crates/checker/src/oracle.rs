@@ -59,7 +59,10 @@ pub fn audit_sequential_round(traces: &[TaskTrace]) -> Option<Report> {
                 TraceEvent::Acquired { lock } => requested.push(*lock),
                 TraceEvent::Conflicted { lock, .. } => requested.push(*lock),
                 TraceEvent::Access { .. } => {}
-                TraceEvent::AbortRequested => self_abort = true,
+                // Requested aborts are the application's call; faults
+                // (contained panics, injected aborts) are acts of god.
+                // Neither is the greedy rule's jurisdiction.
+                TraceEvent::AbortRequested | TraceEvent::Faulted => self_abort = true,
             }
         }
         let expected_kill = requested
@@ -244,6 +247,18 @@ mod tests {
                 vec![TraceEvent::Conflicted { lock: 1, holder: 0 }],
             ),
             trace(2, Outcome::Committed, vec![acq(2), acq(3)]),
+        ];
+        assert_eq!(audit_sequential_round(&ts), None);
+    }
+
+    #[test]
+    fn faulted_task_is_excused() {
+        // Slot 1 aborted with no committed predecessor holding its
+        // locks — normally a missing commit — but it faulted (panic
+        // contained by the runtime), which excuses the abort.
+        let ts = vec![
+            trace(0, Outcome::Committed, vec![acq(0)]),
+            trace(1, Outcome::Aborted, vec![acq(4), TraceEvent::Faulted]),
         ];
         assert_eq!(audit_sequential_round(&ts), None);
     }

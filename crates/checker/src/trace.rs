@@ -56,6 +56,11 @@ pub enum TraceEvent {
     /// validation failed). The commit-set oracle must not expect this
     /// task to commit, conflict-free or not.
     AbortRequested,
+    /// The task faulted: its operator panicked (and was contained by
+    /// the runtime) or a fault-injection plan fired on it. Like
+    /// [`TraceEvent::AbortRequested`], the abort is outside the greedy
+    /// rule's jurisdiction — the oracle must excuse it.
+    Faulted,
 }
 
 /// How a task finished its round.

@@ -25,12 +25,14 @@
 //! are recycled, so slot indices carry no priority meaning.
 
 use crate::exec::{Executor, WorkSet};
+use crate::faults::{recover, TaskFault};
 use crate::lock::{state, ConflictPolicy};
 use crate::stats::{RoundStats, RunStats};
-use crate::task::{Operator, TaskCtx};
+use crate::task::{Abort, Operator, TaskCtx};
 use optpar_core::control::Controller;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -39,6 +41,9 @@ use std::sync::Mutex;
 struct Counters {
     committed: AtomicUsize,
     aborted: AtomicUsize,
+    /// Contained operator panics and injected faults (disjoint from
+    /// `aborted`, mirroring [`RoundStats::faulted`]).
+    faulted: AtomicUsize,
 }
 
 impl<O: Operator> Executor<'_, O> {
@@ -88,33 +93,43 @@ impl<O: Operator> Executor<'_, O> {
             ctl: &'c mut C,
             last_committed: usize,
             last_aborted: usize,
+            last_faulted: usize,
             rounds: Vec<RoundStats>,
         }
         let winstate = Mutex::new(WindowState {
             ctl,
             last_committed: 0,
             last_aborted: 0,
+            last_faulted: 0,
             rounds: Vec::new(),
         });
         let flush = |ws_: &mut WindowState<'_, C>| {
             let c = counters.committed.load(Ordering::Acquire);
             let a = counters.aborted.load(Ordering::Acquire);
+            let f = counters.faulted.load(Ordering::Acquire);
             let dc = c - ws_.last_committed;
             let da = a - ws_.last_aborted;
-            let launched = dc + da;
+            let df = f - ws_.last_faulted;
+            let launched = dc + da + df;
             if launched == 0 {
                 return;
             }
             ws_.last_committed = c;
             ws_.last_aborted = a;
+            ws_.last_faulted = f;
             let m = target.load(Ordering::Acquire);
-            ws_.ctl.observe(da as f64 / launched as f64, launched);
+            // The controller observes retry pressure — aborts plus
+            // faults — so a fault storm shrinks the in-flight budget
+            // exactly like a conflict storm.
+            ws_.ctl
+                .observe((da + df) as f64 / launched as f64, launched);
             target.store(ws_.ctl.current_m(), Ordering::Release);
             ws_.rounds.push(RoundStats {
                 m,
                 launched,
                 committed: dc,
                 aborted: da,
+                faulted: df,
                 spawned: 0,
                 lock_acquires: 0,
             });
@@ -138,7 +153,7 @@ impl<O: Operator> Executor<'_, O> {
                 }
                 // Draw a uniformly random pending task.
                 let task = {
-                    let mut q = shared_ws.lock().expect("workset lock");
+                    let mut q = recover(shared_ws.lock());
                     let batch = q.sample_drain(1, &mut wrng);
                     batch.into_iter().next()
                 };
@@ -156,25 +171,69 @@ impl<O: Operator> Executor<'_, O> {
                 // Use the worker index as the (recycled) slot.
                 states[w].store(state::ACQUIRING, Ordering::Release);
                 let mut cx = TaskCtx::new(w, self.space(), &states, ConflictPolicy::FirstWins);
-                let outcome = self.op().execute(&task, &mut cx);
+                #[cfg(feature = "faults")]
+                if let Some(plan) = self.fault_plan() {
+                    cx.arm_fault(plan, self.space().epoch());
+                }
+                // Contain operator panics exactly like the round
+                // executor: roll back, release, re-queue, keep the
+                // worker.
+                let outcome = catch_unwind(AssertUnwindSafe(|| self.op().execute(&task, &mut cx)));
                 let aborted = match outcome {
-                    Ok(spawned) => {
-                        // Commit releases immediately in
-                        // continuous mode (no barrier).
-                        let lockset = cx.finish_commit().expect("first-wins cannot be doomed");
-                        crate::lock::release_all(self.space(), w, &lockset);
-                        counters.committed.fetch_add(1, Ordering::AcqRel);
-                        if !spawned.is_empty() {
-                            let mut q = shared_ws.lock().expect("workset lock");
-                            q.extend(spawned);
+                    Ok(Ok(spawned)) => match cx.finish_commit() {
+                        Some(lockset) => {
+                            // Commit releases immediately in
+                            // continuous mode (no barrier).
+                            crate::lock::release_all(self.space(), w, &lockset);
+                            counters.committed.fetch_add(1, Ordering::AcqRel);
+                            if !spawned.is_empty() {
+                                let mut q = recover(shared_ws.lock());
+                                q.extend(spawned);
+                            }
+                            false
                         }
-                        false
-                    }
-                    Err(_abort) => {
+                        None => {
+                            // First-wins tasks cannot be doomed, so
+                            // this is unreachable — but book it as an
+                            // abort rather than crashing the worker.
+                            counters.aborted.fetch_add(1, Ordering::AcqRel);
+                            recover(shared_ws.lock()).push(task);
+                            true
+                        }
+                    },
+                    Ok(Err(abort)) => {
+                        #[cfg(feature = "checker")]
+                        if matches!(abort, Abort::Fault) {
+                            cx.note_fault();
+                        }
                         cx.finish_abort();
-                        counters.aborted.fetch_add(1, Ordering::AcqRel);
-                        let mut q = shared_ws.lock().expect("workset lock");
-                        q.push(task);
+                        if matches!(abort, Abort::Fault) {
+                            counters.faulted.fetch_add(1, Ordering::AcqRel);
+                            self.log_fault(TaskFault {
+                                epoch: self.space().epoch(),
+                                slot: Some(w),
+                                cause: crate::faults::FaultCause::Injected,
+                                detail: "injected spurious abort".to_string(),
+                            });
+                        } else {
+                            counters.aborted.fetch_add(1, Ordering::AcqRel);
+                        }
+                        recover(shared_ws.lock()).push(task);
+                        true
+                    }
+                    Err(payload) => {
+                        #[cfg(feature = "checker")]
+                        cx.note_fault();
+                        cx.finish_abort();
+                        counters.faulted.fetch_add(1, Ordering::AcqRel);
+                        let (cause, detail) = crate::faults::classify_panic(payload.as_ref());
+                        self.log_fault(TaskFault {
+                            epoch: self.space().epoch(),
+                            slot: Some(w),
+                            cause,
+                            detail,
+                        });
+                        recover(shared_ws.lock()).push(task);
                         true
                     }
                 };
@@ -183,7 +242,7 @@ impl<O: Operator> Executor<'_, O> {
                 // The worker crossing a window boundary flushes
                 // the window to the controller.
                 if fin.is_multiple_of(window) {
-                    let mut st = winstate.lock().expect("window lock");
+                    let mut st = recover(winstate.lock());
                     flush(&mut st);
                 }
                 if fin >= max_completions {
@@ -207,11 +266,11 @@ impl<O: Operator> Executor<'_, O> {
             None => worker(0),
         }
         // Flush the final partial window.
-        let mut st = winstate.into_inner().expect("window lock");
+        let mut st = recover(winstate.into_inner());
         flush(&mut st);
         let run = RunStats { rounds: st.rounds };
         debug_assert!(self.space().check_all_free().is_ok());
-        *ws = shared_ws.into_inner().expect("workset lock");
+        *ws = recover(shared_ws.into_inner());
         run
     }
 }
@@ -255,6 +314,7 @@ mod tests {
             ExecutorConfig {
                 workers: 4,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
@@ -281,6 +341,7 @@ mod tests {
             ExecutorConfig {
                 workers: 3,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
@@ -309,6 +370,7 @@ mod tests {
             ExecutorConfig {
                 workers: 2,
                 policy: ConflictPolicy::PriorityWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut ws = WorkSet::from_vec(vec![0usize]);
@@ -333,6 +395,7 @@ mod tests {
             ExecutorConfig {
                 workers: 1,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
@@ -341,6 +404,71 @@ mod tests {
         let run = ex.run_continuous(&mut ws, &mut ctl, 16, 1_000_000, &mut rng);
         assert_eq!(run.total_committed(), n);
         assert_eq!(run.total_aborted(), 0, "no overlap, no conflicts");
+    }
+
+    /// Ring operator that panics exactly once, on first sight of
+    /// task 7.
+    struct PanicOnceRing<'s> {
+        store: &'s SpecStore<i64>,
+        n: usize,
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl Operator for PanicOnceRing<'_> {
+        type Task = usize;
+        fn execute(&self, &i: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            if i == 7 && self.armed.swap(false, Ordering::AcqRel) {
+                panic!("continuous op blew up on task 7");
+            }
+            let j = (i + 1) % self.n;
+            *cx.write(self.store, i)? += 1;
+            *cx.write(self.store, j)? -= 1;
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn continuous_contains_operator_panics() {
+        let n = 64;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = PanicOnceRing {
+            store: &store,
+            n,
+            armed: std::sync::atomic::AtomicBool::new(true),
+        };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 4,
+                policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(8);
+        let mut rng = StdRng::seed_from_u64(17);
+        let run = ex.run_continuous(&mut ws, &mut ctl, 16, 1_000_000, &mut rng);
+        assert!(ws.is_empty());
+        assert_eq!(
+            run.total_committed(),
+            n,
+            "the panicked task was re-queued and committed"
+        );
+        assert_eq!(run.total_faulted(), 1);
+        assert_eq!(ex.fault_count(), 1);
+        let faults = ex.take_faults();
+        assert!(faults[0].detail.contains("continuous op blew up"));
+        assert_eq!(ex.worker_panics(), 0, "the panic never reached the pool");
+        assert!(
+            space.check_all_free().is_ok(),
+            "faulted locks were released"
+        );
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
     }
 }
 
@@ -378,6 +506,7 @@ mod stress_tests {
             ExecutorConfig {
                 workers: 4,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let n = 200;

@@ -34,6 +34,7 @@
 //! spawn-threads-every-round implementation as a baseline for
 //! benchmarks and differential tests.
 
+use crate::faults::{FaultCause, FaultLog, TaskFault};
 use crate::lock::{state, ConflictPolicy, LockSpace};
 use crate::pool::WorkerPool;
 use crate::stats::{RoundStats, RunStats};
@@ -41,37 +42,81 @@ use crate::task::{Operator, TaskCtx};
 use optpar_core::control::Controller;
 use rand::Rng;
 use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// One pending task plus its retry bookkeeping.
+#[derive(Clone, Debug)]
+pub(crate) struct Entry<T> {
+    /// The task itself.
+    pub(crate) task: T,
+    /// Rounds this task has aborted or faulted so far.
+    pub(crate) retries: u32,
+    /// Monotone enqueue stamp (kept across re-queues): among equally
+    /// aged tasks, the oldest enqueue wins the front of the prefix,
+    /// so aging degenerates to FIFO and no aged task can be overtaken
+    /// forever.
+    pub(crate) seq: u64,
+}
 
 /// The pending-task multiset (the paper's work-set).
 ///
 /// Uniform random sampling without replacement is O(m) via partial
-/// Fisher-Yates over the tail of the backing vector.
+/// Fisher-Yates over the tail of the backing vector. Each task also
+/// carries a retry counter (bumped by the executor on abort/fault)
+/// feeding the starvation-avoidance aging in
+/// [`Executor::run_round`].
 #[derive(Clone, Debug, Default)]
 pub struct WorkSet<T> {
-    tasks: Vec<T>,
+    tasks: Vec<Entry<T>>,
+    next_seq: u64,
 }
 
 impl<T> WorkSet<T> {
     /// An empty work-set.
     pub fn new() -> Self {
-        WorkSet { tasks: Vec::new() }
+        WorkSet {
+            tasks: Vec::new(),
+            next_seq: 0,
+        }
     }
 
     /// Wrap an existing task list.
     pub fn from_vec(tasks: Vec<T>) -> Self {
-        WorkSet { tasks }
+        let mut ws = WorkSet::new();
+        ws.extend(tasks);
+        ws
     }
 
     /// Add one task.
     pub fn push(&mut self, t: T) {
-        self.tasks.push(t);
+        self.push_with_retries(t, 0);
+    }
+
+    /// Add one task with a pre-set retry count (test/benchmark hook
+    /// for exercising the aging path without replaying the aborts).
+    pub fn push_with_retries(&mut self, t: T, retries: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.tasks.push(Entry {
+            task: t,
+            retries,
+            seq,
+        });
+    }
+
+    /// Re-queue an entry, preserving its retry count and enqueue
+    /// stamp.
+    pub(crate) fn push_entry(&mut self, e: Entry<T>) {
+        self.tasks.push(e);
     }
 
     /// Add many tasks.
     pub fn extend<I: IntoIterator<Item = T>>(&mut self, it: I) {
-        self.tasks.extend(it);
+        for t in it {
+            self.push(t);
+        }
     }
 
     /// Pending task count.
@@ -84,14 +129,19 @@ impl<T> WorkSet<T> {
         self.tasks.is_empty()
     }
 
-    /// Remove and return `min(m, len)` tasks drawn uniformly at random;
-    /// the returned order is the commit-priority order.
+    /// The largest retry count among pending tasks (0 when empty).
+    pub fn max_retries(&self) -> u32 {
+        self.tasks.iter().map(|e| e.retries).max().unwrap_or(0)
+    }
+
+    /// Core of the sampler: remove `min(m, len)` entries drawn
+    /// uniformly at random, in draw (= commit-priority) order.
     ///
     /// O(m) regardless of the work-set size: the i-th draw swaps a
     /// uniform pick from the surviving prefix into position `n-1-i`,
     /// then the sampled tail is split off — no front-drain shifting
     /// the entire remainder.
-    pub fn sample_drain<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> Vec<T> {
+    fn draw_entries<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> Vec<Entry<T>> {
         let n = self.tasks.len();
         let m = m.min(n);
         for i in 0..m {
@@ -112,6 +162,48 @@ impl<T> WorkSet<T> {
         batch.reverse();
         batch
     }
+
+    /// Remove and return `min(m, len)` tasks drawn uniformly at random;
+    /// the returned order is the commit-priority order. This public
+    /// sampler is pure-uniform (no retry aging): the executor applies
+    /// aging via [`WorkSet::sample_drain_aged`] so the distributional
+    /// contract here — pinned by the chi-squared tests — never shifts.
+    pub fn sample_drain<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> Vec<T> {
+        self.draw_entries(m, rng)
+            .into_iter()
+            .map(|e| e.task)
+            .collect()
+    }
+
+    /// Draw like [`WorkSet::sample_drain`], then apply starvation
+    /// avoidance: every drawn task with `retries >= budget` is moved
+    /// (stably) to the front of the prefix, most-retried first, ties
+    /// broken oldest-enqueue-first. The front of a round's prefix is
+    /// greedy-MIS-winning by construction — under sequential
+    /// execution it *always* commits — so an aged task commits within
+    /// one drawn round. When no drawn task has crossed the budget the
+    /// batch is bit-identical to the uniform draw (same RNG words,
+    /// same order).
+    pub(crate) fn sample_drain_aged<R: Rng + ?Sized>(
+        &mut self,
+        m: usize,
+        rng: &mut R,
+        budget: u32,
+    ) -> Vec<Entry<T>> {
+        let mut batch = self.draw_entries(m, rng);
+        if budget != u32::MAX && batch.iter().any(|e| e.retries >= budget) {
+            batch.sort_by_key(|e| {
+                if e.retries >= budget {
+                    (0u8, u32::MAX - e.retries, e.seq)
+                } else {
+                    // Equal keys: the stable sort preserves draw order
+                    // for everything under budget.
+                    (1u8, 0, 0)
+                }
+            });
+        }
+        batch
+    }
 }
 
 /// Executor configuration.
@@ -121,6 +213,18 @@ pub struct ExecutorConfig {
     pub workers: usize,
     /// Conflict arbitration policy.
     pub policy: ConflictPolicy,
+    /// Abort-retry budget `K`: a task aborted/faulted at least this
+    /// many times is aged to the front of the next drawn prefix,
+    /// where the greedy commit rule guarantees it wins (starvation
+    /// avoidance). `u32::MAX` disables aging.
+    pub retry_budget: u32,
+    /// Round watchdog threshold `T`: after this many consecutive
+    /// zero-commit (but non-empty) rounds,
+    /// [`Executor::run_with_controller`] overrides the controller and
+    /// halves `m` each further stalled round, down to `m = 1` where
+    /// Prop. 1 gives `r̄(1) = 0` and forward progress. `u32::MAX`
+    /// disables the watchdog.
+    pub watchdog_stall: u32,
 }
 
 impl Default for ExecutorConfig {
@@ -130,6 +234,8 @@ impl Default for ExecutorConfig {
                 .map(|n| n.get())
                 .unwrap_or(1),
             policy: ConflictPolicy::FirstWins,
+            retry_budget: 8,
+            watchdog_stall: 4,
         }
     }
 }
@@ -147,6 +253,12 @@ pub struct Executor<'a, O: Operator> {
     /// demand, reset per round). Behind a mutex so `run_round` can
     /// take `&self`; rounds on one executor are serialized anyway.
     scratch: Mutex<Vec<AtomicU8>>,
+    /// Structured record of every contained fault (operator panics,
+    /// injected faults, poisoned mutexes, lost result slots).
+    faults: Mutex<FaultLog>,
+    /// Deterministic fault-injection plan (feature `faults`).
+    #[cfg(feature = "faults")]
+    fault_plan: Option<&'a crate::faults::FaultPlan>,
 }
 
 impl<O: Operator> std::fmt::Debug for Executor<'_, O> {
@@ -163,8 +275,21 @@ impl<O: Operator> std::fmt::Debug for Executor<'_, O> {
 /// carried here: they stay stamped in the lock space until the round's
 /// epoch bump expires them wholesale.
 enum TaskResult<T> {
-    Committed { spawned: Vec<T>, acquires: usize },
-    Aborted { acquires: usize },
+    Committed {
+        spawned: Vec<T>,
+        acquires: usize,
+    },
+    Aborted {
+        acquires: usize,
+    },
+    /// The task faulted (contained panic, injected fault, or lost
+    /// result slot): rolled back and re-queued like an abort, but
+    /// booked separately and logged. Boxed so the rare fault arm does
+    /// not inflate every result slot on the fault-free path.
+    Faulted {
+        fault: Box<TaskFault>,
+        acquires: usize,
+    },
 }
 
 /// One pre-indexed result cell. Each cell is written by exactly one
@@ -189,12 +314,52 @@ impl<'a, O: Operator> Executor<'a, O> {
             cfg,
             pool,
             scratch: Mutex::new(Vec::new()),
+            faults: Mutex::new(FaultLog::default()),
+            #[cfg(feature = "faults")]
+            fault_plan: None,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> ExecutorConfig {
         self.cfg
+    }
+
+    /// Install a deterministic fault-injection plan: every subsequent
+    /// round consults it per launched task (and per round, for
+    /// scratch poisoning).
+    #[cfg(feature = "faults")]
+    pub fn set_fault_plan(&mut self, plan: &'a crate::faults::FaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// Total faults contained since construction (monotone; surviving
+    /// a drain of [`Executor::take_faults`]).
+    pub fn fault_count(&self) -> usize {
+        crate::faults::recover(self.faults.lock()).total()
+    }
+
+    /// Drain and return the structured fault log.
+    pub fn take_faults(&self) -> Vec<TaskFault> {
+        crate::faults::recover(self.faults.lock()).drain()
+    }
+
+    /// Record one contained fault.
+    pub(crate) fn log_fault(&self, fault: TaskFault) {
+        crate::faults::recover(self.faults.lock()).push(fault);
+    }
+
+    /// Worker threads still alive in the pool (`None` for inline
+    /// execution, which has no threads). Panic containment keeps this
+    /// at `workers` even under injected panics.
+    pub fn live_workers(&self) -> Option<usize> {
+        self.pool.as_ref().map(WorkerPool::live_workers)
+    }
+
+    /// Worker-level job panics that escaped the per-task containment
+    /// (should stay 0: operator panics are caught inside the round).
+    pub fn worker_panics(&self) -> u64 {
+        self.pool.as_ref().map_or(0, WorkerPool::job_panics)
     }
 
     /// The lock space this executor arbitrates over.
@@ -212,14 +377,39 @@ impl<'a, O: Operator> Executor<'a, O> {
         self.pool.as_ref()
     }
 
+    /// The installed fault-injection plan, if any.
+    #[cfg(feature = "faults")]
+    pub(crate) fn fault_plan(&self) -> Option<&'a crate::faults::FaultPlan> {
+        self.fault_plan
+    }
+
     /// Run one round launching up to `m` tasks from `ws`.
+    ///
+    /// Tasks whose retry count has reached
+    /// [`ExecutorConfig::retry_budget`] are aged to the front of the
+    /// drawn prefix (greedy-MIS-winning by construction), so no task
+    /// starves under an adversarial conflict pattern.
     pub fn run_round<R: Rng + ?Sized>(
         &self,
         ws: &mut WorkSet<O::Task>,
         m: usize,
         rng: &mut R,
     ) -> RoundStats {
-        let batch = ws.sample_drain(m, rng);
+        #[cfg(feature = "faults")]
+        if let Some(plan) = self.fault_plan {
+            if plan.take_scratch_poison(self.space.epoch()) {
+                // Poison the scratch mutex by panicking while holding
+                // its guard; the catch keeps the unwind out of this
+                // round, which must then recover below.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let _guard = self.scratch.lock();
+                    std::panic::panic_any(crate::faults::InjectedPanic(
+                        "injected scratch-mutex poison".to_string(),
+                    ));
+                }));
+            }
+        }
+        let batch = ws.sample_drain_aged(m, rng, self.cfg.retry_budget);
         let launched = batch.len();
         if launched == 0 {
             return RoundStats {
@@ -229,7 +419,23 @@ impl<'a, O: Operator> Executor<'a, O> {
         }
         // Slot indices must fit the 32-bit owner field of a lock word.
         assert!(launched < u32::MAX as usize, "round too large");
-        let mut scratch = self.scratch.lock().expect("executor scratch");
+        let mut scratch = match self.scratch.lock() {
+            Ok(g) => g,
+            Err(poisoned) => {
+                // Poisoned: a panic escaped while the guard was held.
+                // The buffer is rewritten below before any use, so the
+                // data is consistent; log the fault, clear the flag so
+                // later rounds lock cleanly, and continue.
+                self.scratch.clear_poison();
+                self.log_fault(TaskFault {
+                    epoch: self.space.epoch(),
+                    slot: None,
+                    cause: FaultCause::PoisonedScratch,
+                    detail: "scratch mutex poisoned; recovered and reset".to_string(),
+                });
+                poisoned.into_inner()
+            }
+        };
         if scratch.len() < launched {
             scratch.resize_with(launched, || AtomicU8::new(state::ACQUIRING));
         }
@@ -248,14 +454,13 @@ impl<'a, O: Operator> Executor<'a, O> {
         #[cfg(feature = "checker")]
         self.space.audit().arm(self.cfg.workers == 1);
 
-        let results: Vec<TaskResult<O::Task>> = if self.cfg.workers == 1 {
-            batch
+        let results: Vec<TaskResult<O::Task>> = match self.pool.as_ref() {
+            Some(pool) if self.cfg.workers > 1 => self.run_parallel(pool, &batch, states),
+            _ => batch
                 .iter()
                 .enumerate()
-                .map(|(slot, t)| self.run_task(slot, t, states))
-                .collect()
-        } else {
-            self.run_parallel(&batch, states)
+                .map(|(slot, e)| self.run_task(slot, &e.task, states))
+                .collect(),
         };
         drop(scratch);
 
@@ -273,7 +478,7 @@ impl<'a, O: Operator> Executor<'a, O> {
         m: usize,
         rng: &mut R,
     ) -> RoundStats {
-        let batch = ws.sample_drain(m, rng);
+        let batch = ws.sample_drain_aged(m, rng, self.cfg.retry_budget);
         let launched = batch.len();
         if launched == 0 {
             return RoundStats {
@@ -293,14 +498,16 @@ impl<'a, O: Operator> Executor<'a, O> {
             batch
                 .iter()
                 .enumerate()
-                .map(|(slot, t)| self.run_task(slot, t, &states))
+                .map(|(slot, e)| self.run_task(slot, &e.task, &states))
                 .collect()
         } else {
             let next = AtomicUsize::new(0);
             let workers = self.cfg.workers.min(launched);
-            let batch = &batch;
+            let batch_ref = &batch;
             let states = &states;
-            let mut pairs: Vec<(usize, TaskResult<O::Task>)> = std::thread::scope(|s| {
+            let mut filled: Vec<Option<TaskResult<O::Task>>> = Vec::new();
+            filled.resize_with(launched, || None);
+            std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let next = &next;
@@ -308,23 +515,33 @@ impl<'a, O: Operator> Executor<'a, O> {
                             let mut local = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::AcqRel);
-                                if i >= batch.len() {
+                                if i >= batch_ref.len() {
                                     break;
                                 }
-                                local.push((i, self.run_task(i, &batch[i], states)));
+                                local.push((i, self.run_task(i, &batch_ref[i].task, states)));
                             }
                             local
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
+                for h in handles {
+                    // Operator panics are contained inside run_task, so
+                    // a join error means the runtime itself panicked on
+                    // that worker. Swallow the loss; the worker's
+                    // claimed slots fault below instead of tearing the
+                    // round down.
+                    if let Ok(local) = h.join() {
+                        for (i, r) in local {
+                            filled[i] = Some(r);
+                        }
+                    }
+                }
             });
-            pairs.sort_unstable_by_key(|&(i, _)| i);
-            debug_assert_eq!(pairs.len(), batch.len());
-            pairs.into_iter().map(|(_, r)| r).collect()
+            filled
+                .into_iter()
+                .enumerate()
+                .map(|(slot, r)| r.unwrap_or_else(|| self.missing_result(slot)))
+                .collect()
         };
 
         self.merge_round(ws, m, batch, results)
@@ -337,7 +554,7 @@ impl<'a, O: Operator> Executor<'a, O> {
         &self,
         ws: &mut WorkSet<O::Task>,
         m: usize,
-        batch: Vec<O::Task>,
+        batch: Vec<Entry<O::Task>>,
         results: Vec<TaskResult<O::Task>>,
     ) -> RoundStats {
         let mut stats = RoundStats {
@@ -345,7 +562,7 @@ impl<'a, O: Operator> Executor<'a, O> {
             launched: batch.len(),
             ..RoundStats::default()
         };
-        for (task, result) in batch.into_iter().zip(results) {
+        for (entry, result) in batch.into_iter().zip(results) {
             match result {
                 TaskResult::Committed { spawned, acquires } => {
                     stats.committed += 1;
@@ -356,7 +573,21 @@ impl<'a, O: Operator> Executor<'a, O> {
                 TaskResult::Aborted { acquires } => {
                     stats.aborted += 1;
                     stats.lock_acquires += acquires;
-                    ws.push(task); // retry in a later round
+                    // Retry in a later round, one step closer to the
+                    // aging threshold.
+                    ws.push_entry(Entry {
+                        retries: entry.retries.saturating_add(1),
+                        ..entry
+                    });
+                }
+                TaskResult::Faulted { fault, acquires } => {
+                    stats.faulted += 1;
+                    stats.lock_acquires += acquires;
+                    self.log_fault(*fault);
+                    ws.push_entry(Entry {
+                        retries: entry.retries.saturating_add(1),
+                        ..entry
+                    });
                 }
             }
         }
@@ -371,6 +602,16 @@ impl<'a, O: Operator> Executor<'a, O> {
 
     /// Drive the executor with a controller until the work-set drains
     /// (or `max_rounds` elapse).
+    ///
+    /// The controller observes [`RoundStats::pressure_ratio`] —
+    /// aborts *plus* faults over launched — so a fault storm shrinks
+    /// `m` exactly like a conflict storm (identical to the old
+    /// conflict-ratio feed when nothing faults). Independently, a
+    /// round watchdog counts consecutive zero-commit rounds; past
+    /// [`ExecutorConfig::watchdog_stall`] it overrides the controller
+    /// and halves `m` each further stalled round down to 1, where
+    /// Prop. 1 (`r̄(1) = 0`) guarantees the head task commits and
+    /// progress resumes.
     pub fn run_with_controller<C: Controller, R: Rng + ?Sized>(
         &self,
         ws: &mut WorkSet<O::Task>,
@@ -379,22 +620,48 @@ impl<'a, O: Operator> Executor<'a, O> {
         rng: &mut R,
     ) -> RunStats {
         let mut run = RunStats::default();
+        let mut stalled: u32 = 0;
         for _ in 0..max_rounds {
             if ws.is_empty() {
                 break;
             }
-            let m = ctl.current_m();
+            let mut m = ctl.current_m();
+            if stalled >= self.cfg.watchdog_stall {
+                let excess = (stalled - self.cfg.watchdog_stall)
+                    .saturating_add(1)
+                    .min(63);
+                m = (m >> excess).max(1);
+            }
             let rs = self.run_round(ws, m, rng);
-            ctl.observe(rs.conflict_ratio(), rs.launched);
+            stalled = if rs.launched > 0 && rs.committed == 0 {
+                stalled.saturating_add(1)
+            } else {
+                0
+            };
+            ctl.observe(rs.pressure_ratio(), rs.launched);
             run.rounds.push(rs);
         }
         run
     }
 
+    /// Run one task to completion under panic containment.
+    ///
+    /// The operator call is wrapped in `catch_unwind`: a panicking
+    /// operator (or a fired injected panic) is converted into a
+    /// structured [`TaskResult::Faulted`] — its undo log is replayed
+    /// and its locks released exactly like an abort, the worker thread
+    /// survives, and the round continues. The rollback is always sound
+    /// because `TaskCtx` snapshots a slot *before* handing out the
+    /// `&mut`, so the undo log is complete at every possible unwind
+    /// point.
     fn run_task(&self, slot: usize, task: &O::Task, states: &[AtomicU8]) -> TaskResult<O::Task> {
         let mut cx = TaskCtx::new(slot, self.space, states, self.cfg.policy);
-        match self.op.execute(task, &mut cx) {
-            Ok(spawned) => {
+        #[cfg(feature = "faults")]
+        if let Some(plan) = self.fault_plan {
+            cx.arm_fault(plan, self.space.epoch());
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.op.execute(task, &mut cx))) {
+            Ok(Ok(spawned)) => {
                 let acquires = cx.acquires;
                 match cx.finish_commit() {
                     // The committed lockset stays stamped in the lock
@@ -403,22 +670,81 @@ impl<'a, O: Operator> Executor<'a, O> {
                     None => TaskResult::Aborted { acquires },
                 }
             }
-            Err(_abort) => {
+            Ok(Err(abort)) => {
                 #[cfg(feature = "checker")]
-                if matches!(_abort, crate::task::Abort::Requested) {
-                    cx.note_requested_abort();
+                {
+                    if matches!(abort, crate::task::Abort::Requested) {
+                        cx.note_requested_abort();
+                    }
+                    if matches!(abort, crate::task::Abort::Fault) {
+                        cx.note_fault();
+                    }
                 }
                 let acquires = cx.acquires;
+                let faulted = matches!(abort, crate::task::Abort::Fault);
                 cx.finish_abort();
-                TaskResult::Aborted { acquires }
+                if faulted {
+                    TaskResult::Faulted {
+                        fault: Box::new(TaskFault {
+                            epoch: self.space.epoch(),
+                            slot: Some(slot),
+                            cause: FaultCause::Injected,
+                            detail: "injected spurious abort".to_string(),
+                        }),
+                        acquires,
+                    }
+                } else {
+                    TaskResult::Aborted { acquires }
+                }
             }
+            Err(payload) => {
+                // The operator panicked (or an injected panic fired).
+                // Contain it: roll back, release locks, keep the worker.
+                #[cfg(feature = "checker")]
+                cx.note_fault();
+                let acquires = cx.acquires;
+                cx.finish_abort();
+                let (cause, detail) = crate::faults::classify_panic(payload.as_ref());
+                TaskResult::Faulted {
+                    fault: Box::new(TaskFault {
+                        epoch: self.space.epoch(),
+                        slot: Some(slot),
+                        cause,
+                        detail,
+                    }),
+                    acquires,
+                }
+            }
+        }
+    }
+
+    /// Fault record for a result slot no worker wrote: the claiming
+    /// worker died between claiming the index and storing the outcome
+    /// (a runtime-level panic — operator panics never get this far).
+    /// The slot's locks expire at the round's epoch bump, so booking
+    /// it as a fault and re-queuing keeps the round accounting exact
+    /// (`launched = committed + aborted + faulted`) instead of tearing
+    /// the round down.
+    fn missing_result(&self, slot: usize) -> TaskResult<O::Task> {
+        TaskResult::Faulted {
+            fault: Box::new(TaskFault {
+                epoch: self.space.epoch(),
+                slot: Some(slot),
+                cause: FaultCause::MissingResult,
+                detail: "worker lost before writing its result slot".to_string(),
+            }),
+            acquires: 0,
         }
     }
 
     /// Dispatch one round onto the persistent pool: chunked index
     /// claiming, results into pre-indexed slots (no sort).
-    fn run_parallel(&self, batch: &[O::Task], states: &[AtomicU8]) -> Vec<TaskResult<O::Task>> {
-        let pool = self.pool.as_ref().expect("workers > 1 implies a pool");
+    fn run_parallel(
+        &self,
+        pool: &WorkerPool,
+        batch: &[Entry<O::Task>],
+        states: &[AtomicU8],
+    ) -> Vec<TaskResult<O::Task>> {
         let n = batch.len();
         // Chunked claiming: ~8 chunks per worker balances the tail
         // (large final chunks straggle) against counter contention
@@ -434,7 +760,7 @@ impl<'a, O: Operator> Executor<'a, O> {
             }
             let end = (start + chunk).min(n);
             for i in start..end {
-                let r = self.run_task(i, &batch[i], states);
+                let r = self.run_task(i, &batch[i].task, states);
                 // SAFETY: index `i` belongs to exactly one claimed
                 // chunk, so this cell has a single writer; readers wait
                 // for the rendezvous below.
@@ -444,7 +770,11 @@ impl<'a, O: Operator> Executor<'a, O> {
         pool.run(&job);
         slots
             .into_iter()
-            .map(|s| s.0.into_inner().expect("every claimed slot was written"))
+            .enumerate()
+            .map(|(slot, s)| {
+                s.0.into_inner()
+                    .unwrap_or_else(|| self.missing_result(slot))
+            })
             .collect()
     }
 }
@@ -532,6 +862,7 @@ mod tests {
             ExecutorConfig {
                 workers: 1,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
@@ -564,6 +895,7 @@ mod tests {
             ExecutorConfig {
                 workers: 8,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
@@ -592,6 +924,7 @@ mod tests {
             ExecutorConfig {
                 workers: 8,
                 policy: ConflictPolicy::PriorityWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
@@ -620,6 +953,7 @@ mod tests {
             ExecutorConfig {
                 workers: 4,
                 policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
             },
         );
         let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
@@ -804,5 +1138,230 @@ mod tests {
         assert!(rng.words >= 4);
         perm.sort_unstable();
         assert_eq!(perm, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// Operator that panics exactly once (on task `13`, first sight),
+    /// then behaves like [`RingOp`].
+    struct PanicOnceOp<'s> {
+        store: &'s SpecStore<i64>,
+        n: usize,
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl Operator for PanicOnceOp<'_> {
+        type Task = usize;
+
+        fn execute(&self, &i: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            if i == 13 && self.armed.swap(false, Ordering::AcqRel) {
+                panic!("op blew up on task 13");
+            }
+            let j = (i + 1) % self.n;
+            *cx.write(self.store, i)? += 1;
+            *cx.write(self.store, j)? -= 1;
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn operator_panic_is_contained_sequentially() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let n = 16;
+        let (space, r) = ring_setup(n);
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = PanicOnceOp {
+            store: &store,
+            n,
+            armed: std::sync::atomic::AtomicBool::new(true),
+        };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 1,
+                policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut committed = 0;
+        let mut faulted = 0;
+        while !ws.is_empty() {
+            let rs = ex.run_round(&mut ws, 8, &mut rng);
+            assert_eq!(rs.launched, rs.committed + rs.aborted + rs.faulted);
+            committed += rs.committed;
+            faulted += rs.faulted;
+        }
+        assert_eq!(
+            committed, n,
+            "the panicked task was re-queued and committed"
+        );
+        assert_eq!(faulted, 1);
+        assert_eq!(ex.fault_count(), 1);
+        let faults = ex.take_faults();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].cause, FaultCause::OperatorPanic);
+        assert!(faults[0].detail.contains("op blew up on task 13"));
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+        assert!(
+            space.check_all_free().is_ok(),
+            "faulted locks were released"
+        );
+    }
+
+    #[test]
+    fn operator_panic_keeps_workers_alive() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 64;
+        let (space, r) = ring_setup(n);
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = PanicOnceOp {
+            store: &store,
+            n,
+            armed: std::sync::atomic::AtomicBool::new(true),
+        };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 4,
+                policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut committed = 0;
+        while !ws.is_empty() {
+            committed += ex.run_round(&mut ws, 16, &mut rng).committed;
+        }
+        assert_eq!(committed, n);
+        assert_eq!(ex.fault_count(), 1);
+        assert_eq!(
+            ex.live_workers(),
+            Some(4),
+            "panic containment keeps every pool thread alive"
+        );
+        assert_eq!(ex.worker_panics(), 0, "no panic escaped to the pool layer");
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+    }
+
+    /// Adversarial clique: every task writes the same slot, so exactly
+    /// one task commits per round and the draw decides which.
+    struct CliqueOp<'s> {
+        store: &'s SpecStore<i64>,
+    }
+
+    impl Operator for CliqueOp<'_> {
+        type Task = usize;
+
+        fn execute(&self, &i: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            *cx.write(self.store, 0)? = i as i64;
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn aged_task_leads_the_prefix_and_commits() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (space, r) = ring_setup(1);
+        let store = SpecStore::filled(r, 1, -1i64);
+        let op = CliqueOp { store: &store };
+        let budget = 8;
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 1,
+                policy: ConflictPolicy::FirstWins,
+                retry_budget: budget,
+                ..ExecutorConfig::default()
+            },
+        );
+        // Seven attackers enqueued before the victim, so neither seq
+        // order nor the draw favors it — only aging does.
+        let mut ws = WorkSet::new();
+        for i in 1..8usize {
+            ws.push(i);
+        }
+        ws.push_with_retries(42, budget);
+        let rs = ex.run_round(&mut ws, 8, &mut rng);
+        assert_eq!(rs.launched, 8);
+        assert_eq!(rs.committed, 1, "a clique commits exactly one task");
+        let mut store = store;
+        assert_eq!(
+            store.snapshot()[0],
+            42,
+            "the aged victim led the prefix and won the round"
+        );
+    }
+
+    #[test]
+    fn watchdog_shrinks_m_to_one_under_stall() {
+        // An operator that never commits: every execution requests an
+        // abort, so every round is a zero-commit round.
+        struct NeverOp;
+        impl Operator for NeverOp {
+            type Task = usize;
+            fn execute(&self, _: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+                cx.abort_requested()?;
+                Ok(vec![])
+            }
+        }
+        let (space, _r) = ring_setup(1);
+        let op = NeverOp;
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 1,
+                policy: ConflictPolicy::FirstWins,
+                watchdog_stall: 2,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..64usize).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(64);
+        let mut rng = StdRng::seed_from_u64(24);
+        let run = ex.run_with_controller(&mut ws, &mut ctl, 16, &mut rng);
+        let ms = run.m_series();
+        assert_eq!(ms[0], 64, "watchdog is quiet before the stall threshold");
+        assert_eq!(ms[1], 64);
+        assert!(
+            ms.contains(&1),
+            "sustained zero-commit rounds must drive m to 1, got {ms:?}"
+        );
+        // Once at 1 the override holds while the stall persists.
+        assert_eq!(*ms.last().expect("rounds ran"), 1);
+        assert_eq!(run.total_committed(), 0);
+    }
+
+    #[test]
+    fn disabled_watchdog_never_overrides() {
+        struct NeverOp;
+        impl Operator for NeverOp {
+            type Task = usize;
+            fn execute(&self, _: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+                cx.abort_requested()?;
+                Ok(vec![])
+            }
+        }
+        let (space, _r) = ring_setup(1);
+        let op = NeverOp;
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 1,
+                policy: ConflictPolicy::FirstWins,
+                watchdog_stall: u32::MAX,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..8usize).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(8);
+        let mut rng = StdRng::seed_from_u64(25);
+        let run = ex.run_with_controller(&mut ws, &mut ctl, 12, &mut rng);
+        assert!(run.m_series().iter().all(|&m| m == 8));
     }
 }

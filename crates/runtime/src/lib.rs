@@ -28,6 +28,14 @@
 //!   rolls back losers, re-queues them, and reports the realized
 //!   conflict ratio to a processor-allocation
 //!   [`Controller`](optpar_core::control::Controller).
+//! * [`faults`] — fault tolerance: operator panics are contained per
+//!   task (`catch_unwind` → structured [`faults::TaskFault`], rollback,
+//!   re-queue — the worker thread survives), with a deterministic
+//!   seeded fault-injection plan behind the `faults` feature. Aborted
+//!   or faulted tasks age toward the front of the drawn prefix after
+//!   [`exec::ExecutorConfig::retry_budget`] retries, so no task
+//!   starves; a round watchdog shrinks `m` toward 1 under sustained
+//!   zero-commit stalls.
 //!
 //! ## Execution model
 //!
@@ -53,6 +61,7 @@
 pub mod arena;
 pub mod continuous;
 pub mod exec;
+pub mod faults;
 pub mod lock;
 pub mod pool;
 pub mod stats;
@@ -66,6 +75,9 @@ pub use optpar_checker as checker;
 
 pub use arena::AppendArena;
 pub use exec::{Executor, ExecutorConfig, WorkSet};
+pub use faults::{FaultCause, FaultLog, TaskFault};
+#[cfg(feature = "faults")]
+pub use faults::{FaultKind, FaultPlan, FaultRecord};
 pub use lock::{ConflictPolicy, LockSpace, Region};
 pub use pool::WorkerPool;
 pub use stats::{RoundStats, RunStats};

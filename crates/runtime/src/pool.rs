@@ -18,13 +18,28 @@
 //! stopped holding the pointer; the borrow therefore strictly outlives
 //! every dereference, exactly as with `std::thread::scope`.
 //!
+//! ## Fault tolerance
+//!
 //! A panic inside a job is caught on the worker (so the pool survives
-//! and the round's rendezvous still completes) and re-raised on the
-//! submitting thread.
+//! and the round's rendezvous still completes), counted in
+//! [`WorkerPool::job_panics`], and re-raised on the submitting thread.
+//! The executor's per-task containment means operator panics never
+//! reach this layer; a nonzero count here indicates a panic in the
+//! runtime itself. Teardown is bounded: [`WorkerPool::shutdown`] waits
+//! at most a caller-chosen timeout for workers to reach the shutdown
+//! barrier, then detaches (and names) any worker that missed it
+//! instead of hanging the owner forever.
 
+use crate::faults::recover;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default bound on how long [`WorkerPool`]'s `Drop` waits for the
+/// shutdown barrier before detaching wedged workers.
+const DEFAULT_SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Type-erased job pointer shipped to workers. The pointee is only
 /// dereferenced while [`WorkerPool::run`] is blocked, which keeps the
@@ -46,6 +61,10 @@ struct PoolState {
     remaining: usize,
     /// A worker's job invocation panicked; re-raised by `run`.
     panicked: bool,
+    /// Total job invocations that panicked over the pool's lifetime.
+    job_panics: u64,
+    /// Worker threads that have not yet exited their loop.
+    alive: usize,
     shutdown: bool,
 }
 
@@ -55,13 +74,20 @@ struct Shared {
     work_cv: Condvar,
     /// `run` parks here until the rendezvous completes.
     done_cv: Condvar,
+    /// `exited[w]` flips to true as worker `w` leaves its loop — the
+    /// signal that joining its handle is bounded (the thread function
+    /// has returned or is in its final instructions).
+    exited: Box<[AtomicBool]>,
 }
 
 /// A fixed-size pool of parked worker threads (see module docs).
 pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: usize,
-    handles: Vec<JoinHandle<()>>,
+    /// `None` once the worker has been joined or detached. Behind a
+    /// mutex so [`WorkerPool::shutdown`] can take `&self` (callable
+    /// while another thread is blocked in [`WorkerPool::run`]).
+    handles: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -82,30 +108,51 @@ impl WorkerPool {
                 job: None,
                 remaining: 0,
                 panicked: false,
+                job_panics: 0,
+                alive: workers,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            exited: (0..workers).map(|_| AtomicBool::new(false)).collect(),
         });
         let handles = (0..workers)
             .map(|w| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                let h = std::thread::Builder::new()
                     .name(format!("optpar-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
-                    .expect("spawn pool worker")
+                    .spawn(move || worker_loop(&shared, w));
+                match h {
+                    Ok(h) => Some(h),
+                    Err(e) => panic!("failed to spawn pool worker {w}: {e}"),
+                }
             })
             .collect();
         WorkerPool {
             shared,
             workers,
-            handles,
+            handles: Mutex::new(handles),
         }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Worker threads still running their loop. Stays at
+    /// [`WorkerPool::workers`] for the pool's whole life (job panics
+    /// are contained on the worker); drops to 0 across a clean
+    /// shutdown.
+    pub fn live_workers(&self) -> usize {
+        recover(self.shared.state.lock()).alive
+    }
+
+    /// Total job invocations that panicked since the pool was built.
+    /// The executor contains operator panics per task, so a nonzero
+    /// count here means the *runtime* panicked inside a job.
+    pub fn job_panics(&self) -> u64 {
+        recover(self.shared.state.lock()).job_panics
     }
 
     /// Run `job(w)` once on every worker `w ∈ 0..workers`, blocking
@@ -126,10 +173,10 @@ impl WorkerPool {
                 *const (dyn Fn(usize) + Sync + 'static),
             >(ptr)
         });
-        let mut st = self.shared.state.lock().expect("pool state");
+        let mut st = recover(self.shared.state.lock());
         // Serialize with any in-flight submission.
         while st.job.is_some() {
-            st = self.shared.done_cv.wait(st).expect("pool state");
+            st = recover(self.shared.done_cv.wait(st));
         }
         st.job = Some(job);
         st.seq += 1;
@@ -138,9 +185,9 @@ impl WorkerPool {
         drop(st);
         self.shared.work_cv.notify_all();
 
-        let mut st = self.shared.state.lock().expect("pool state");
+        let mut st = recover(self.shared.state.lock());
         while st.remaining > 0 {
-            st = self.shared.done_cv.wait(st).expect("pool state");
+            st = recover(self.shared.done_cv.wait(st));
         }
         st.job = None;
         let panicked = st.panicked;
@@ -151,18 +198,53 @@ impl WorkerPool {
             panic!("worker pool job panicked");
         }
     }
+
+    /// Tear the pool down, waiting at most `timeout` for every worker
+    /// to reach the shutdown barrier. Workers that made it are joined;
+    /// any that did not (wedged in a non-terminating job) are named on
+    /// stderr, detached, and returned by index. Idempotent: a second
+    /// call finds no handles left and returns an empty list.
+    pub fn shutdown(&self, timeout: Duration) -> Vec<usize> {
+        {
+            let mut st = recover(self.shared.state.lock());
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+
+        let deadline = Instant::now() + timeout;
+        let mut st = recover(self.shared.state.lock());
+        while st.alive > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, _timed_out) = recover(self.shared.done_cv.wait_timeout(st, deadline - now));
+            st = g;
+        }
+        drop(st);
+
+        let mut wedged = Vec::new();
+        let mut handles = recover(self.handles.lock());
+        for (w, slot) in handles.iter_mut().enumerate() {
+            let Some(h) = slot.take() else { continue };
+            if self.shared.exited[w].load(Ordering::Acquire) {
+                // The worker has left its loop; the join is bounded.
+                let _ = h.join();
+            } else {
+                eprintln!(
+                    "optpar-worker-{w} missed the shutdown barrier after {timeout:?}; detaching"
+                );
+                wedged.push(w);
+                drop(h); // detach
+            }
+        }
+        wedged
+    }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().expect("pool state");
-            st.shutdown = true;
-        }
-        self.shared.work_cv.notify_all();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        let _ = self.shutdown(DEFAULT_SHUTDOWN_TIMEOUT);
     }
 }
 
@@ -170,26 +252,36 @@ fn worker_loop(shared: &Shared, w: usize) {
     let mut seen = 0u64;
     loop {
         let job = {
-            let mut st = shared.state.lock().expect("pool state");
+            let mut st = recover(shared.state.lock());
             loop {
-                if st.shutdown {
-                    return;
-                }
+                // A published-but-unseen job takes priority over the
+                // shutdown flag: `run` has already counted this worker
+                // into the rendezvous, so exiting here would strand the
+                // submitter forever. Shutdown is honored once no unseen
+                // job is pending.
                 if st.seq != seen {
                     if let Some(job) = st.job {
                         seen = st.seq;
                         break job;
                     }
                 }
-                st = shared.work_cv.wait(st).expect("pool state");
+                if st.shutdown {
+                    st.alive -= 1;
+                    drop(st);
+                    shared.exited[w].store(true, Ordering::Release);
+                    shared.done_cv.notify_all();
+                    return;
+                }
+                st = recover(shared.work_cv.wait(st));
             }
         };
         // SAFETY: `run` keeps the pointee alive until the rendezvous
         // below completes (module docs).
         let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(w) }));
-        let mut st = shared.state.lock().expect("pool state");
+        let mut st = recover(shared.state.lock());
         if outcome.is_err() {
             st.panicked = true;
+            st.job_panics += 1;
         }
         st.remaining -= 1;
         if st.remaining == 0 {
@@ -252,6 +344,8 @@ mod tests {
         };
         let caught = catch_unwind(AssertUnwindSafe(|| pool.run(&bad)));
         assert!(caught.is_err(), "panic must propagate to the submitter");
+        assert_eq!(pool.job_panics(), 1);
+        assert_eq!(pool.live_workers(), 2, "the worker thread itself survives");
         // The pool must still be usable afterwards.
         let ok = AtomicUsize::new(0);
         let good = |_w: usize| {
@@ -265,6 +359,63 @@ mod tests {
     fn drop_joins_parked_workers() {
         let pool = WorkerPool::new(4);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn clean_shutdown_joins_everyone() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.live_workers(), 4);
+        let wedged = pool.shutdown(Duration::from_secs(5));
+        assert!(wedged.is_empty());
+        assert_eq!(pool.live_workers(), 0);
+        // Idempotent.
+        assert!(pool.shutdown(Duration::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn bounded_shutdown_detaches_a_wedged_worker() {
+        let pool = WorkerPool::new(2);
+        let release = Arc::new(AtomicBool::new(false));
+        let wedged_release = Arc::clone(&release);
+        // Worker 0 spins until released — it will miss a short
+        // shutdown deadline; worker 1 finishes immediately and parks.
+        let job = move |w: usize| {
+            if w == 0 {
+                while !wedged_release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+        };
+        std::thread::scope(|s| {
+            let pool_ref = &pool;
+            let job_ref = &job;
+            // run() blocks on the wedged worker, so submit from a
+            // helper thread.
+            let submit = s.spawn(move || pool_ref.run(job_ref));
+            // Wait until only the wedged worker is still in the job.
+            loop {
+                if recover(pool_ref.shared.state.lock()).remaining == 1 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            let wedged = pool_ref.shutdown(Duration::from_millis(50));
+            assert_eq!(wedged, vec![0], "the spinning worker is named");
+            assert_eq!(
+                pool_ref.live_workers(),
+                1,
+                "the parked worker exited; the wedged one is detached but alive"
+            );
+            // Release the wedge so the rendezvous (and the detached
+            // worker) can finish and the scope can close.
+            release.store(true, Ordering::Release);
+            let _ = submit.join();
+        });
+        // The detached worker sees the shutdown flag after its job and
+        // exits on its own; wait for it so nothing leaks past the test.
+        while pool.live_workers() > 0 {
+            std::thread::yield_now();
+        }
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub struct RoundStats {
     pub committed: usize,
     /// Tasks that aborted (and were re-queued).
     pub aborted: usize,
+    /// Tasks that faulted — contained operator panics, injected
+    /// faults, lost result slots — and were re-queued. Disjoint from
+    /// `aborted`: `launched = committed + aborted + faulted`.
+    pub faulted: usize,
     /// New tasks spawned by committed work.
     pub spawned: usize,
     /// Abstract-lock acquisitions across all tasks.
@@ -20,12 +24,36 @@ pub struct RoundStats {
 
 impl RoundStats {
     /// Realized conflict ratio `r = aborted / launched` (0 when
-    /// nothing was launched).
+    /// nothing was launched). Faults are excluded: they measure
+    /// operator health, not lock contention.
     pub fn conflict_ratio(&self) -> f64 {
         if self.launched == 0 {
             0.0
         } else {
             self.aborted as f64 / self.launched as f64
+        }
+    }
+
+    /// Retry pressure `(aborted + faulted) / launched`: the fraction
+    /// of launched work that must be re-run, whatever the reason.
+    /// This is what the processor-allocation controller observes —
+    /// a fault storm should shrink `m` exactly like a conflict storm
+    /// (equal to [`RoundStats::conflict_ratio`] when nothing faults,
+    /// so the fault-free control loop is unchanged).
+    pub fn pressure_ratio(&self) -> f64 {
+        if self.launched == 0 {
+            0.0
+        } else {
+            (self.aborted + self.faulted) as f64 / self.launched as f64
+        }
+    }
+
+    /// Realized fault ratio `faulted / launched`.
+    pub fn fault_ratio(&self) -> f64 {
+        if self.launched == 0 {
+            0.0
+        } else {
+            self.faulted as f64 / self.launched as f64
         }
     }
 }
@@ -51,6 +79,12 @@ impl RunStats {
     /// Total aborts over the run (= work wasted).
     pub fn total_aborted(&self) -> usize {
         self.rounds.iter().map(|r| r.aborted).sum()
+    }
+
+    /// Total faults over the run (contained panics, injected faults,
+    /// lost result slots).
+    pub fn total_faulted(&self) -> usize {
+        self.rounds.iter().map(|r| r.faulted).sum()
     }
 
     /// Number of rounds executed.
@@ -103,6 +137,7 @@ mod tests {
             launched,
             committed,
             aborted: launched - committed,
+            faulted: 0,
             spawned,
             lock_acquires: 0,
         }
@@ -113,6 +148,25 @@ mod tests {
         let r = round(10, 10, 7, 2);
         assert!((r.conflict_ratio() - 0.3).abs() < 1e-12);
         assert_eq!(RoundStats::default().conflict_ratio(), 0.0);
+    }
+
+    #[test]
+    fn pressure_includes_faults() {
+        let mut r = round(10, 10, 7, 0);
+        assert_eq!(
+            r.pressure_ratio(),
+            r.conflict_ratio(),
+            "fault-free pressure equals the conflict ratio"
+        );
+        // Re-book one abort and one commit as faults.
+        r.aborted -= 1;
+        r.committed -= 1;
+        r.faulted += 2;
+        assert!((r.conflict_ratio() - 0.2).abs() < 1e-12);
+        assert!((r.fault_ratio() - 0.2).abs() < 1e-12);
+        assert!((r.pressure_ratio() - 0.4).abs() < 1e-12);
+        assert_eq!(RoundStats::default().pressure_ratio(), 0.0);
+        assert_eq!(RoundStats::default().fault_ratio(), 0.0);
     }
 
     #[test]

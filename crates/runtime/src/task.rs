@@ -35,6 +35,10 @@ pub enum Abort {
     Doomed,
     /// The operator itself requested an abort-and-retry.
     Requested,
+    /// An injected fault fired on this task (spurious-abort kind,
+    /// feature `faults`). The executor books it as a fault, not a
+    /// conflict, and re-queues the task with its retry count bumped.
+    Fault,
 }
 
 impl From<AcquireError> for Abort {
@@ -85,6 +89,11 @@ pub struct TaskCtx<'rt> {
     /// in the space's sink when the task finishes.
     #[cfg(feature = "checker")]
     trace: optpar_checker::TaskTrace,
+    /// An injected fault waiting to fire (armed by the executor from
+    /// its [`FaultPlan`](crate::faults::FaultPlan), ticked down on
+    /// every context operation).
+    #[cfg(feature = "faults")]
+    inject: Option<crate::faults::ArmedFault<'rt>>,
 }
 
 impl std::fmt::Debug for TaskCtx<'_> {
@@ -117,6 +126,41 @@ impl<'rt> TaskCtx<'rt> {
             acquires: 0,
             #[cfg(feature = "checker")]
             trace: optpar_checker::TaskTrace::new(slot, space.epoch()),
+            #[cfg(feature = "faults")]
+            inject: None,
+        }
+    }
+
+    /// Arm this context with the fault (if any) the plan draws for its
+    /// `(epoch, slot)` coordinate.
+    #[cfg(feature = "faults")]
+    pub(crate) fn arm_fault(&mut self, plan: &'rt crate::faults::FaultPlan, epoch: u64) {
+        if let Some((kind, countdown)) = plan.draw(epoch, self.slot) {
+            self.inject = Some(crate::faults::ArmedFault {
+                plan,
+                epoch,
+                kind,
+                countdown,
+            });
+        }
+    }
+
+    /// Tick the armed fault (one context operation elapsed); fires it
+    /// when the countdown reaches zero. A fired panic unwinds out of
+    /// here and is contained by the executor; a fired spurious abort
+    /// returns `Err(Abort::Fault)`; a delay spins and continues.
+    #[cfg(feature = "faults")]
+    fn tick_fault(&mut self) -> Result<(), Abort> {
+        match self.inject.as_mut() {
+            None => Ok(()),
+            Some(armed) if armed.countdown > 0 => {
+                armed.countdown -= 1;
+                Ok(())
+            }
+            Some(_) => match self.inject.take() {
+                Some(armed) => armed.fire(self.slot),
+                None => Ok(()),
+            },
         }
     }
 
@@ -136,6 +180,10 @@ impl<'rt> TaskCtx<'rt> {
 
     /// Acquire a raw lock index.
     pub fn lock_raw(&mut self, l: usize) -> Result<(), Abort> {
+        // Every lock/read/write/alloc funnels through here, so this is
+        // where an armed injected fault ticks toward firing.
+        #[cfg(feature = "faults")]
+        self.tick_fault()?;
         match lock::acquire(self.space, self.states, self.policy, self.slot, l) {
             Ok(true) => {
                 self.lockset.push(l);
@@ -358,6 +406,13 @@ impl<'rt> TaskCtx<'rt> {
         self.trace
             .events
             .push(optpar_checker::TraceEvent::AbortRequested);
+    }
+
+    /// Mark this task as faulted (contained panic or injected fault)
+    /// in the audit trail, so the commit-set oracle excuses its abort.
+    #[cfg(feature = "checker")]
+    pub(crate) fn note_fault(&mut self) {
+        self.trace.events.push(optpar_checker::TraceEvent::Faulted);
     }
 
     /// Deliberately buggy lock release for checker fault-injection

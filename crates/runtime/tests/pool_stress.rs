@@ -52,7 +52,15 @@ fn drain_pooled(
     let (space, r) = setup(n);
     let store = SpecStore::filled(r, n, 0i64);
     let op = WeightedRing { store: &store, n };
-    let ex = Executor::new(&op, &space, ExecutorConfig { workers, policy });
+    let ex = Executor::new(
+        &op,
+        &space,
+        ExecutorConfig {
+            workers,
+            policy,
+            ..ExecutorConfig::default()
+        },
+    );
     let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
     let mut rng = StdRng::seed_from_u64(seed);
     let mut commits = 0;
@@ -122,6 +130,7 @@ fn scoped_baseline_matches_pooled_totals() {
         ExecutorConfig {
             workers: 4,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         },
     );
     let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
@@ -168,6 +177,7 @@ fn pool_reuse_across_many_small_rounds() {
         ExecutorConfig {
             workers: 4,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         },
     );
     let hops = 200u32;

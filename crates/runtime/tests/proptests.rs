@@ -49,6 +49,7 @@ proptest! {
         let ex = Executor::new(&op, &space, ExecutorConfig {
             workers: 1,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         });
         let mut ws = WorkSet::from_vec(vec![(writes.clone(), abort)]);
         let mut rng = StdRng::seed_from_u64(1);
@@ -114,6 +115,7 @@ proptest! {
         let ex = Executor::new(&op, &space, ExecutorConfig {
             workers,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         });
         let tasks: Vec<Script> = scripts.iter().cloned().map(|w| (w, false)).collect();
         let n = tasks.len();
@@ -139,6 +141,52 @@ proptest! {
         prop_assert_eq!(store.snapshot(), expected);
     }
 
+    /// Starvation avoidance on an adversarial clique: every task
+    /// contends on one lock, so each round commits exactly one task
+    /// and aborts the rest — the worst case for a random draw order.
+    /// The victim (enqueued first, so it wins FIFO ties among aged
+    /// tasks) must commit within `K + 1` rounds for retry budget `K`:
+    /// either the draw favours it early, or after `K` aborts it is
+    /// aged to the front of the prefix, where the greedy commit rule
+    /// guarantees it wins.
+    #[test]
+    fn clique_victim_commits_within_budget_plus_one_rounds(
+        attackers in 1usize..10,
+        budget in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let mut b = LockSpace::builder();
+        let r = b.region(2);
+        let space = b.build();
+        let store = SpecStore::filled(r, 2, 0i64);
+        let op = ScriptOp { store: &store };
+        let ex = Executor::new(&op, &space, ExecutorConfig {
+            workers: 1,
+            policy: ConflictPolicy::FirstWins,
+            retry_budget: budget,
+            ..ExecutorConfig::default()
+        });
+        let mut ws = WorkSet::new();
+        // The victim writes a marker slot nobody else touches; the
+        // attackers only contend on slot 0.
+        ws.push((vec![(0, 1), (1, 1)], false));
+        for _ in 0..attackers {
+            ws.push((vec![(0, 1)], false));
+        }
+        let m = attackers + 1; // everyone is drawn every round
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..budget + 1 {
+            if ws.is_empty() {
+                break; // everyone (victim included) already committed
+            }
+            let rs = ex.run_round(&mut ws, m, &mut rng);
+            prop_assert_eq!(rs.launched, rs.committed + rs.aborted);
+            prop_assert_eq!(rs.committed, 1, "clique commits exactly one per round");
+        }
+        let mut store = store;
+        prop_assert_eq!(store.snapshot()[1], 1, "victim starved past K+1 rounds");
+    }
+
     /// Priority-wins policy drains to the same serializable result.
     #[test]
     fn priority_policy_serializable(
@@ -156,6 +204,7 @@ proptest! {
         let ex = Executor::new(&op, &space, ExecutorConfig {
             workers: 2,
             policy: ConflictPolicy::PriorityWins,
+            ..ExecutorConfig::default()
         });
         let tasks: Vec<Script> = scripts.iter().cloned().map(|w| (w, false)).collect();
         let mut ws = WorkSet::from_vec(tasks);

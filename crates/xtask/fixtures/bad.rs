@@ -21,3 +21,7 @@ pub fn detach() {
 pub fn stamp() -> std::time::Instant {
     std::time::Instant::now()
 }
+
+pub fn brittle(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -20,6 +20,13 @@
 //!    round-critical files (`lock.rs`, `task.rs`, `store.rs`,
 //!    `exec.rs`): a syscall on the acquire path skews exactly the
 //!    conflict-ratio measurements the controller feeds on.
+//! 5. **Panic discipline** — `.unwrap()` / `.expect(` are banned from
+//!    the round-critical runtime modules (non-test code): fault
+//!    containment promises that a worker survives any task failure,
+//!    which only holds if runtime-internal errors are recovered
+//!    (`faults::recover`) or surfaced as structured aborts rather
+//!    than allowed to panic past the containment boundary. Inline
+//!    `#[cfg(test)]` modules are exempt.
 //!
 //! The analysis is a layout-preserving lexical strip (comments,
 //! strings, and char literals blanked; nesting and escapes handled)
@@ -44,6 +51,22 @@ const INSTANT_BANLIST: &[&str] = &[
     "crates/runtime/src/task.rs",
     "crates/runtime/src/store.rs",
     "crates/runtime/src/exec.rs",
+];
+
+/// Round-critical runtime modules in which `.unwrap()` / `.expect(`
+/// are banned outside `#[cfg(test)]` code: a panic on these paths
+/// kills a pool worker mid-round, and fault containment depends on
+/// every fallible acquisition going through structured recovery
+/// (`faults::recover` for poisoned mutexes, `Abort` for task-level
+/// failures).
+const UNWRAP_BANLIST: &[&str] = &[
+    "crates/runtime/src/lock.rs",
+    "crates/runtime/src/task.rs",
+    "crates/runtime/src/store.rs",
+    "crates/runtime/src/exec.rs",
+    "crates/runtime/src/pool.rs",
+    "crates/runtime/src/continuous.rs",
+    "crates/runtime/src/faults.rs",
 ];
 
 /// One lint finding.
@@ -282,6 +305,35 @@ fn is_word_bounded(hay: &str, pos: usize, len: usize) -> bool {
     before_ok && after_ok
 }
 
+/// All raw (not word-bounded) occurrences of `pat` in `hay`, as byte
+/// offsets. Used for patterns that begin with punctuation (`.unwrap()`),
+/// where the word-boundary check would reject the identifier that
+/// necessarily precedes the dot.
+fn find_all_raw(hay: &str, pat: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(pat) {
+        out.push(from + p);
+        from = from + p + 1;
+    }
+    out
+}
+
+/// Byte offset at which a file's inline test module starts (the
+/// earliest `#[cfg(test)]` / `#[cfg(all(test` attribute in stripped
+/// source), or the end of the file if it has none. Test code below the
+/// cut is exempt from the runtime-panic rules.
+fn test_module_cut(stripped: &str) -> usize {
+    [
+        stripped.find("#[cfg(test)]"),
+        stripped.find("#[cfg(all(test"),
+    ]
+    .into_iter()
+    .flatten()
+    .min()
+    .unwrap_or(stripped.len())
+}
+
 /// All word-bounded occurrences of `pat` in `hay`, as byte offsets.
 fn find_all(hay: &str, pat: &str) -> Vec<usize> {
     let mut out = Vec::new();
@@ -363,6 +415,25 @@ pub fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
                     detail: format!(
                         "{pat} outside crates/runtime/src/pool.rs; all OS threads \
                          come from the WorkerPool"
+                    ),
+                });
+            }
+        }
+    }
+
+    if UNWRAP_BANLIST.contains(&rel) {
+        let cut = test_module_cut(&stripped);
+        for pat in [".unwrap()", ".expect("] {
+            for pos in find_all_raw(&stripped[..cut], pat) {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: line_of(src, pos),
+                    rule: "unwrap-in-round-path",
+                    detail: format!(
+                        "{pat} in a round-critical runtime module panics past the \
+                         containment boundary and kills a pool worker; recover the \
+                         error (faults::recover for poisoned mutexes) or surface it \
+                         as an Abort/TaskFault"
                     ),
                 });
             }
@@ -474,6 +545,58 @@ mod tests {
     fn fixture_under_round_critical_path_trips_instant_rule() {
         let vs = lint_file("crates/runtime/src/exec.rs", FIXTURE);
         assert!(rules_of(&vs).contains(&"instant-in-round-path"), "{vs:?}");
+        assert!(rules_of(&vs).contains(&"unwrap-in-round-path"), "{vs:?}");
+    }
+
+    #[test]
+    fn unwrap_is_banned_only_in_round_critical_modules() {
+        let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n\
+                   pub fn g(r: Result<u32, ()>) -> u32 { r.expect(\"msg\") }\n";
+        let vs = lint_file("crates/runtime/src/pool.rs", src);
+        assert_eq!(
+            rules_of(&vs),
+            vec!["unwrap-in-round-path", "unwrap-in-round-path"],
+            "{vs:?}"
+        );
+        assert_eq!(vs[0].line, 1);
+        assert_eq!(vs[1].line, 2);
+        // The same source is fine outside the banlist.
+        assert!(lint_file("crates/apps/src/sssp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt_from_the_unwrap_rule() {
+        let src = "pub fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { Some(1).unwrap(); }\n\
+                   }\n";
+        assert!(lint_file("crates/runtime/src/exec.rs", src).is_empty());
+        let gated = "pub fn f() {}\n\
+                     #[cfg(all(test, feature = \"faults\"))]\n\
+                     mod tests {\n\
+                         fn t() { Some(1).unwrap(); }\n\
+                     }\n";
+        assert!(lint_file("crates/runtime/src/faults.rs", gated).is_empty());
+        // ...but code ABOVE the test module is still linted.
+        let above = "pub fn f() { Some(1).unwrap(); }\n\
+                     #[cfg(test)]\n\
+                     mod tests {}\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/runtime/src/exec.rs", above)),
+            vec!["unwrap-in-round-path"]
+        );
+    }
+
+    #[test]
+    fn unwrap_in_comments_and_strings_does_not_trigger() {
+        let src = "// call .unwrap() here would be wrong\n\
+                   pub fn f() -> &'static str { \".expect(doom)\" }\n";
+        assert!(lint_file("crates/runtime/src/lock.rs", src).is_empty());
+        // `unwrap_or_else` and friends are not `.unwrap()`.
+        let ok = "pub fn g(v: Option<u32>) -> u32 { v.unwrap_or_else(|| 0) }\n";
+        assert!(lint_file("crates/runtime/src/lock.rs", ok).is_empty());
     }
 
     #[test]

@@ -34,6 +34,7 @@ fn config(workers: usize) -> ExecutorConfig {
     ExecutorConfig {
         workers,
         policy: ConflictPolicy::FirstWins,
+        ..ExecutorConfig::default()
     }
 }
 

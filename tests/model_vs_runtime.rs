@@ -31,6 +31,7 @@ fn runtime_conflict_curve_matches_model() {
         ExecutorConfig {
             workers: 1,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         },
     );
     for &m in &[20usize, 80, 200] {
@@ -66,6 +67,7 @@ fn controller_finds_same_mu_through_runtime_and_model() {
         ExecutorConfig {
             workers: 2,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         },
     );
     let mut ctl = HybridController::new(HybridParams {
@@ -101,7 +103,15 @@ fn complete_graph_commits_at_most_one_per_round() {
     let g = gen::complete(50);
     for policy in [ConflictPolicy::FirstWins, ConflictPolicy::PriorityWins] {
         let (space, op) = mirror(&g);
-        let ex = Executor::new(&op, &space, ExecutorConfig { workers: 4, policy });
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 4,
+                policy,
+                ..ExecutorConfig::default()
+            },
+        );
         let mut total = 0;
         for _ in 0..30 {
             let mut ws = WorkSet::from_vec((0..50u32).collect::<Vec<_>>());
@@ -120,6 +130,7 @@ fn complete_graph_commits_at_most_one_per_round() {
         ExecutorConfig {
             workers: 1,
             policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
         },
     );
     for _ in 0..10 {
