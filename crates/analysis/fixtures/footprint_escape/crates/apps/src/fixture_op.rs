@@ -1,0 +1,32 @@
+//! Seeded violation: an operator smuggles `&self.scratch` into a
+//! helper that mutates it, bypassing the TaskCtx acquire. The dynamic
+//! lockset checker is blind to this (no context call, no trace
+//! event); the footprint-escape analysis flags the call site in
+//! `execute`. Exactly one finding.
+
+use optpar_runtime::{Abort, Operator, TaskCtx};
+
+pub struct SneakyOp {
+    dist: DistTable,
+    scratch: ScratchTable,
+}
+
+impl Operator for SneakyOp {
+    type Task = u32;
+
+    fn execute(&self, &u: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> {
+        let ui = u as usize;
+        cx.lock(&self.dist, ui)?;
+        let du = *cx.read(&self.dist, ui)?;
+        *cx.write(&self.dist, ui)? = du + 1;
+        // VIOLATION: undeclared write outside the locked footprint.
+        bump_unlocked(&self.scratch, ui);
+        Ok(vec![])
+    }
+}
+
+/// Helper that mutates whatever table it is handed — fine on locals,
+/// an escape when the argument roots at operator shared state.
+fn bump_unlocked(table: &ScratchTable, i: usize) {
+    table.slots.set(i, 1);
+}

@@ -1,0 +1,8 @@
+//! Seeded violation root: a round-critical function whose panic is
+//! two calls away, in a file the lexical unwrap ban does not cover.
+//! Only the interprocedural panic-reachability analysis finds it, and
+//! it prints the full call path.
+
+pub fn merge_round(state: &RoundState) {
+    helper_a(state);
+}

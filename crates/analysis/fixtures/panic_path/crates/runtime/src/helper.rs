@@ -1,0 +1,14 @@
+//! Not in the lexical banlist — the `.unwrap()` below passes lint
+//! rule 5, but it is reachable from `merge_round` in exec.rs:
+//! merge_round -> helper_a -> helper_b -> .unwrap().
+
+pub fn helper_a(state: &RoundState) {
+    helper_b(state);
+}
+
+fn helper_b(state: &RoundState) {
+    // VIOLATION: panics past the containment boundary when the round
+    // summary is absent.
+    let summary = state.summary();
+    summary.unwrap();
+}

@@ -1,0 +1,16 @@
+//! Seeded violation: the epoch publication store has been "optimized"
+//! from Release to Relaxed. It compiles, every test passes, and the
+//! happens-before edge to `epoch()` readers is gone. The
+//! atomic-protocol contract (PROTOCOL.toml next to this tree) still
+//! declares Release, so the diff fails as weakened-ordering.
+
+pub struct LockSpace {
+    epoch: AtomicU64,
+}
+
+impl LockSpace {
+    pub fn publish_epoch(&self, e: u64) {
+        // VIOLATION: PROTOCOL.toml requires Release here.
+        self.epoch.store(e, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,685 @@
+//! AST-lite: items recovered from token trees.
+//!
+//! Not a real Rust parser — just enough item structure for the
+//! analyses: functions (name, params, body, enclosing impl/trait
+//! type), modules (for path context and `#[cfg(test)]` spans), and
+//! per-item attributes. Everything unrecognized is skipped without
+//! derailing the walk, so the front end degrades gracefully on syntax
+//! it does not model (nested function items, macro-generated code).
+
+use crate::lexer::Delim;
+use crate::tree::Tree;
+
+/// One function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name (`self` for receiver params, `_` when unnamed).
+    pub name: String,
+    /// Does the type mention `TaskCtx` (a speculation context)?
+    pub is_ctx: bool,
+    /// Is the type a `&mut` reference?
+    pub by_ref_mut: bool,
+}
+
+/// One function item.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any (e.g. `LockSpace`).
+    pub qual: Option<String>,
+    /// Enclosing inline-module path within the file.
+    pub module: Vec<String>,
+    /// Is this test code (`#[test]`, or under any `#[cfg(test)]`
+    /// item/module span)?
+    pub is_test: bool,
+    /// Is this `fn execute` inside an `impl Operator for _` block?
+    pub is_operator_execute: bool,
+    /// Byte offset of the name token (for line reporting).
+    pub off: usize,
+    /// Body trees (`None` for trait method declarations).
+    pub body: Option<Vec<Tree>>,
+    /// Byte span of the body braces.
+    pub body_span: (usize, usize),
+    /// The parameters in order (receiver first when present).
+    pub params: Vec<Param>,
+}
+
+impl FnDef {
+    /// `Qual::name` or plain `name`.
+    pub fn symbol(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Items of one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileAst {
+    /// Every function item found, in source order.
+    pub fns: Vec<FnDef>,
+    /// Byte spans of `#[cfg(test)]` / `#[test]` items (attribute start
+    /// through item end). Tokens inside any of these spans are test
+    /// code.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl FileAst {
+    /// Is byte offset `off` inside a test span?
+    pub fn in_test_span(&self, off: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= off && off <= b)
+    }
+}
+
+/// Walk a file's trees and extract items.
+pub fn parse_items(trees: &[Tree]) -> FileAst {
+    let mut out = FileAst::default();
+    walk_level(
+        trees,
+        &mut out,
+        &Ctx {
+            module: Vec::new(),
+            qual: None,
+            operator_impl: false,
+            in_test: false,
+        },
+    );
+    out
+}
+
+struct Ctx {
+    module: Vec<String>,
+    qual: Option<String>,
+    operator_impl: bool,
+    in_test: bool,
+}
+
+/// Attribute summary for one item.
+#[derive(Default)]
+struct Attrs {
+    test: bool,
+    start: Option<usize>,
+}
+
+fn walk_level(trees: &[Tree], out: &mut FileAst, cx: &Ctx) {
+    let mut i = 0;
+    while i < trees.len() {
+        // Inner attributes `#![...]`.
+        if trees[i].is_punct("#")
+            && trees.get(i + 1).is_some_and(|t| t.is_punct("!"))
+            && trees
+                .get(i + 2)
+                .and_then(|t| t.group(Delim::Bracket))
+                .is_some()
+        {
+            i += 3;
+            continue;
+        }
+        // Outer attributes.
+        let mut attrs = Attrs::default();
+        while trees[i..].first().is_some_and(|t| t.is_punct("#"))
+            && trees
+                .get(i + 1)
+                .and_then(|t| t.group(Delim::Bracket))
+                .is_some()
+        {
+            let g = trees[i + 1].group(Delim::Bracket).expect("checked");
+            attrs.start.get_or_insert(trees[i].off());
+            if attr_is_test(g) {
+                attrs.test = true;
+            }
+            i += 2;
+        }
+        if i >= trees.len() {
+            break;
+        }
+        i = item(trees, i, &attrs, out, cx);
+    }
+}
+
+/// Does this attribute body mark test code? Matches `test`,
+/// `cfg(test)`, `cfg(all(test, ...))` etc., but not `cfg(not(test))`.
+fn attr_is_test(attr: &[Tree]) -> bool {
+    match attr.first() {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") => attr
+            .get(1)
+            .and_then(|g| g.group(Delim::Paren))
+            .is_some_and(contains_test_outside_not),
+        _ => false,
+    }
+}
+
+fn contains_test_outside_not(trees: &[Tree]) -> bool {
+    let mut prev_not = false;
+    for t in trees {
+        match t {
+            Tree::Leaf(tok) => {
+                if tok.is_ident("test") {
+                    return true;
+                }
+                prev_not = tok.is_ident("not");
+            }
+            Tree::Group { children, .. } => {
+                if !prev_not && contains_test_outside_not(children) {
+                    return true;
+                }
+                prev_not = false;
+            }
+        }
+    }
+    false
+}
+
+/// Parse one item starting at `i` (after its attributes); returns the
+/// index just past it.
+fn item(trees: &[Tree], i: usize, attrs: &Attrs, out: &mut FileAst, cx: &Ctx) -> usize {
+    let mut j = i;
+    // Modifiers.
+    loop {
+        let Some(t) = trees.get(j) else { return j };
+        if t.is_ident("pub") {
+            j += 1;
+            if trees.get(j).and_then(|t| t.group(Delim::Paren)).is_some() {
+                j += 1;
+            }
+        } else if t.is_ident("unsafe")
+            || t.is_ident("async")
+            || t.is_ident("default")
+            || (t.is_ident("const") && trees.get(j + 1).is_some_and(|t| t.is_ident("fn")))
+        {
+            j += 1;
+        } else if t.is_ident("extern")
+            && trees.get(j + 1).is_some_and(|t| {
+                t.leaf()
+                    .is_some_and(|k| k.kind == crate::lexer::TokKind::Lit)
+            })
+        {
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    let Some(kw) = trees.get(j).and_then(Tree::leaf) else {
+        // A bare group at item level (e.g. macro expansion remnant).
+        return j + 1;
+    };
+    let is_test_here = cx.in_test || attrs.test;
+    let end = match kw.text.as_str() {
+        "fn" => parse_fn(trees, j, attrs, out, cx, is_test_here),
+        "mod" => {
+            let name = trees
+                .get(j + 1)
+                .and_then(Tree::leaf)
+                .map(|t| t.text.clone())
+                .unwrap_or_default();
+            match trees.get(j + 2) {
+                Some(Tree::Group {
+                    delim: Delim::Brace,
+                    children,
+                    close,
+                    ..
+                }) => {
+                    let mut module = cx.module.clone();
+                    module.push(name);
+                    walk_level(
+                        children,
+                        out,
+                        &Ctx {
+                            module,
+                            qual: None,
+                            operator_impl: false,
+                            in_test: is_test_here,
+                        },
+                    );
+                    mark_test(out, attrs, trees[i].off(), *close);
+                    j + 3
+                }
+                _ => j + 3, // `mod name;`
+            }
+        }
+        "impl" => {
+            // Find the body brace group; everything before it is header.
+            let body_at = trees[j + 1..]
+                .iter()
+                .position(|t| t.group(Delim::Brace).is_some())
+                .map(|p| j + 1 + p);
+            match body_at {
+                Some(b) => {
+                    let (qual, is_operator) = parse_impl_header(&trees[j + 1..b]);
+                    if let Tree::Group {
+                        children, close, ..
+                    } = &trees[b]
+                    {
+                        walk_level(
+                            children,
+                            out,
+                            &Ctx {
+                                module: cx.module.clone(),
+                                qual,
+                                operator_impl: is_operator,
+                                in_test: is_test_here,
+                            },
+                        );
+                        mark_test(out, attrs, trees[i].off(), *close);
+                    }
+                    b + 1
+                }
+                None => trees.len(),
+            }
+        }
+        "trait" => {
+            let name = trees
+                .get(j + 1)
+                .and_then(Tree::leaf)
+                .map(|t| t.text.clone());
+            let body_at = trees[j + 1..]
+                .iter()
+                .position(|t| t.group(Delim::Brace).is_some())
+                .map(|p| j + 1 + p);
+            match body_at {
+                Some(b) => {
+                    if let Tree::Group {
+                        children, close, ..
+                    } = &trees[b]
+                    {
+                        walk_level(
+                            children,
+                            out,
+                            &Ctx {
+                                module: cx.module.clone(),
+                                qual: name,
+                                operator_impl: false,
+                                in_test: is_test_here,
+                            },
+                        );
+                        mark_test(out, attrs, trees[i].off(), *close);
+                    }
+                    b + 1
+                }
+                None => trees.len(),
+            }
+        }
+        "macro_rules" => {
+            // `macro_rules ! name { ... }`
+            let mut k = j + 1;
+            while k < trees.len() && trees[k].group(Delim::Brace).is_none() {
+                k += 1;
+            }
+            k + 1
+        }
+        "struct" | "enum" | "union" => skip_to_brace_or_semi(trees, j, attrs, out, i),
+        _ => {
+            // use / static / const / type / extern crate / stray token:
+            // consume through the terminating `;`.
+            let mut k = j;
+            while k < trees.len() && !trees[k].is_punct(";") {
+                k += 1;
+            }
+            if let Some(last) = trees.get(k.min(trees.len().saturating_sub(1))) {
+                mark_test(out, attrs, trees[i].off(), last.off());
+            }
+            k + 1
+        }
+    };
+    end.max(i + 1)
+}
+
+fn skip_to_brace_or_semi(
+    trees: &[Tree],
+    j: usize,
+    attrs: &Attrs,
+    out: &mut FileAst,
+    item_start: usize,
+) -> usize {
+    let mut k = j;
+    while k < trees.len() {
+        if trees[k].is_punct(";") {
+            mark_test(out, attrs, trees[item_start].off(), trees[k].off());
+            return k + 1;
+        }
+        if let Tree::Group {
+            delim: Delim::Brace,
+            close,
+            ..
+        } = &trees[k]
+        {
+            mark_test(out, attrs, trees[item_start].off(), *close);
+            return k + 1;
+        }
+        k += 1;
+    }
+    k
+}
+
+fn mark_test(out: &mut FileAst, attrs: &Attrs, item_off: usize, end: usize) {
+    if attrs.test {
+        out.test_spans.push((attrs.start.unwrap_or(item_off), end));
+    }
+}
+
+/// Parse an impl header (tokens between `impl` and the body): returns
+/// (type name, is `impl Operator for _`).
+fn parse_impl_header(header: &[Tree]) -> (Option<String>, bool) {
+    // Split off leading generics `<...>` by angle counting over leaf
+    // puncts (shift tokens count double).
+    let mut depth = 0i32;
+    let mut k = 0;
+    if header.first().is_some_and(|t| t.is_punct("<")) {
+        while k < header.len() {
+            if let Some(t) = header[k].leaf() {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    "<<" => depth += 2,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+            }
+            k += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    let rest = &header[k..];
+    // `for` at angle depth 0 splits trait path from type.
+    let mut depth = 0i32;
+    let mut for_at = None;
+    for (idx, t) in rest.iter().enumerate() {
+        if let Some(tok) = t.leaf() {
+            match tok.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                "for" if depth == 0 => {
+                    for_at = Some(idx);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    match for_at {
+        Some(f) => {
+            let trait_ids: Vec<&str> = path_idents(&rest[..f]);
+            let is_operator = trait_ids.last() == Some(&"Operator");
+            let ty = path_idents(&rest[f + 1..]).first().map(|s| s.to_string());
+            (ty, is_operator)
+        }
+        None => (path_idents(rest).first().map(|s| s.to_string()), false),
+    }
+}
+
+/// Identifiers of a path at angle depth 0 (skips generic args).
+fn path_idents(trees: &[Tree]) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    for t in trees {
+        if let Some(tok) = t.leaf() {
+            match tok.text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                _ => {
+                    if depth == 0 && tok.kind == crate::lexer::TokKind::Ident {
+                        out.push(tok.text.as_str());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse a fn item at `j` (`trees[j]` is the `fn` keyword); returns
+/// the index just past it.
+fn parse_fn(
+    trees: &[Tree],
+    j: usize,
+    attrs: &Attrs,
+    out: &mut FileAst,
+    cx: &Ctx,
+    is_test: bool,
+) -> usize {
+    let Some(name_tok) = trees.get(j + 1).and_then(Tree::leaf) else {
+        return j + 2;
+    };
+    let name = name_tok.text.clone();
+    let off = name_tok.off;
+    let mut k = j + 2;
+    // Generics.
+    if trees.get(k).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0i32;
+        while k < trees.len() {
+            if let Some(t) = trees[k].leaf() {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    "<<" => depth += 2,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+            }
+            k += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+    }
+    let params = match trees.get(k).and_then(|t| t.group(Delim::Paren)) {
+        Some(children) => parse_params(children),
+        None => Vec::new(),
+    };
+    k += 1;
+    // Scan to the body brace group or a `;` (trait declaration).
+    let mut body = None;
+    let mut body_span = (off, off);
+    while k < trees.len() {
+        match &trees[k] {
+            Tree::Group {
+                delim: Delim::Brace,
+                children,
+                open,
+                close,
+            } => {
+                body = Some(children.clone());
+                body_span = (*open, *close);
+                k += 1;
+                break;
+            }
+            t if t.is_punct(";") => {
+                k += 1;
+                break;
+            }
+            _ => k += 1,
+        }
+    }
+    mark_test(out, attrs, attrs.start.unwrap_or(off), body_span.1);
+    out.fns.push(FnDef {
+        name: name.clone(),
+        qual: cx.qual.clone(),
+        module: cx.module.clone(),
+        is_test,
+        is_operator_execute: cx.operator_impl && name == "execute",
+        off,
+        body,
+        body_span,
+        params,
+    });
+    k
+}
+
+/// Parse a parameter list (children of the paren group).
+fn parse_params(children: &[Tree]) -> Vec<Param> {
+    let mut params = Vec::new();
+    for part in split_top_level(children, ",") {
+        if part.is_empty() {
+            continue;
+        }
+        // Receiver?
+        let colon_at = part.iter().position(|t| t.is_punct(":"));
+        let (pattern, ty): (&[Tree], &[Tree]) = match colon_at {
+            Some(c) => (&part[..c], &part[c + 1..]),
+            None => (part, &[]),
+        };
+        if colon_at.is_none() && flat_idents(pattern).iter().any(|s| s == "self") {
+            let by_ref_mut = pattern.first().is_some_and(|t| t.is_punct("&"))
+                && flat_idents(pattern).iter().any(|s| s == "mut");
+            params.push(Param {
+                name: "self".to_string(),
+                is_ctx: false,
+                by_ref_mut,
+            });
+            continue;
+        }
+        let name = flat_idents(pattern)
+            .into_iter()
+            .find(|s| s != "mut" && s != "ref")
+            .unwrap_or_else(|| "_".to_string());
+        let ty_ids = flat_idents(ty);
+        let is_ctx = ty_ids.iter().any(|s| s == "TaskCtx");
+        let by_ref_mut = ty.first().is_some_and(|t| t.is_punct("&")) && {
+            let second = ty.get(1).and_then(Tree::leaf);
+            let third = ty.get(2).and_then(Tree::leaf);
+            second.is_some_and(|t| t.is_ident("mut"))
+                || (second.is_some_and(|t| t.kind == crate::lexer::TokKind::Lifetime)
+                    && third.is_some_and(|t| t.is_ident("mut")))
+        };
+        params.push(Param {
+            name,
+            is_ctx,
+            by_ref_mut,
+        });
+    }
+    params
+}
+
+/// All identifier texts in `trees`, flattened through groups.
+pub fn flat_idents(trees: &[Tree]) -> Vec<String> {
+    let mut out = Vec::new();
+    fn rec(trees: &[Tree], out: &mut Vec<String>) {
+        for t in trees {
+            match t {
+                Tree::Leaf(tok) => {
+                    if tok.kind == crate::lexer::TokKind::Ident {
+                        out.push(tok.text.clone());
+                    }
+                }
+                Tree::Group { children, .. } => rec(children, out),
+            }
+        }
+    }
+    rec(trees, &mut out);
+    out
+}
+
+/// Split a tree slice at top-level occurrences of punct `sep`.
+pub fn split_top_level<'t>(trees: &'t [Tree], sep: &str) -> Vec<&'t [Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, t) in trees.iter().enumerate() {
+        if t.is_punct(sep) {
+            out.push(&trees[start..i]);
+            start = i + 1;
+        }
+    }
+    out.push(&trees[start..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::parse;
+
+    fn items(src: &str) -> FileAst {
+        parse_items(&parse(src))
+    }
+
+    #[test]
+    fn plain_fn_is_found() {
+        let ast = items("pub fn foo(a: u32, b: &mut Vec<u8>) -> u32 { a }");
+        assert_eq!(ast.fns.len(), 1);
+        let f = &ast.fns[0];
+        assert_eq!(f.name, "foo");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].name, "a");
+        assert!(!f.params[0].by_ref_mut);
+        assert_eq!(f.params[1].name, "b");
+        assert!(f.params[1].by_ref_mut);
+        assert!(!f.is_test);
+        assert!(f.body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_get_qualified() {
+        let ast = items("impl LockSpace { fn epoch(&self) -> u64 { 0 } }");
+        assert_eq!(ast.fns[0].symbol(), "LockSpace::epoch");
+        assert_eq!(ast.fns[0].params[0].name, "self");
+    }
+
+    #[test]
+    fn operator_impl_execute_is_recognized() {
+        let src = "impl Operator for SsspOp {\n\
+                   fn execute(&self, t: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> { Ok(vec![]) }\n\
+                   }\n\
+                   impl SsspOp { fn execute(&self) {} }";
+        let ast = items(src);
+        assert!(ast.fns[0].is_operator_execute);
+        assert!(ast.fns[0].params[2].is_ctx);
+        assert!(!ast.fns[1].is_operator_execute);
+    }
+
+    #[test]
+    fn generic_impl_header_is_parsed() {
+        let ast = items("impl<'s, O: Operator> Executor<'s, O> { fn go(&self) {} }");
+        assert_eq!(ast.fns[0].qual.as_deref(), Some("Executor"));
+        assert!(!ast.fns[0].is_operator_execute);
+    }
+
+    #[test]
+    fn cfg_test_mod_span_covers_contents_only() {
+        let src = "pub fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests { fn helper() {} }\n\
+                   pub fn after() {}";
+        let ast = items(src);
+        let live = ast.fns.iter().find(|f| f.name == "live").expect("live");
+        let helper = ast.fns.iter().find(|f| f.name == "helper").expect("helper");
+        let after = ast.fns.iter().find(|f| f.name == "after").expect("after");
+        assert!(!live.is_test);
+        assert!(helper.is_test);
+        assert!(!after.is_test, "code after an inline test module is live");
+        assert!(ast.in_test_span(helper.off));
+        assert!(!ast.in_test_span(after.off));
+    }
+
+    #[test]
+    fn cfg_all_test_counts_but_not_test_counts_not() {
+        let gated = items("#[cfg(all(test, feature = \"faults\"))] fn t() {}");
+        assert!(gated.fns[0].is_test);
+        let nott = items("#[cfg(not(test))] fn live() {}");
+        assert!(!nott.fns[0].is_test);
+    }
+
+    #[test]
+    fn destructured_param_binds_first_ident() {
+        let ast = items("fn f(&u: &u32, (a, b): (u32, u32)) {}");
+        assert_eq!(ast.fns[0].params[0].name, "u");
+        assert_eq!(ast.fns[0].params[1].name, "a");
+    }
+
+    #[test]
+    fn trait_methods_without_bodies_are_kept() {
+        let ast = items("trait Op { fn run(&self); fn all(&self) -> u32 { 1 } }");
+        assert_eq!(ast.fns.len(), 2);
+        assert!(ast.fns[0].body.is_none());
+        assert!(ast.fns[1].body.is_some());
+        assert_eq!(ast.fns[0].qual.as_deref(), Some("Op"));
+    }
+}

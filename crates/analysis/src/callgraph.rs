@@ -1,0 +1,378 @@
+//! Call-site extraction and name-based call-graph resolution.
+//!
+//! Calls are recovered syntactically from token trees: `recv.m(..)`
+//! method calls (including turbofish), `path::to::f(..)` plain calls,
+//! and `name!(..)` macro invocations. Resolution is by name against a
+//! function index scoped to the analysis (the runtime+checker crates
+//! for panic-reachability, the apps crate for footprint-escape) —
+//! deliberately over-approximate: same-named functions produce extra
+//! edges, never missing ones, which is the right bias for the safety
+//! analyses built on top.
+
+use crate::ast::FnDef;
+use crate::lexer::Delim;
+use crate::tree::Tree;
+use std::collections::HashMap;
+
+/// What kind of call site this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `recv.name(args)`
+    Method,
+    /// `path::name(args)` or `name(args)`
+    Plain,
+    /// `name!(...)`
+    Macro,
+}
+
+/// One syntactic call site.
+#[derive(Debug)]
+pub struct Call<'t> {
+    /// Call kind.
+    pub kind: CallKind,
+    /// The called name (method name, final path segment, macro name).
+    pub name: String,
+    /// Full path segments for plain calls (`["crate","faults","recover"]`).
+    pub path: Vec<String>,
+    /// Root identifier of a method receiver chain (`self` in
+    /// `self.points.push(..)`), when recoverable.
+    pub recv_root: Option<String>,
+    /// Argument tree slices, split at top-level commas (excludes the
+    /// receiver). Empty for macros with non-paren groups.
+    pub args: Vec<&'t [Tree]>,
+    /// Byte offset of the name token.
+    pub off: usize,
+    /// Is this call site lexically inside the argument group of a
+    /// `catch_unwind(..)` call (panic containment)?
+    pub contained: bool,
+}
+
+/// Invoke `f` for every call site in `trees`, tracking `catch_unwind`
+/// containment.
+pub fn for_each_call<'t>(trees: &'t [Tree], f: &mut impl FnMut(&Call<'t>)) {
+    walk(trees, false, f);
+}
+
+fn walk<'t>(trees: &'t [Tree], contained: bool, f: &mut impl FnMut(&Call<'t>)) {
+    let mut i = 0;
+    while i < trees.len() {
+        match &trees[i] {
+            Tree::Leaf(tok) if tok.kind == crate::lexer::TokKind::Ident => {
+                if let Some(g) = call_args_at(trees, i) {
+                    let is_method = i > 0 && trees[i - 1].is_punct(".");
+                    let call = if is_method {
+                        Call {
+                            kind: CallKind::Method,
+                            name: tok.text.clone(),
+                            path: vec![tok.text.clone()],
+                            recv_root: receiver_root(trees, i),
+                            args: crate::ast::split_top_level(g, ",")
+                                .into_iter()
+                                .filter(|s| !s.is_empty())
+                                .collect(),
+                            off: tok.off,
+                            contained,
+                        }
+                    } else {
+                        Call {
+                            kind: CallKind::Plain,
+                            name: tok.text.clone(),
+                            path: path_of(trees, i),
+                            recv_root: None,
+                            args: crate::ast::split_top_level(g, ",")
+                                .into_iter()
+                                .filter(|s| !s.is_empty())
+                                .collect(),
+                            off: tok.off,
+                            contained,
+                        }
+                    };
+                    f(&call);
+                } else if trees.get(i + 1).is_some_and(|t| t.is_punct("!")) {
+                    if let Some(Tree::Group { children, .. }) = trees.get(i + 2) {
+                        f(&Call {
+                            kind: CallKind::Macro,
+                            name: tok.text.clone(),
+                            path: vec![tok.text.clone()],
+                            recv_root: None,
+                            args: crate::ast::split_top_level(children, ",")
+                                .into_iter()
+                                .filter(|s| !s.is_empty())
+                                .collect(),
+                            off: tok.off,
+                            contained,
+                        });
+                    }
+                }
+                i += 1;
+            }
+            Tree::Group { children, .. } => {
+                // Entering the argument group of `catch_unwind(..)`
+                // marks everything inside as panic-contained.
+                let inner = contained || is_args_of(trees, i, "catch_unwind");
+                walk(children, inner, f);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+}
+
+/// Is the group at `i` the argument group of a call to `name`?
+fn is_args_of(trees: &[Tree], i: usize, name: &str) -> bool {
+    trees[i].group(Delim::Paren).is_some() && i > 0 && trees[i - 1].is_ident(name)
+}
+
+/// If an ident at `i` heads a call, return its argument group's
+/// children (handles `name(..)` and turbofish `name::<T>(..)`).
+fn call_args_at(trees: &[Tree], i: usize) -> Option<&[Tree]> {
+    if let Some(g) = trees.get(i + 1).and_then(|t| t.group(Delim::Paren)) {
+        return Some(g);
+    }
+    // Turbofish: ident :: < ... > ( ... )
+    if trees.get(i + 1).is_some_and(|t| t.is_punct("::"))
+        && trees.get(i + 2).is_some_and(|t| t.is_punct("<"))
+    {
+        let mut depth = 0i32;
+        let mut k = i + 2;
+        while k < trees.len() {
+            if let Some(t) = trees[k].leaf() {
+                match t.text.as_str() {
+                    "<" => depth += 1,
+                    ">" => depth -= 1,
+                    "<<" => depth += 2,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+            }
+            k += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        return trees.get(k).and_then(|t| t.group(Delim::Paren));
+    }
+    None
+}
+
+/// Tokens that can appear inside a postfix receiver chain.
+fn is_chain_component(t: &Tree) -> bool {
+    match t {
+        Tree::Leaf(tok) => {
+            matches!(
+                tok.kind,
+                crate::lexer::TokKind::Ident | crate::lexer::TokKind::Num
+            ) || tok.is_punct(".")
+                || tok.is_punct("?")
+                || tok.is_punct("::")
+        }
+        Tree::Group { delim, .. } => matches!(delim, Delim::Paren | Delim::Bracket),
+    }
+}
+
+/// Root identifier of the receiver chain of the method whose name sits
+/// at `i` (`trees[i-1]` is the `.`).
+fn receiver_root(trees: &[Tree], i: usize) -> Option<String> {
+    if i < 2 {
+        return None;
+    }
+    let mut k = i - 2; // last token of the receiver expression
+    loop {
+        if k == 0 || !is_chain_component(&trees[k - 1]) {
+            break;
+        }
+        k -= 1;
+    }
+    trees[k..i - 1]
+        .iter()
+        .find_map(|t| t.leaf())
+        .filter(|t| t.kind == crate::lexer::TokKind::Ident)
+        .map(|t| t.text.clone())
+}
+
+/// Path segments of a plain call whose final ident is at `i`, walking
+/// back through `::`.
+fn path_of(trees: &[Tree], i: usize) -> Vec<String> {
+    let mut segs = vec![trees[i].leaf().map(|t| t.text.clone()).unwrap_or_default()];
+    let mut k = i;
+    while k >= 2
+        && trees[k - 1].is_punct("::")
+        && trees[k - 2]
+            .leaf()
+            .is_some_and(|t| t.kind == crate::lexer::TokKind::Ident)
+    {
+        segs.push(trees[k - 2].leaf().expect("checked").text.clone());
+        k -= 2;
+    }
+    segs.reverse();
+    segs
+}
+
+/// A function's identity in a workspace: (file index, fn index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FnId {
+    /// Index into the workspace file list.
+    pub file: usize,
+    /// Index into that file's `FileAst::fns`.
+    pub idx: usize,
+}
+
+/// Name-based function index over a subset of workspace files.
+pub struct FnIndex {
+    by_name: HashMap<String, Vec<FnId>>,
+}
+
+impl FnIndex {
+    /// Index every non-test function of the files selected by `keep`
+    /// (called with each file's repo-relative path).
+    pub fn build<'w>(
+        files: impl Iterator<Item = (usize, &'w str, &'w crate::ast::FileAst)>,
+        keep: impl Fn(&str) -> bool,
+    ) -> FnIndex {
+        let mut by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        for (fi, rel, ast) in files {
+            if !keep(rel) {
+                continue;
+            }
+            for (idx, f) in ast.fns.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                by_name
+                    .entry(f.name.clone())
+                    .or_default()
+                    .push(FnId { file: fi, idx });
+            }
+        }
+        FnIndex { by_name }
+    }
+
+    /// Candidate callees for a call site. `caller_qual` resolves
+    /// `Self::` paths; `file_stem` maps module-path segments to files.
+    pub fn resolve(
+        &self,
+        call: &Call<'_>,
+        caller_qual: Option<&str>,
+        fn_of: impl Fn(FnId) -> (String, Option<String>, Option<String>),
+    ) -> Vec<FnId> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        match call.kind {
+            CallKind::Macro => Vec::new(),
+            CallKind::Method => cands
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    let (first_param, _, _) = fn_of(id);
+                    first_param == "self"
+                })
+                .collect(),
+            CallKind::Plain => {
+                if call.path.len() <= 1 {
+                    return cands.clone();
+                }
+                let seg = &call.path[call.path.len() - 2];
+                let seg = if seg == "Self" {
+                    match caller_qual {
+                        Some(q) => q,
+                        None => return Vec::new(),
+                    }
+                } else {
+                    seg.as_str()
+                };
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let (_, qual, stem) = fn_of(id);
+                        qual.as_deref() == Some(seg) || stem.as_deref() == Some(seg)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Convenience: resolve a call against workspace data.
+pub fn resolve_call(
+    index: &FnIndex,
+    call: &Call<'_>,
+    caller: &FnDef,
+    files: &[(String, crate::ast::FileAst)],
+) -> Vec<FnId> {
+    index.resolve(call, caller.qual.as_deref(), |id| {
+        let (rel, ast) = &files[id.file];
+        let f = &ast.fns[id.idx];
+        let stem = std::path::Path::new(rel)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned());
+        (
+            f.params.first().map(|p| p.name.clone()).unwrap_or_default(),
+            f.qual.clone(),
+            stem,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::parse;
+
+    fn calls(src: &str) -> Vec<(CallKind, String, Option<String>, bool)> {
+        let trees = parse(src);
+        let mut out = Vec::new();
+        for_each_call(&trees, &mut |c| {
+            out.push((c.kind, c.name.clone(), c.recv_root.clone(), c.contained))
+        });
+        out
+    }
+
+    #[test]
+    fn method_plain_and_macro_calls_are_found() {
+        let got = calls("fn f() { self.points.push(x); helper(y); panic!(\"no\"); }");
+        assert!(got.contains(&(CallKind::Method, "push".into(), Some("self".into()), false)));
+        assert!(got.contains(&(CallKind::Plain, "helper".into(), None, false)));
+        assert!(got.contains(&(CallKind::Macro, "panic".into(), None, false)));
+    }
+
+    #[test]
+    fn receiver_chain_stops_at_operators() {
+        let got = calls("fn f() { a + b.c.m(); (x).n(); }");
+        assert!(got.contains(&(CallKind::Method, "m".into(), Some("b".into()), false)));
+        // Parenthesized receiver: no root recoverable.
+        assert!(got
+            .iter()
+            .any(|(k, n, r, _)| *k == CallKind::Method && n == "n" && r.is_none()));
+    }
+
+    #[test]
+    fn turbofish_is_a_call() {
+        let got = calls("fn f() { it.collect::<Vec<_>>(); }");
+        assert!(got
+            .iter()
+            .any(|(k, n, _, _)| *k == CallKind::Method && n == "collect"));
+    }
+
+    #[test]
+    fn catch_unwind_args_are_contained() {
+        let got = calls("fn f() { catch_unwind(AssertUnwindSafe(|| inner())); outer(); }");
+        let inner = got.iter().find(|(_, n, _, _)| n == "inner").expect("inner");
+        let outer = got.iter().find(|(_, n, _, _)| n == "outer").expect("outer");
+        assert!(inner.3, "inner is contained");
+        assert!(!outer.3, "outer is not");
+    }
+
+    #[test]
+    fn path_calls_carry_segments() {
+        let trees = parse("fn f() { crate::faults::recover(x); }");
+        let mut paths = Vec::new();
+        for_each_call(&trees, &mut |c| paths.push(c.path.clone()));
+        assert!(paths.contains(&vec![
+            "crate".to_string(),
+            "faults".to_string(),
+            "recover".to_string()
+        ]));
+    }
+}

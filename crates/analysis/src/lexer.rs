@@ -1,0 +1,471 @@
+//! Lexical layer: comment/string stripping and tokenization.
+//!
+//! The historical xtask lint and every analysis in this crate share
+//! one stripping pass: comments, string literals, and char literals
+//! are blanked **in place** (byte positions and newlines preserved),
+//! then the stripped text is tokenized into offset-tagged tokens.
+//! Because positions survive, a token's offset indexes the *original*
+//! source, so findings report exact lines and the analyses can consult
+//! raw-source context (e.g. `// SAFETY:` / `// PANIC-OK:` comments)
+//! around any token.
+
+/// Blank out comments, string literals, and char literals while
+/// preserving byte positions of everything else (newlines survive, so
+/// line numbers in the stripped text match the original).
+pub fn strip_source(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = vec![b' '; b.len()];
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Rust block comments nest.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        out[i] = b'\n';
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = skip_string(b, &mut out, i),
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (start, hashes) = raw_string_params(b, i);
+                // Copy the prefix (`r`, `br`, hashes) as-is; it is code.
+                for (k, o) in out.iter_mut().enumerate().take(start).skip(i) {
+                    *o = b[k];
+                }
+                i = skip_raw_string(b, &mut out, start, hashes);
+            }
+            b'\'' => {
+                // Char literal vs lifetime: a lifetime is `'` followed
+                // by an identifier NOT closed by another `'`.
+                if is_char_literal(b, i) {
+                    out[i] = b'\'';
+                    i += 1;
+                    i = skip_char_literal(b, &mut out, i);
+                } else {
+                    out[i] = b'\'';
+                    i += 1;
+                }
+            }
+            c => {
+                out[i] = c;
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("stripping preserves UTF-8: multibyte chars are copied verbatim")
+}
+
+/// Skip a `"..."` literal starting at `i` (which indexes the quote).
+/// Returns the index just past the closing quote.
+fn skip_string(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    out[i] = b'"';
+    let mut i = i + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if i + 1 < b.len() => {
+                i += 2;
+            }
+            b'"' => {
+                out[i] = b'"';
+                return i + 1;
+            }
+            b'\n' => {
+                out[i] = b'\n';
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does a raw (byte) string literal start at `i`?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// For a raw string at `i`, return (index of the opening quote, hash
+/// count).
+fn raw_string_params(b: &[u8], i: usize) -> (usize, usize) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    (j, hashes)
+}
+
+/// Skip a raw string whose opening quote is at `i`; the literal ends
+/// at `"` followed by `hashes` `#`s.
+fn skip_raw_string(b: &[u8], out: &mut [u8], i: usize, hashes: usize) -> usize {
+    out[i] = b'"';
+    let mut i = i + 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            out[i] = b'\n';
+            i += 1;
+        } else if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == b'#')
+                .count()
+                == hashes
+        {
+            out[i] = b'"';
+            return i + 1 + hashes;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Is the `'` at `i` the start of a char literal (vs a lifetime)?
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    // `'\...'` is always a char; `'x'` is a char; `'ident` (no closing
+    // quote after one identifier char) is a lifetime.
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // `'x'` — closed after exactly one char (ASCII fast path; a
+    // multibyte char literal still ends with `'` within a few bytes).
+    for (off, &c) in b[i + 1..].iter().enumerate().take(5) {
+        if c == b'\'' {
+            return off > 0;
+        }
+        if off > 0 && c & 0x80 == 0 && !c.is_ascii_alphanumeric() && c != b'_' {
+            return false;
+        }
+    }
+    false
+}
+
+/// Blank out a char literal body; `i` indexes just past the opening
+/// quote. Returns the index just past the closing quote.
+fn skip_char_literal(b: &[u8], out: &mut [u8], i: usize) -> usize {
+    let mut i = i;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if i + 1 < b.len() => i += 2,
+            b'\'' => {
+                out[i] = b'\'';
+                return i + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Bracketing delimiter kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delim {
+    /// `( ... )`
+    Paren,
+    /// `[ ... ]`
+    Bracket,
+    /// `{ ... }`
+    Brace,
+}
+
+/// Token kind. Literal *contents* never survive the strip, so `Lit`
+/// carries no text: nothing inside a string or char literal can ever
+/// match a rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String or char literal (content blanked by the strip).
+    Lit,
+    /// Operator / punctuation (multi-char operators are one token).
+    Punct,
+    /// Opening delimiter.
+    Open(Delim),
+    /// Closing delimiter.
+    Close(Delim),
+}
+
+/// One token, tagged with its byte offset into the original source.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokKind,
+    /// The token text (empty for `Lit`).
+    pub text: String,
+    /// Byte offset in the original source.
+    pub off: usize,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Multi-char operators, longest first (order matters).
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "<<=", ">>=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Tokenize `src` (strips first; offsets index the original text).
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let stripped = strip_source(src);
+    let b = stripped.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'"' {
+            // A blanked string literal: runs to the next quote.
+            let start = i;
+            i += 1;
+            while i < b.len() && b[i] != b'"' {
+                i += 1;
+            }
+            i = (i + 1).min(b.len());
+            toks.push(Token {
+                kind: TokKind::Lit,
+                text: String::new(),
+                off: start,
+            });
+        } else if c == b'\'' {
+            let start = i;
+            i += 1;
+            if i < b.len() && (b[i].is_ascii_alphabetic() || b[i] == b'_') {
+                // Lifetime.
+                let id_start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: format!("'{}", &stripped[id_start..i]),
+                    off: start,
+                });
+            } else {
+                // Blanked char literal: runs to the closing quote.
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+                i = (i + 1).min(b.len());
+                toks.push(Token {
+                    kind: TokKind::Lit,
+                    text: String::new(),
+                    off: start,
+                });
+            }
+        } else if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: stripped[start..i].to_string(),
+                off: start,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            // One fractional part, but never eat a `..` range.
+            if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            toks.push(Token {
+                kind: TokKind::Num,
+                text: stripped[start..i].to_string(),
+                off: start,
+            });
+        } else if let Some(d) = open_delim(c) {
+            toks.push(Token {
+                kind: TokKind::Open(d),
+                text: (c as char).to_string(),
+                off: i,
+            });
+            i += 1;
+        } else if let Some(d) = close_delim(c) {
+            toks.push(Token {
+                kind: TokKind::Close(d),
+                text: (c as char).to_string(),
+                off: i,
+            });
+            i += 1;
+        } else if c.is_ascii() {
+            let rest = &stripped[i..];
+            let m = MULTI_PUNCT
+                .iter()
+                .find(|p| rest.starts_with(**p))
+                .map(|p| p.len())
+                .unwrap_or(1);
+            toks.push(Token {
+                kind: TokKind::Punct,
+                text: stripped[i..i + m].to_string(),
+                off: i,
+            });
+            i += m;
+        } else {
+            // Multibyte char outside literals (doc text can't reach
+            // here, comments are stripped): skip the full codepoint.
+            let mut j = i + 1;
+            while j < b.len() && (b[j] & 0xC0) == 0x80 {
+                j += 1;
+            }
+            i = j;
+        }
+    }
+    toks
+}
+
+fn open_delim(c: u8) -> Option<Delim> {
+    match c {
+        b'(' => Some(Delim::Paren),
+        b'[' => Some(Delim::Bracket),
+        b'{' => Some(Delim::Brace),
+        _ => None,
+    }
+}
+
+fn close_delim(c: u8) -> Option<Delim> {
+    match c {
+        b')' => Some(Delim::Paren),
+        b']' => Some(Delim::Bracket),
+        b'}' => Some(Delim::Brace),
+        _ => None,
+    }
+}
+
+/// Byte offsets of every line start, for offset→line conversion.
+pub fn line_starts(src: &str) -> Vec<usize> {
+    let mut out = vec![0];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            out.push(i + 1);
+        }
+    }
+    out
+}
+
+/// 1-indexed line of byte offset `off` given precomputed `starts`.
+pub fn line_of(starts: &[usize], off: usize) -> usize {
+    starts.partition_point(|&s| s <= off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "// Ordering::Relaxed here\nlet s = \"unsafe\"; /* thread::spawn */ x";
+        let ts = texts(src);
+        assert!(!ts
+            .iter()
+            .any(|t| t == "Relaxed" || t == "unsafe" || t == "spawn"));
+        assert!(ts.iter().any(|t| t == "x"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let a = r#\"panic!\"#; let c = 'x'; let l: &'static str = s;";
+        let ts = texts(src);
+        assert!(!ts.iter().any(|t| t == "panic"));
+        assert!(ts.iter().any(|t| t == "'static"));
+    }
+
+    #[test]
+    fn multichar_operators_are_single_tokens() {
+        let ts = texts("a += 1; b >>= 2; c ..= d; e -> f; g::h");
+        for op in ["+=", ">>=", "..=", "->", "::"] {
+            assert!(ts.iter().any(|t| t == op), "missing {op} in {ts:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let ts = texts("for i in 0..n { let f = 1.5; let h = 0xFF; }");
+        assert!(ts.iter().any(|t| t == "0"));
+        assert!(ts.iter().any(|t| t == ".."));
+        assert!(ts.iter().any(|t| t == "1.5"));
+        assert!(ts.iter().any(|t| t == "0xFF"));
+    }
+
+    #[test]
+    fn offsets_map_to_lines() {
+        let src = "a\nbb\nccc\n";
+        let starts = line_starts(src);
+        let toks = tokenize(src);
+        assert_eq!(line_of(&starts, toks[0].off), 1);
+        assert_eq!(line_of(&starts, toks[1].off), 2);
+        assert_eq!(line_of(&starts, toks[2].off), 3);
+    }
+
+    #[test]
+    fn shift_assign_is_not_plain_assign() {
+        let ts = tokenize("x >>= 1; y = 2;");
+        let eqs: Vec<&Token> = ts.iter().filter(|t| t.is_punct("=")).collect();
+        assert_eq!(eqs.len(), 1);
+    }
+}

@@ -1,0 +1,282 @@
+//! The five lexical audit rules, ported from `xtask` onto the token
+//! stream.
+//!
+//! Rule semantics and wording are identical to the historical lexical
+//! lint (xtask delegates here), with one deliberate upgrade: the
+//! round-path panic rule's test exemption is **span-based** — an
+//! inline `#[cfg(test)]` module exempts exactly the tokens inside its
+//! braces, not everything below its attribute, so live code after an
+//! inline test module is still linted.
+
+use crate::ast::parse_items;
+use crate::lexer::{line_of, line_starts, tokenize, Delim, TokKind, Token};
+use crate::report::Violation;
+use crate::tree::build_trees;
+
+/// Files allowed to use `Ordering::Relaxed`.
+const RELAXED_ALLOWLIST: &[&str] = &["crates/runtime/src/lock.rs", "crates/runtime/src/pool.rs"];
+
+/// Files allowed to create OS threads.
+const SPAWN_ALLOWLIST: &[&str] = &["crates/runtime/src/pool.rs"];
+
+/// Round-critical files in which `Instant::now` is banned.
+const INSTANT_BANLIST: &[&str] = &[
+    "crates/runtime/src/lock.rs",
+    "crates/runtime/src/task.rs",
+    "crates/runtime/src/store.rs",
+    "crates/runtime/src/exec.rs",
+];
+
+/// Round-critical runtime modules in which `.unwrap()` / `.expect(`
+/// are banned outside test spans.
+pub const UNWRAP_BANLIST: &[&str] = &[
+    "crates/runtime/src/lock.rs",
+    "crates/runtime/src/task.rs",
+    "crates/runtime/src/store.rs",
+    "crates/runtime/src/exec.rs",
+    "crates/runtime/src/pool.rs",
+    "crates/runtime/src/continuous.rs",
+    "crates/runtime/src/faults.rs",
+];
+
+/// Does the `unsafe` token on 1-indexed line `ln` have a `// SAFETY:`
+/// comment on its own line or in the contiguous comment/attribute
+/// block above it?
+fn has_safety_comment(lines: &[&str], ln: usize) -> bool {
+    if ln == 0 || ln > lines.len() {
+        return false;
+    }
+    if lines[ln - 1].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = ln - 1; // 0-indexed line of the token; walk upward
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.is_empty() || t.starts_with("#[") || t.starts_with("#!") || t == ")]" {
+            continue;
+        }
+        if t.starts_with("//") || t.starts_with("/*") || t.starts_with('*') || t.ends_with("*/") {
+            if t.contains("SAFETY:") {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Offsets of `a :: b` ident-path pairs in the token stream.
+fn path_pair_offsets(toks: &[Token], a: &str, b: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    for w in toks.windows(3) {
+        if w[0].is_ident(a) && w[1].is_punct("::") && w[2].is_ident(b) {
+            out.push(w[0].off);
+        }
+    }
+    out
+}
+
+/// Lint one file's source. `rel` is its repo-relative path (forward
+/// slashes), which decides allowlist membership.
+pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
+    let toks = tokenize(src);
+    let starts = line_starts(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    let push = |off: usize, rule: &'static str, detail: String, out: &mut Vec<Violation>| {
+        out.push(Violation {
+            file: rel.to_string(),
+            line: line_of(&starts, off),
+            rule,
+            detail,
+        });
+    };
+
+    if !RELAXED_ALLOWLIST.contains(&rel) {
+        for off in path_pair_offsets(&toks, "Ordering", "Relaxed") {
+            push(
+                off,
+                "relaxed-ordering",
+                "Ordering::Relaxed outside the audited allowlist \
+                 (crates/runtime/src/{lock,pool}.rs); use Acquire/Release/AcqRel"
+                    .to_string(),
+                &mut out,
+            );
+        }
+    }
+
+    for t in &toks {
+        if t.is_ident("unsafe") {
+            let ln = line_of(&starts, t.off);
+            if !has_safety_comment(&lines, ln) {
+                push(
+                    t.off,
+                    "unsafe-without-safety",
+                    "`unsafe` without a `// SAFETY:` comment stating its invariant".to_string(),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    if !SPAWN_ALLOWLIST.contains(&rel) {
+        for (tail, pat) in [("spawn", "thread::spawn"), ("Builder", "thread::Builder")] {
+            for off in path_pair_offsets(&toks, "thread", tail) {
+                push(
+                    off,
+                    "stray-thread-spawn",
+                    format!(
+                        "{pat} outside crates/runtime/src/pool.rs; all OS threads \
+                         come from the WorkerPool"
+                    ),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    if UNWRAP_BANLIST.contains(&rel) {
+        // Span-based test exemption: only tokens inside `#[cfg(test)]`
+        // item spans are exempt (not everything below the attribute).
+        let ast = parse_items(&build_trees(toks.clone()));
+        for (i, t) in toks.iter().enumerate() {
+            if !t.is_punct(".") || ast.in_test_span(t.off) {
+                continue;
+            }
+            let pat = if toks[i + 1..].first().is_some_and(|n| n.is_ident("unwrap"))
+                && matches!(toks.get(i + 2), Some(n) if n.kind == TokKind::Open(Delim::Paren))
+                && matches!(toks.get(i + 3), Some(n) if n.kind == TokKind::Close(Delim::Paren))
+            {
+                ".unwrap()"
+            } else if toks[i + 1..].first().is_some_and(|n| n.is_ident("expect"))
+                && matches!(toks.get(i + 2), Some(n) if n.kind == TokKind::Open(Delim::Paren))
+            {
+                ".expect("
+            } else {
+                continue;
+            };
+            push(
+                t.off,
+                "unwrap-in-round-path",
+                format!(
+                    "{pat} in a round-critical runtime module panics past the \
+                     containment boundary and kills a pool worker; recover the \
+                     error (faults::recover for poisoned mutexes) or surface it \
+                     as an Abort/TaskFault"
+                ),
+                &mut out,
+            );
+        }
+    }
+
+    if INSTANT_BANLIST.contains(&rel) {
+        for off in path_pair_offsets(&toks, "Instant", "now") {
+            push(
+                off,
+                "instant-in-round-path",
+                "Instant::now in a round-critical file skews the measured \
+                 conflict ratio; time at round granularity in the driver instead"
+                    .to_string(),
+                &mut out,
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn unwrap_rule_matches_both_patterns_with_lines() {
+        let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n\
+                   pub fn g(r: Result<u32, ()>) -> u32 { r.expect(\"msg\") }\n";
+        let vs = lint_source("crates/runtime/src/pool.rs", src);
+        assert_eq!(
+            rules_of(&vs),
+            vec!["unwrap-in-round-path", "unwrap-in-round-path"]
+        );
+        assert_eq!(vs[0].line, 1);
+        assert_eq!(vs[1].line, 2);
+        assert!(lint_source("crates/apps/src/sssp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_an_inline_test_module_is_still_linted() {
+        // The historical cut-based exemption missed this: everything
+        // below the first `#[cfg(test)]` was exempt.
+        let src = "pub fn before() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { Some(1).unwrap(); }\n\
+                   }\n\
+                   pub fn after(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        let vs = lint_source("crates/runtime/src/exec.rs", src);
+        assert_eq!(rules_of(&vs), vec!["unwrap-in-round-path"], "{vs:?}");
+        assert_eq!(vs[0].line, 7, "the unwrap inside mod tests is exempt");
+    }
+
+    #[test]
+    fn cfg_all_test_modules_are_exempt() {
+        let gated = "pub fn f() {}\n\
+                     #[cfg(all(test, feature = \"faults\"))]\n\
+                     mod tests {\n\
+                         fn t() { Some(1).unwrap(); }\n\
+                     }\n";
+        assert!(lint_source("crates/runtime/src/faults.rs", gated).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_adjacent_idents_do_not_trigger() {
+        let src = "// call .unwrap() here; Ordering::Relaxed; unsafe; thread::spawn\n\
+                   pub fn f() -> &'static str { \".expect(doom) Instant::now\" }\n\
+                   pub fn g(v: Option<u32>) -> u32 { v.unwrap_or_else(|| 0) }\n";
+        assert!(lint_source("crates/runtime/src/exec.rs", src).is_empty());
+        let attr = "#![deny(unsafe_op_in_unsafe_fn)]\nfn f() {}\n";
+        assert!(lint_source("src/lib.rs", attr).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_walks_over_attributes() {
+        let attr = "// SAFETY: exclusive.\n#[inline]\nunsafe fn g() {}\n";
+        assert!(lint_source("src/a.rs", attr).is_empty());
+        let bad = "fn h() { let _ = unsafe { 1 }; }\n";
+        assert_eq!(
+            rules_of(&lint_source("src/a.rs", bad)),
+            vec!["unsafe-without-safety"]
+        );
+    }
+
+    #[test]
+    fn scoped_threads_are_not_spawns() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        assert!(lint_source("crates/runtime/src/exec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlists_hold() {
+        let relaxed = "fn f(x: &AtomicUsize) { x.load(Ordering::Relaxed); }";
+        assert!(lint_source("crates/runtime/src/lock.rs", relaxed).is_empty());
+        assert_eq!(
+            rules_of(&lint_source("crates/runtime/src/exec.rs", relaxed)),
+            vec!["relaxed-ordering"]
+        );
+        let spawn = "fn g() { std::thread::Builder::new(); }";
+        assert!(lint_source("crates/runtime/src/pool.rs", spawn).is_empty());
+        let instant = "fn h() { let _t = Instant::now(); }";
+        assert!(lint_source("crates/runtime/src/stats.rs", instant).is_empty());
+        assert_eq!(
+            rules_of(&lint_source("crates/runtime/src/task.rs", instant)),
+            vec!["instant-in-round-path"]
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! The finding type shared by every analysis.
+
+use std::fmt;
+
+/// One static-analysis finding.
+///
+/// Field-compatible with the `xtask` lint's historical `Violation`
+/// type, which re-exports this one: the lexical rules and the deep
+/// analyses report through the same channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-indexed line of the offending token.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.detail
+        )
+    }
+}
+
+/// Sort findings by file then line then rule, for stable output.
+pub fn sort_violations(vs: &mut [Violation]) {
+    vs.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+}

@@ -1,0 +1,152 @@
+//! Token trees: the flat token stream folded at bracketing delimiters.
+//!
+//! Every analysis walks these trees rather than raw text: a `Group`
+//! gives O(1) access to "the arguments of this call" or "the body of
+//! this function", which is what makes the call-graph and footprint
+//! analyses tractable without a real parser.
+
+use crate::lexer::{Delim, Token};
+
+/// One node of a token tree.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A non-delimiter token.
+    Leaf(Token),
+    /// A delimited group and everything inside it.
+    Group {
+        /// The delimiter kind.
+        delim: Delim,
+        /// Byte offset of the opening delimiter.
+        open: usize,
+        /// Byte offset of the closing delimiter (or end of file for an
+        /// unclosed group).
+        close: usize,
+        /// The trees inside.
+        children: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// Byte offset of this tree's first token.
+    pub fn off(&self) -> usize {
+        match self {
+            Tree::Leaf(t) => t.off,
+            Tree::Group { open, .. } => *open,
+        }
+    }
+
+    /// The leaf token, if this is a leaf.
+    pub fn leaf(&self) -> Option<&Token> {
+        match self {
+            Tree::Leaf(t) => Some(t),
+            Tree::Group { .. } => None,
+        }
+    }
+
+    /// Is this a leaf identifier with the given text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.leaf().is_some_and(|t| t.is_ident(s))
+    }
+
+    /// Is this a leaf punct with the given text?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.leaf().is_some_and(|t| t.is_punct(s))
+    }
+
+    /// The group's children, if this is a group of the given delimiter.
+    pub fn group(&self, d: Delim) -> Option<&[Tree]> {
+        match self {
+            Tree::Group {
+                delim, children, ..
+            } if *delim == d => Some(children),
+            _ => None,
+        }
+    }
+}
+
+/// Fold a token stream into trees. Mismatched closers are dropped
+/// (the front end is best-effort on malformed input; real workspace
+/// files always balance).
+pub fn build_trees(tokens: Vec<Token>) -> Vec<Tree> {
+    // Each stack frame: (delim, open offset, children so far).
+    let mut stack: Vec<(Delim, usize, Vec<Tree>)> = Vec::new();
+    let mut top: Vec<Tree> = Vec::new();
+    for t in tokens {
+        match t.kind {
+            crate::lexer::TokKind::Open(d) => stack.push((d, t.off, Vec::new())),
+            crate::lexer::TokKind::Close(d) => {
+                // Pop to the nearest matching opener.
+                if let Some(pos) = stack.iter().rposition(|(sd, _, _)| *sd == d) {
+                    while stack.len() > pos + 1 {
+                        // Unclosed inner group: splice its children up.
+                        let (_, _, orphans) = stack.pop().expect("len checked");
+                        stack[pos].2.extend(orphans);
+                    }
+                    let (delim, open, children) = stack.pop().expect("pos exists");
+                    let g = Tree::Group {
+                        delim,
+                        open,
+                        close: t.off,
+                        children,
+                    };
+                    match stack.last_mut() {
+                        Some(frame) => frame.2.push(g),
+                        None => top.push(g),
+                    }
+                }
+                // else: stray closer, dropped.
+            }
+            _ => {
+                let leaf = Tree::Leaf(t);
+                match stack.last_mut() {
+                    Some(frame) => frame.2.push(leaf),
+                    None => top.push(leaf),
+                }
+            }
+        }
+    }
+    // Unclosed groups at EOF: splice children upward.
+    while let Some((_, _, orphans)) = stack.pop() {
+        match stack.last_mut() {
+            Some(frame) => frame.2.extend(orphans),
+            None => top.extend(orphans),
+        }
+    }
+    top
+}
+
+/// Parse source text straight to trees.
+pub fn parse(src: &str) -> Vec<Tree> {
+    build_trees(crate::lexer::tokenize(src))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_is_folded() {
+        let ts = parse("fn f(a: u32) { g(h[i], (j)); }");
+        // fn, f, (..), {..}
+        assert_eq!(ts.len(), 4);
+        let body = ts[3].group(Delim::Brace).expect("body group");
+        // g, (..), ;
+        assert_eq!(body.len(), 3);
+        let args = body[1].group(Delim::Paren).expect("call args");
+        // h, [..], ',', (..)
+        assert_eq!(args.len(), 4);
+    }
+
+    #[test]
+    fn offsets_survive() {
+        let src = "a { b }";
+        let ts = parse(src);
+        match &ts[1] {
+            Tree::Group { open, close, .. } => {
+                assert_eq!(*open, 2);
+                assert_eq!(*close, 6);
+            }
+            other => panic!("expected group, got {other:?}"),
+        }
+    }
+}

@@ -39,10 +39,10 @@ fn kind_of(t: &TaskTrace, lock: usize) -> Option<AccessKind> {
 /// Returns every violation found (empty = the round is clean).
 pub fn audit_round(traces: &[TaskTrace]) -> Vec<Report> {
     let mut reports = Vec::new();
-    if traces.is_empty() {
+    let Some(first) = traces.first() else {
         return reports;
-    }
-    let epoch = traces[0].epoch;
+    };
+    let epoch = first.epoch;
 
     // (4) Epoch coherence.
     for t in traces {
@@ -338,6 +338,33 @@ mod tests {
                 holder: 5,
             }]
         );
+    }
+
+    /// Edge case: the named holder acquired the contested lock and
+    /// released it (by aborting) entirely within the same epoch. The
+    /// conflict is *stale*, not phantom — the holder's Acquired event
+    /// is on record, so rule (3) must stay silent even though the
+    /// holder no longer holds the lock at audit time.
+    #[test]
+    fn holder_that_released_within_the_epoch_is_not_phantom() {
+        let ts = vec![
+            trace(
+                0,
+                6,
+                Outcome::Aborted,
+                vec![TraceEvent::Conflicted { lock: 2, holder: 5 }],
+            ),
+            // Slot 5 took lock 2, then aborted on a different conflict,
+            // releasing everything — all within epoch 6.
+            trace(
+                5,
+                6,
+                Outcome::Aborted,
+                vec![acq(2), TraceEvent::Conflicted { lock: 9, holder: 1 }],
+            ),
+            trace(1, 6, Outcome::Committed, vec![acq(9)]),
+        ];
+        assert_eq!(audit_round(&ts), vec![]);
     }
 
     #[test]

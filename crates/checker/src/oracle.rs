@@ -35,10 +35,7 @@ use std::collections::HashMap;
 /// Returns at most one report, carrying every divergent slot plus the
 /// full permutation (each slot's acquired lockset in priority order).
 pub fn audit_sequential_round(traces: &[TaskTrace]) -> Option<Report> {
-    if traces.is_empty() {
-        return None;
-    }
-    let epoch = traces[0].epoch;
+    let epoch = traces.first()?.epoch;
     let mut by_slot: Vec<&TaskTrace> = traces.iter().collect();
     by_slot.sort_by_key(|t| t.slot);
 

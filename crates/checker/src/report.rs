@@ -181,6 +181,49 @@ mod tests {
     }
 
     #[test]
+    fn uncovered_access_display_names_all_coordinates() {
+        let r = Report::UncoveredAccess {
+            lock: 11,
+            epoch: 3,
+            slot: 6,
+            kind: AccessKind::Read,
+        };
+        let s = r.to_string();
+        assert!(s.starts_with("UNCOVERED"), "{s}");
+        assert!(s.contains("lock 11"), "{s}");
+        assert!(s.contains("task 6"), "{s}");
+        assert!(s.contains("epoch 3"), "{s}");
+    }
+
+    #[test]
+    fn phantom_conflict_display_names_both_slots() {
+        let r = Report::PhantomConflict {
+            lock: 4,
+            epoch: 9,
+            slot: 2,
+            holder: 5,
+        };
+        let s = r.to_string();
+        assert!(s.starts_with("PHANTOM CONFLICT"), "{s}");
+        assert!(s.contains("lock 4"), "{s}");
+        assert!(s.contains("task 2"), "{s}");
+        assert!(s.contains("holder 5"), "{s}");
+        assert!(s.contains("never acquired"), "{s}");
+    }
+
+    #[test]
+    fn epoch_invariant_display_carries_detail_verbatim() {
+        let r = Report::EpochInvariant {
+            epoch: 77,
+            detail: "epoch stepped 76 -> 80, expected 77".to_string(),
+        };
+        let s = r.to_string();
+        assert!(s.starts_with("EPOCH INVARIANT"), "{s}");
+        assert!(s.contains("at epoch 77"), "{s}");
+        assert!(s.contains("76 -> 80"), "{s}");
+    }
+
+    #[test]
     fn oracle_display_carries_permutation() {
         let r = Report::OracleDivergence {
             epoch: 5,

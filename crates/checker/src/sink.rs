@@ -18,7 +18,7 @@ use crate::lockset;
 use crate::oracle;
 use crate::report::Report;
 use crate::trace::TaskTrace;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// What to do when a round's audit finds violations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -47,6 +47,16 @@ pub struct AuditSink {
     state: Mutex<SinkState>,
 }
 
+/// Recover the sink state even if a checker panic (Panic mode fires
+/// while the lock is held by an unwinding worker) poisoned the mutex:
+/// `SinkState` is a plain log, valid at every intermediate state, and
+/// the sink must stay usable from the round barrier after containment.
+fn recover<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
 impl AuditSink {
     /// A fresh, disarmed sink in [`CheckerMode::Panic`].
     pub fn new() -> Self {
@@ -55,19 +65,19 @@ impl AuditSink {
 
     /// Switch violation handling mode.
     pub fn set_mode(&self, mode: CheckerMode) {
-        self.state.lock().expect("checker sink").mode = mode;
+        recover(self.state.lock()).mode = mode;
     }
 
     /// The active mode.
     pub fn mode(&self) -> CheckerMode {
-        self.state.lock().expect("checker sink").mode
+        recover(self.state.lock()).mode
     }
 
     /// Begin collecting traces for one round. `sequential` marks the
     /// round as inline-in-priority-order, enabling the commit-set
     /// oracle at drain time.
     pub fn arm(&self, sequential: bool) {
-        let mut st = self.state.lock().expect("checker sink");
+        let mut st = recover(self.state.lock());
         st.armed = true;
         st.sequential = sequential;
         st.traces.clear();
@@ -75,7 +85,7 @@ impl AuditSink {
 
     /// Deposit one finished task's trace. Dropped when disarmed.
     pub fn push_trace(&self, t: TaskTrace) {
-        let mut st = self.state.lock().expect("checker sink");
+        let mut st = recover(self.state.lock());
         if st.armed {
             st.traces.push(t);
         }
@@ -89,7 +99,7 @@ impl AuditSink {
     /// if any violation was found.
     pub fn drain_round(&self) {
         let (found, mode) = {
-            let mut st = self.state.lock().expect("checker sink");
+            let mut st = recover(self.state.lock());
             if !st.armed {
                 return;
             }
@@ -103,6 +113,8 @@ impl AuditSink {
             (found, st.mode)
         };
         if mode == CheckerMode::Panic && !found.is_empty() {
+            // PANIC-OK: CheckerMode::Panic is the fail-fast audit mode;
+            // failing the round loudly on a safety violation is its contract.
             panic!("{}", join_reports(&found));
         }
     }
@@ -114,11 +126,12 @@ impl AuditSink {
     /// In [`CheckerMode::Panic`], panics with the report text.
     pub fn report_now(&self, r: Report) {
         let mode = {
-            let mut st = self.state.lock().expect("checker sink");
+            let mut st = recover(self.state.lock());
             st.reports.push(r.clone());
             st.mode
         };
         if mode == CheckerMode::Panic {
+            // PANIC-OK: fail-fast mode, as above.
             panic!("{r}");
         }
     }
@@ -150,12 +163,12 @@ impl AuditSink {
 
     /// Take all accumulated reports (drains the log).
     pub fn take_reports(&self) -> Vec<Report> {
-        std::mem::take(&mut self.state.lock().expect("checker sink").reports)
+        std::mem::take(&mut recover(self.state.lock()).reports)
     }
 
     /// Number of accumulated reports without draining.
     pub fn report_count(&self) -> usize {
-        self.state.lock().expect("checker sink").reports.len()
+        recover(self.state.lock()).reports.len()
     }
 }
 

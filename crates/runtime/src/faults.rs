@@ -363,6 +363,8 @@ impl ArmedFault<'_> {
             kind: self.kind,
         });
         match self.kind {
+            // PANIC-OK: the injected panic is the fault being tested; it is
+            // thrown to be caught by the executor's containment boundary.
             FaultKind::Panic => std::panic::panic_any(InjectedPanic(format!(
                 "injected panic at epoch {} slot {slot}",
                 self.epoch

@@ -124,6 +124,8 @@ impl WorkerPool {
                     .spawn(move || worker_loop(&shared, w));
                 match h {
                     Ok(h) => Some(h),
+                    // PANIC-OK: spawn failure happens at pool construction,
+                    // before any round starts; there is no partial pool to save.
                     Err(e) => panic!("failed to spawn pool worker {w}: {e}"),
                 }
             })
@@ -195,6 +197,8 @@ impl WorkerPool {
         // Wake a queued submitter (if any) now that `job` is cleared.
         self.shared.done_cv.notify_all();
         if panicked {
+            // PANIC-OK: re-raise on the submitter thread a panic that escaped
+            // a job's own containment; swallowing it would corrupt the round.
             panic!("worker pool job panicked");
         }
     }

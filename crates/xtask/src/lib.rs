@@ -25,435 +25,26 @@
 //!    containment promises that a worker survives any task failure,
 //!    which only holds if runtime-internal errors are recovered
 //!    (`faults::recover`) or surfaced as structured aborts rather
-//!    than allowed to panic past the containment boundary. Inline
-//!    `#[cfg(test)]` modules are exempt.
+//!    than allowed to panic past the containment boundary. Code
+//!    inside inline `#[cfg(test)]` module *spans* is exempt.
 //!
-//! The analysis is a layout-preserving lexical strip (comments,
-//! strings, and char literals blanked; nesting and escapes handled)
-//! followed by word-boundary pattern scans, so occurrences inside
-//! comments or string literals never trigger and identifiers such as
-//! `unsafe_op_in_unsafe_fn` never match the `unsafe` keyword.
+//! The rule implementations live in the `optpar-analysis` front end
+//! (one stripping/tokenizing pass shared with the deep analyses —
+//! see `crates/analysis`); this crate is the thin task-runner shell.
+//! The deep analyses (footprint-escape, panic-reachability,
+//! atomic-protocol) run via `cargo run -p xtask -- analyze`.
 //!
-//! Run with `cargo run -p xtask -- lint`.
+//! Run the lexical rules alone with `cargo run -p xtask -- lint`.
 
-use std::fmt;
 use std::path::{Path, PathBuf};
 
-/// Files allowed to use `Ordering::Relaxed`.
-const RELAXED_ALLOWLIST: &[&str] = &["crates/runtime/src/lock.rs", "crates/runtime/src/pool.rs"];
+pub use optpar_analysis::{find_workspace_root, Violation};
 
-/// Files allowed to create OS threads.
-const SPAWN_ALLOWLIST: &[&str] = &["crates/runtime/src/pool.rs"];
-
-/// Round-critical files in which `Instant::now` is banned.
-const INSTANT_BANLIST: &[&str] = &[
-    "crates/runtime/src/lock.rs",
-    "crates/runtime/src/task.rs",
-    "crates/runtime/src/store.rs",
-    "crates/runtime/src/exec.rs",
-];
-
-/// Round-critical runtime modules in which `.unwrap()` / `.expect(`
-/// are banned outside `#[cfg(test)]` code: a panic on these paths
-/// kills a pool worker mid-round, and fault containment depends on
-/// every fallible acquisition going through structured recovery
-/// (`faults::recover` for poisoned mutexes, `Abort` for task-level
-/// failures).
-const UNWRAP_BANLIST: &[&str] = &[
-    "crates/runtime/src/lock.rs",
-    "crates/runtime/src/task.rs",
-    "crates/runtime/src/store.rs",
-    "crates/runtime/src/exec.rs",
-    "crates/runtime/src/pool.rs",
-    "crates/runtime/src/continuous.rs",
-    "crates/runtime/src/faults.rs",
-];
-
-/// One lint finding.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Violation {
-    /// Repo-relative path of the offending file.
-    pub file: String,
-    /// 1-indexed line of the offending token.
-    pub line: usize,
-    /// Which rule fired.
-    pub rule: &'static str,
-    /// Human-readable explanation.
-    pub detail: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.detail
-        )
-    }
-}
-
-/// Blank out comments, string literals, and char literals while
-/// preserving byte positions of everything else (newlines survive, so
-/// line numbers in the stripped text match the original).
-fn strip_source(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = vec![b' '; b.len()];
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'\n' => {
-                out[i] = b'\n';
-                i += 1;
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
-                while i < b.len() && b[i] != b'\n' {
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
-                // Rust block comments nest.
-                let mut depth = 1;
-                i += 2;
-                while i < b.len() && depth > 0 {
-                    if b[i] == b'\n' {
-                        out[i] = b'\n';
-                        i += 1;
-                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                        depth += 1;
-                        i += 2;
-                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-            }
-            b'"' => i = skip_string(b, &mut out, i, 0),
-            b'r' | b'b' if is_raw_string_start(b, i) => {
-                let (start, hashes) = raw_string_params(b, i);
-                // Copy the prefix (`r`, `br`, hashes) as-is; it is code.
-                for (k, o) in out.iter_mut().enumerate().take(start).skip(i) {
-                    *o = b[k];
-                }
-                i = skip_raw_string(b, &mut out, start, hashes);
-            }
-            b'\'' => {
-                // Char literal vs lifetime: a lifetime is `'` followed
-                // by an identifier NOT closed by another `'`.
-                if is_char_literal(b, i) {
-                    out[i] = b'\'';
-                    i += 1;
-                    i = skip_char_literal(b, &mut out, i);
-                } else {
-                    out[i] = b'\'';
-                    i += 1;
-                }
-            }
-            c => {
-                out[i] = c;
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8(out).expect("stripping preserves UTF-8: multibyte chars are copied verbatim")
-}
-
-/// Skip a `"..."` literal starting at `i` (which indexes the quote).
-/// Returns the index just past the closing quote.
-fn skip_string(b: &[u8], out: &mut [u8], i: usize, _hashes: usize) -> usize {
-    out[i] = b'"';
-    let mut i = i + 1;
-    while i < b.len() {
-        match b[i] {
-            b'\\' if i + 1 < b.len() => {
-                i += 2;
-            }
-            b'"' => {
-                out[i] = b'"';
-                return i + 1;
-            }
-            b'\n' => {
-                out[i] = b'\n';
-                i += 1;
-            }
-            _ => i += 1,
-        }
-    }
-    i
-}
-
-/// Does a raw (byte) string literal start at `i`?
-fn is_raw_string_start(b: &[u8], i: usize) -> bool {
-    let mut j = i;
-    if b[j] == b'b' {
-        j += 1;
-    }
-    if j >= b.len() || b[j] != b'r' {
-        return false;
-    }
-    j += 1;
-    while j < b.len() && b[j] == b'#' {
-        j += 1;
-    }
-    j < b.len() && b[j] == b'"'
-}
-
-/// For a raw string at `i`, return (index of the opening quote, hash
-/// count).
-fn raw_string_params(b: &[u8], i: usize) -> (usize, usize) {
-    let mut j = i;
-    if b[j] == b'b' {
-        j += 1;
-    }
-    j += 1; // the `r`
-    let mut hashes = 0;
-    while b[j] == b'#' {
-        hashes += 1;
-        j += 1;
-    }
-    (j, hashes)
-}
-
-/// Skip a raw string whose opening quote is at `i`; the literal ends
-/// at `"` followed by `hashes` `#`s.
-fn skip_raw_string(b: &[u8], out: &mut [u8], i: usize, hashes: usize) -> usize {
-    out[i] = b'"';
-    let mut i = i + 1;
-    while i < b.len() {
-        if b[i] == b'\n' {
-            out[i] = b'\n';
-            i += 1;
-        } else if b[i] == b'"'
-            && b[i + 1..]
-                .iter()
-                .take(hashes)
-                .filter(|&&c| c == b'#')
-                .count()
-                == hashes
-        {
-            out[i] = b'"';
-            return i + 1 + hashes;
-        } else {
-            i += 1;
-        }
-    }
-    i
-}
-
-/// Is the `'` at `i` the start of a char literal (vs a lifetime)?
-fn is_char_literal(b: &[u8], i: usize) -> bool {
-    // `'\...'` is always a char; `'x'` is a char; `'ident` (no closing
-    // quote after one identifier char) is a lifetime.
-    if i + 1 >= b.len() {
-        return false;
-    }
-    if b[i + 1] == b'\\' {
-        return true;
-    }
-    // `'x'` — closed after exactly one char (ASCII fast path; a
-    // multibyte char literal still ends with `'` within a few bytes).
-    for (off, &c) in b[i + 1..].iter().enumerate().take(5) {
-        if c == b'\'' {
-            return off > 0;
-        }
-        if off > 0 && c & 0x80 == 0 && !c.is_ascii_alphanumeric() && c != b'_' {
-            return false;
-        }
-    }
-    false
-}
-
-/// Blank out a char literal body; `i` indexes just past the opening
-/// quote. Returns the index just past the closing quote.
-fn skip_char_literal(b: &[u8], out: &mut [u8], i: usize) -> usize {
-    let mut i = i;
-    while i < b.len() {
-        match b[i] {
-            b'\\' if i + 1 < b.len() => i += 2,
-            b'\'' => {
-                out[i] = b'\'';
-                return i + 1;
-            }
-            _ => i += 1,
-        }
-    }
-    i
-}
-
-/// Byte offset → 1-indexed line number.
-fn line_of(src: &str, offset: usize) -> usize {
-    src.as_bytes()[..offset]
-        .iter()
-        .filter(|&&c| c == b'\n')
-        .count()
-        + 1
-}
-
-/// Word-boundary check: `pat` found at `pos` in `hay` must not be
-/// flanked by identifier characters.
-fn is_word_bounded(hay: &str, pos: usize, len: usize) -> bool {
-    let b = hay.as_bytes();
-    let before_ok = pos == 0 || {
-        let c = b[pos - 1];
-        !(c.is_ascii_alphanumeric() || c == b'_')
-    };
-    let after_ok = pos + len >= b.len() || {
-        let c = b[pos + len];
-        !(c.is_ascii_alphanumeric() || c == b'_')
-    };
-    before_ok && after_ok
-}
-
-/// All raw (not word-bounded) occurrences of `pat` in `hay`, as byte
-/// offsets. Used for patterns that begin with punctuation (`.unwrap()`),
-/// where the word-boundary check would reject the identifier that
-/// necessarily precedes the dot.
-fn find_all_raw(hay: &str, pat: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(p) = hay[from..].find(pat) {
-        out.push(from + p);
-        from = from + p + 1;
-    }
-    out
-}
-
-/// Byte offset at which a file's inline test module starts (the
-/// earliest `#[cfg(test)]` / `#[cfg(all(test` attribute in stripped
-/// source), or the end of the file if it has none. Test code below the
-/// cut is exempt from the runtime-panic rules.
-fn test_module_cut(stripped: &str) -> usize {
-    [
-        stripped.find("#[cfg(test)]"),
-        stripped.find("#[cfg(all(test"),
-    ]
-    .into_iter()
-    .flatten()
-    .min()
-    .unwrap_or(stripped.len())
-}
-
-/// All word-bounded occurrences of `pat` in `hay`, as byte offsets.
-fn find_all(hay: &str, pat: &str) -> Vec<usize> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(p) = hay[from..].find(pat) {
-        let pos = from + p;
-        if is_word_bounded(hay, pos, pat.len()) {
-            out.push(pos);
-        }
-        from = pos + 1;
-    }
-    out
-}
-
-/// Does the `unsafe` token on 1-indexed line `ln` have a `// SAFETY:`
-/// comment on its own line or in the contiguous comment/attribute
-/// block above it?
-fn has_safety_comment(lines: &[&str], ln: usize) -> bool {
-    if lines[ln - 1].contains("SAFETY:") {
-        return true;
-    }
-    let mut i = ln - 1; // 0-indexed line of the token; walk upward
-    while i > 0 {
-        i -= 1;
-        let t = lines[i].trim_start();
-        if t.is_empty() || t.starts_with("#[") || t.starts_with("#!") || t == ")]" {
-            continue;
-        }
-        if t.starts_with("//") || t.starts_with("/*") || t.starts_with('*') || t.ends_with("*/") {
-            if t.contains("SAFETY:") {
-                return true;
-            }
-            continue;
-        }
-        return false;
-    }
-    false
-}
-
-/// Lint one file's source. `rel` is its repo-relative path (forward
-/// slashes), which decides allowlist membership.
+/// Lint one file's source against the five lexical rules. `rel` is its
+/// repo-relative path (forward slashes), which decides allowlist
+/// membership.
 pub fn lint_file(rel: &str, src: &str) -> Vec<Violation> {
-    let stripped = strip_source(src);
-    let lines: Vec<&str> = src.lines().collect();
-    let mut out = Vec::new();
-
-    if !RELAXED_ALLOWLIST.contains(&rel) {
-        for pos in find_all(&stripped, "Ordering::Relaxed") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: line_of(src, pos),
-                rule: "relaxed-ordering",
-                detail: "Ordering::Relaxed outside the audited allowlist \
-                         (crates/runtime/src/{lock,pool}.rs); use Acquire/Release/AcqRel"
-                    .to_string(),
-            });
-        }
-    }
-
-    for pos in find_all(&stripped, "unsafe") {
-        let ln = line_of(src, pos);
-        if !has_safety_comment(&lines, ln) {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: ln,
-                rule: "unsafe-without-safety",
-                detail: "`unsafe` without a `// SAFETY:` comment stating its invariant".to_string(),
-            });
-        }
-    }
-
-    if !SPAWN_ALLOWLIST.contains(&rel) {
-        for pat in ["thread::spawn", "thread::Builder"] {
-            for pos in find_all(&stripped, pat) {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: line_of(src, pos),
-                    rule: "stray-thread-spawn",
-                    detail: format!(
-                        "{pat} outside crates/runtime/src/pool.rs; all OS threads \
-                         come from the WorkerPool"
-                    ),
-                });
-            }
-        }
-    }
-
-    if UNWRAP_BANLIST.contains(&rel) {
-        let cut = test_module_cut(&stripped);
-        for pat in [".unwrap()", ".expect("] {
-            for pos in find_all_raw(&stripped[..cut], pat) {
-                out.push(Violation {
-                    file: rel.to_string(),
-                    line: line_of(src, pos),
-                    rule: "unwrap-in-round-path",
-                    detail: format!(
-                        "{pat} in a round-critical runtime module panics past the \
-                         containment boundary and kills a pool worker; recover the \
-                         error (faults::recover for poisoned mutexes) or surface it \
-                         as an Abort/TaskFault"
-                    ),
-                });
-            }
-        }
-    }
-
-    if INSTANT_BANLIST.contains(&rel) {
-        for pos in find_all(&stripped, "Instant::now") {
-            out.push(Violation {
-                file: rel.to_string(),
-                line: line_of(src, pos),
-                rule: "instant-in-round-path",
-                detail: "Instant::now in a round-critical file skews the measured \
-                         conflict ratio; time at round granularity in the driver instead"
-                    .to_string(),
-            });
-        }
-    }
-
-    out
+    optpar_analysis::lint_source(rel, src)
 }
 
 /// Directories never descended into.
@@ -504,22 +95,6 @@ pub fn lint_workspace(root: &Path) -> Vec<Violation> {
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
-}
-
-/// Locate the workspace root: the nearest ancestor of `start` whose
-/// `Cargo.toml` declares `[workspace]`.
-pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
-    let mut dir = Some(start.to_path_buf());
-    while let Some(d) = dir {
-        let manifest = d.join("Cargo.toml");
-        if let Ok(s) = std::fs::read_to_string(&manifest) {
-            if s.contains("[workspace]") {
-                return Some(d);
-            }
-        }
-        dir = d.parent().map(Path::to_path_buf);
-    }
-    None
 }
 
 #[cfg(test)]
@@ -587,6 +162,24 @@ mod tests {
             rules_of(&lint_file("crates/runtime/src/exec.rs", above)),
             vec!["unwrap-in-round-path"]
         );
+    }
+
+    /// Regression test for the cut-based exemption bug: the historical
+    /// `test_module_cut` exempted *everything below* the first
+    /// `#[cfg(test)]` attribute. The exemption is span-based now, so
+    /// live code after an inline test module is still linted.
+    #[test]
+    fn code_below_an_inline_test_module_is_still_linted() {
+        let src = "pub fn before() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { Some(1).unwrap(); }\n\
+                   }\n\
+                   pub fn after(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        let vs = lint_file("crates/runtime/src/exec.rs", src);
+        assert_eq!(rules_of(&vs), vec!["unwrap-in-round-path"], "{vs:?}");
+        assert_eq!(vs[0].line, 7, "only the live unwrap below the module");
     }
 
     #[test]

@@ -1,9 +1,15 @@
-//! `cargo run -p xtask -- lint [files...]`
+//! `cargo run -p xtask -- lint [files...]` — the five lexical rules.
+//! `cargo run -p xtask -- analyze [--write-protocol]` — lexical rules
+//! plus the deep static analyses (footprint-escape,
+//! panic-reachability, atomic-protocol contract).
 //!
-//! With no file arguments, lints every `.rs` file in the workspace
-//! (excluding `target/`, `vendor/`, and `fixtures/`). With arguments,
-//! lints exactly those files, resolving allowlists against their
-//! workspace-relative paths. Exits nonzero if any violation is found.
+//! `lint` with no file arguments lints every `.rs` file in the
+//! workspace (excluding `target/`, `vendor/`, and `fixtures/`); with
+//! arguments it lints exactly those files, resolving allowlists
+//! against their workspace-relative paths. `analyze` always runs over
+//! the whole workspace; `--write-protocol` re-blesses `PROTOCOL.toml`
+//! from the current code instead of diffing against it. Both exit
+//! nonzero if any violation is found.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -12,19 +18,43 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
+        Some("analyze") => analyze(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [files...]");
+            eprintln!("usage: cargo run -p xtask -- lint [files...] | analyze [--write-protocol]");
             ExitCode::from(2)
         }
     }
 }
 
+fn workspace_root() -> Option<std::path::PathBuf> {
+    let cwd = std::env::current_dir().ok()?;
+    match xtask::find_workspace_root(&cwd) {
+        Some(root) => Some(root),
+        None => {
+            eprintln!("xtask: no workspace root found above {}", cwd.display());
+            None
+        }
+    }
+}
+
+fn report(kind: &str, violations: &[xtask::Violation]) -> ExitCode {
+    if violations.is_empty() {
+        println!("xtask {kind}: clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in violations {
+            println!("{v}");
+        }
+        println!("xtask {kind}: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn lint(files: &[String]) -> ExitCode {
-    let cwd = std::env::current_dir().expect("current dir");
-    let Some(root) = xtask::find_workspace_root(&cwd) else {
-        eprintln!("xtask: no workspace root found above {}", cwd.display());
+    let Some(root) = workspace_root() else {
         return ExitCode::from(2);
     };
+    let cwd = std::env::current_dir().expect("current dir");
 
     let violations = if files.is_empty() {
         xtask::lint_workspace(&root)
@@ -47,15 +77,28 @@ fn lint(files: &[String]) -> ExitCode {
         }
         out
     };
+    report("lint", &violations)
+}
 
-    if violations.is_empty() {
-        println!("xtask lint: clean");
-        ExitCode::SUCCESS
-    } else {
-        for v in &violations {
-            println!("{v}");
+fn analyze(args: &[String]) -> ExitCode {
+    let Some(root) = workspace_root() else {
+        return ExitCode::from(2);
+    };
+    if args.iter().any(|a| a == "--write-protocol") {
+        let ws = optpar_analysis::Workspace::load(&root);
+        let toml = optpar_analysis::protocol_toml(&ws);
+        let path = root.join("PROTOCOL.toml");
+        if let Err(e) = std::fs::write(&path, &toml) {
+            eprintln!("xtask: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
         }
-        println!("xtask lint: {} violation(s)", violations.len());
-        ExitCode::FAILURE
+        println!(
+            "xtask analyze: blessed {} ({} atomic entries)",
+            path.display(),
+            toml.matches("[[atomic]]").count()
+        );
+        return ExitCode::SUCCESS;
     }
+    let violations = optpar_analysis::analyze_tree(&root);
+    report("analyze", &violations)
 }
