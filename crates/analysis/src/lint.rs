@@ -14,7 +14,11 @@ use crate::report::Violation;
 use crate::tree::build_trees;
 
 /// Files allowed to use `Ordering::Relaxed`.
-const RELAXED_ALLOWLIST: &[&str] = &["crates/runtime/src/lock.rs", "crates/runtime/src/pool.rs"];
+const RELAXED_ALLOWLIST: &[&str] = &[
+    "crates/runtime/src/lock.rs",
+    "crates/runtime/src/pool.rs",
+    "crates/obs/src/ring.rs",
+];
 
 /// Files allowed to create OS threads.
 const SPAWN_ALLOWLIST: &[&str] = &["crates/runtime/src/pool.rs"];
@@ -100,7 +104,8 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                 off,
                 "relaxed-ordering",
                 "Ordering::Relaxed outside the audited allowlist \
-                 (crates/runtime/src/{lock,pool}.rs); use Acquire/Release/AcqRel"
+                 (crates/runtime/src/{lock,pool}.rs, crates/obs/src/ring.rs); \
+                 use Acquire/Release/AcqRel"
                     .to_string(),
                 &mut out,
             );
@@ -266,9 +271,15 @@ mod tests {
     fn allowlists_hold() {
         let relaxed = "fn f(x: &AtomicUsize) { x.load(Ordering::Relaxed); }";
         assert!(lint_source("crates/runtime/src/lock.rs", relaxed).is_empty());
+        assert!(lint_source("crates/obs/src/ring.rs", relaxed).is_empty());
         assert_eq!(
             rules_of(&lint_source("crates/runtime/src/exec.rs", relaxed)),
             vec!["relaxed-ordering"]
+        );
+        assert_eq!(
+            rules_of(&lint_source("crates/obs/src/recorder.rs", relaxed)),
+            vec!["relaxed-ordering"],
+            "only the SPSC ring itself may use Relaxed in the obs crate"
         );
         let spawn = "fn g() { std::thread::Builder::new(); }";
         assert!(lint_source("crates/runtime/src/pool.rs", spawn).is_empty());

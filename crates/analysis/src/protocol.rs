@@ -1,8 +1,9 @@
-//! Atomic-protocol contract: every atomic operation in the two
-//! memory-ordering-critical modules (`lock.rs`, `pool.rs`) is
-//! extracted — file, enclosing symbol, operation, `Ordering` arguments
-//! — and diffed against the checked-in `PROTOCOL.toml` at the
-//! workspace root.
+//! Atomic-protocol contract: every atomic operation in the
+//! memory-ordering-critical modules (`lock.rs`, `pool.rs`, and the
+//! observability layer's SPSC event ring `ring.rs`) is extracted —
+//! file, enclosing symbol, operation, `Ordering` arguments — and
+//! diffed against the checked-in `PROTOCOL.toml` at the workspace
+//! root.
 //!
 //! The point is to make ordering changes *loud*. The epoch/owner
 //! protocol in `LockSpace` is correct for specific acquire/release
@@ -19,7 +20,11 @@ use crate::Workspace;
 use std::collections::BTreeMap;
 
 /// Files under contract.
-const PROTOCOL_FILES: &[&str] = &["crates/runtime/src/lock.rs", "crates/runtime/src/pool.rs"];
+const PROTOCOL_FILES: &[&str] = &[
+    "crates/runtime/src/lock.rs",
+    "crates/runtime/src/pool.rs",
+    "crates/obs/src/ring.rs",
+];
 
 /// Atomic operations tracked by the contract.
 const ATOMIC_OPS: &[&str] = &[

@@ -12,8 +12,21 @@
 //! Emits `BENCH_runtime.json` (schema in EXPERIMENTS.md) next to the
 //! invocation directory in addition to the text table.
 //!
+//! With `--obs` (requires building the bench crate with `--features
+//! obs`) each app is additionally drained twice at a fixed worker
+//! count — recorder detached vs. recorder attached — and the
+//! obs-on/obs-off rounds-per-second ratio is folded into the JSON as
+//! `obs_overhead_rounds_per_s`. The *detached* arm is the production
+//! configuration of an obs build (probes compiled in, every one a
+//! `None` check); comparing its main table against a no-feature
+//! build's pins the ≤2% compiled-probe budget. The *attached* arm
+//! prices the full event stream itself, which on microsecond-scale
+//! rounds (sssp at `m = 32`: ~300 events per ~20µs round) is
+//! dominated by the barrier drain and costs tens of percent — that
+//! is the price of tracing, not of the probes (DESIGN.md §13).
+//!
 //! Usage: `cargo run --release -p optpar-bench --bin throughput
-//! [--smoke]`
+//! [--smoke] [--obs]`
 
 use optpar_apps::boruvka::{BoruvkaOp, WeightedGraph};
 use optpar_apps::delaunay::{DelaunayOp, RefineConfig};
@@ -126,9 +139,75 @@ fn drain<O: Operator>(
     }
 }
 
+/// One obs-on/obs-off A/B measurement: rounds/s with the recorder
+/// detached vs. attached, best of `reps` drains each.
+struct ObsAb {
+    app: &'static str,
+    workers: usize,
+    off_rps: f64,
+    on_rps: f64,
+}
+
+impl ObsAb {
+    /// Tracing overhead as a percentage of obs-off throughput
+    /// (positive = obs is slower).
+    fn overhead_pct(&self) -> f64 {
+        (self.off_rps / self.on_rps - 1.0) * 100.0
+    }
+}
+
+/// Drain the same workload `reps` times per arm — recorder off, then
+/// on — and keep each arm's best rounds/s (min-noise estimator).
+#[cfg(feature = "obs")]
+fn drain_ab<O, F>(app: &'static str, make: F, workers: usize, seed: u64, reps: usize) -> ObsAb
+where
+    O: Operator,
+    F: Fn() -> (LockSpace, O, Vec<O::Task>),
+{
+    let mut off_rps = 0.0f64;
+    let mut on_rps = 0.0f64;
+    for _ in 0..reps {
+        for obs_on in [false, true] {
+            let (space, op, tasks) = make();
+            let mut ex = Executor::new(
+                &op,
+                &space,
+                ExecutorConfig {
+                    workers,
+                    ..ExecutorConfig::default()
+                },
+            );
+            if obs_on {
+                ex.enable_obs(optpar_runtime::obs::ObsConfig::default());
+            }
+            let mut ws = WorkSet::from_vec(tasks);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rounds = 0usize;
+            let t0 = Instant::now();
+            while !ws.is_empty() && rounds < MAX_ROUNDS {
+                let _ = ex.run_round(&mut ws, M, &mut rng);
+                rounds += 1;
+            }
+            let rps = rounds as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+            assert!(ws.is_empty(), "{app}/obs_{obs_on}/w{workers} did not drain");
+            if obs_on {
+                on_rps = on_rps.max(rps);
+            } else {
+                off_rps = off_rps.max(rps);
+            }
+        }
+    }
+    ObsAb {
+        app,
+        workers,
+        off_rps,
+        on_rps,
+    }
+}
+
 /// Render the measurements as `BENCH_runtime.json` (no serde in the
 /// tree; the schema is flat enough to emit by hand).
-fn to_json(smoke: bool, rows: &[Row], speedups: &[(String, f64)]) -> String {
+fn to_json(smoke: bool, rows: &[Row], speedups: &[(String, f64)], obs_ab: &[ObsAb]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"runtime_throughput\",");
@@ -162,12 +241,36 @@ fn to_json(smoke: bool, rows: &[Row], speedups: &[(String, f64)]) -> String {
         let _ = write!(s, "    \"{key}\": {v:.2}");
         s.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
     }
+    s.push_str("  },\n");
+    s.push_str("  \"obs_overhead_rounds_per_s\": {\n");
+    if !obs_ab.is_empty() {
+        s.push_str(
+            "    \"_note\": \"obs_off = obs build with the recorder detached \
+             (compiled probes only; the <=2% budget configuration), obs_on = \
+             recorder attached (prices the full event stream, dominated by \
+             the barrier drain on microsecond-scale rounds)\",\n",
+        );
+    }
+    for (i, ab) in obs_ab.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    \"{}/w{}\": {{\"obs_off\": {:.1}, \"obs_on\": {:.1}, \
+             \"overhead_pct\": {:.2}}}",
+            ab.app,
+            ab.workers,
+            ab.off_rps,
+            ab.on_rps,
+            ab.overhead_pct(),
+        );
+        s.push_str(if i + 1 < obs_ab.len() { ",\n" } else { "\n" });
+    }
     s.push_str("  }\n}\n");
     s
 }
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let obs = std::env::args().any(|a| a == "--obs");
     let worker_counts: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4, 8] };
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut rows: Vec<Row> = Vec::new();
@@ -274,7 +377,92 @@ fn main() {
         println!("  {key:<16} {v:>6.2}x");
     }
 
-    let json = to_json(smoke, &rows, &speedups);
+    // --- Observability overhead A/B ------------------------------------
+    #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+    let mut obs_ab: Vec<ObsAb> = Vec::new();
+    if obs {
+        #[cfg(not(feature = "obs"))]
+        eprintln!(
+            "--obs requested but the bench was built without `--features obs`; \
+             skipping the A/B section"
+        );
+        #[cfg(feature = "obs")]
+        {
+            let reps = if smoke { 3 } else { 5 };
+            let ab_workers = 4;
+            let mut obs_rng = StdRng::seed_from_u64(SEED);
+            {
+                let npts = if smoke { 60 } else { 250 };
+                let area = if smoke { 1e-3 } else { 2e-4 };
+                let mut pts = vec![
+                    Point::new(0.0, 0.0),
+                    Point::new(1.0, 0.0),
+                    Point::new(1.0, 1.0),
+                    Point::new(0.0, 1.0),
+                ];
+                pts.extend(
+                    (0..npts).map(|_| Point::new(obs_rng.random::<f64>(), obs_rng.random::<f64>())),
+                );
+                let mesh = Mesh::delaunay(&pts);
+                let cfg = RefineConfig::area_only(area);
+                obs_ab.push(drain_ab(
+                    "delaunay",
+                    || {
+                        let (space, mut op) = DelaunayOp::with_auto_capacity(&mesh, cfg);
+                        let tasks = op.initial_tasks();
+                        (space, op, tasks)
+                    },
+                    ab_workers,
+                    4,
+                    reps,
+                ));
+            }
+            {
+                let n = if smoke { 400 } else { 3000 };
+                let g = gen::random_with_avg_degree(n, 8.0, &mut obs_rng);
+                let wg = WeightedGraph::random(g, &mut obs_rng);
+                obs_ab.push(drain_ab(
+                    "boruvka",
+                    || {
+                        let (space, op) = BoruvkaOp::new(&wg);
+                        let tasks = op.initial_tasks();
+                        (space, op, tasks)
+                    },
+                    ab_workers,
+                    3,
+                    reps,
+                ));
+            }
+            {
+                let n = if smoke { 1500 } else { 10_000 };
+                let g = gen::random_with_avg_degree(n, 8.0, &mut obs_rng);
+                let input = SsspInput::random(g, 0, 1000, &mut obs_rng);
+                obs_ab.push(drain_ab(
+                    "sssp",
+                    || {
+                        let (space, op) = SsspOp::new(input.clone());
+                        let tasks = op.initial_tasks();
+                        (space, op, tasks)
+                    },
+                    ab_workers,
+                    5,
+                    reps,
+                ));
+            }
+            println!("\nobs-on vs obs-off rounds/s (best of {reps}, w{ab_workers}):");
+            for ab in &obs_ab {
+                println!(
+                    "  {:<10} off {:>9.1}  on {:>9.1}  overhead {:>5.2}%",
+                    ab.app,
+                    ab.off_rps,
+                    ab.on_rps,
+                    ab.overhead_pct()
+                );
+            }
+        }
+    }
+
+    let json = to_json(smoke, &rows, &speedups, &obs_ab);
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("\nwrote BENCH_runtime.json ({} configs)", rows.len());
 }

@@ -1,0 +1,45 @@
+//! Round-structured observability for the speculative runtime.
+//!
+//! The design follows the shape of the executor itself (DESIGN.md §13):
+//! each worker owns a single-producer single-consumer ring buffer
+//! ([`EventRing`]) into which the hot path records fixed-size typed
+//! [`Event`]s with plain atomic loads/stores — no locks, no
+//! allocation, no syscalls. At the round barrier, where the executor
+//! already serializes to merge results and bump the epoch, the
+//! [`Recorder`] drains every ring into one ordered [`EventLog`] and
+//! stamps the controller-track events (round begin/end, `m(t)`,
+//! `r̄(t)`, epoch bumps, audit findings).
+//!
+//! Everything downstream is offline: [`MetricsRegistry::from_log`]
+//! folds the log into counters and fixed-bucket histograms,
+//! [`export::chrome_trace`] emits a Perfetto-loadable trace with one
+//! track per worker plus a controller track, and
+//! [`validate::validate`] recomputes the per-round accounting from
+//! raw events and cross-checks it against the executor's own
+//! `RoundStats` — a second, independent witness of what each round
+//! actually did.
+//!
+//! Timestamps are *logical ticks*: each ring carries its own monotone
+//! counter, and the controller track has one of its own. Ticks keep
+//! the event stream byte-deterministic at `workers == 1`; wall-clock
+//! time appears only in a per-round nanosecond side channel
+//! ([`EventLog::round_nanos`]) that exporters may use but the event
+//! stream never contains.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+mod event;
+mod metrics;
+mod recorder;
+mod ring;
+
+pub mod export;
+pub mod report;
+pub mod validate;
+
+pub use event::{Event, EventKind, RoundTotals, TracedEvent, CTL_TRACK};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{EventLog, ObsConfig, Recorder};
+pub use ring::EventRing;
+pub use validate::{RoundCheck, ValidationReport};

@@ -1,0 +1,295 @@
+//! Offline metrics: counters + fixed-bucket histograms folded from a
+//! drained [`EventLog`].
+//!
+//! Nothing here runs on the hot path; the registry is computed once
+//! from the event stream after (or between) runs, so it can afford
+//! `BTreeMap`s and string keys. Bucket bounds are fixed powers of two
+//! so histograms from different runs merge and compare trivially.
+
+use crate::event::EventKind;
+use crate::recorder::EventLog;
+use std::collections::BTreeMap;
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper bounds in
+/// ascending order, with one implicit overflow bucket at the end.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram over the given inclusive upper bounds (ascending).
+    pub fn new(bounds: &[u64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Power-of-two bounds `1, 2, 4, ... , 2^(n-1)`.
+    pub fn pow2(n: u32) -> Self {
+        let bounds: Vec<u64> = (0..n).map(|i| 1u64 << i).collect();
+        Histogram::new(&bounds)
+    }
+
+    /// Record one value.
+    pub fn observe(&mut self, v: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c = c.wrapping_add(1);
+        }
+        self.sum = self.sum.wrapping_add(v);
+        self.count = self.count.wrapping_add(1);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean of all observed values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `(upper_bound, count)` pairs; the final pair has
+    /// `u64::MAX` as its bound (the overflow bucket).
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        for (i, &c) in self.counts.iter().enumerate() {
+            let bound = self.bounds.get(i).copied().unwrap_or(u64::MAX);
+            out.push((bound, c));
+        }
+        out
+    }
+}
+
+/// Counters and histograms computed from an [`EventLog`].
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Fold a drained log into the standard metric set.
+    ///
+    /// Counters: `rounds`, `tasks_launched`, `tasks_committed`,
+    /// `tasks_aborted`, `tasks_faulted`, `tasks_spawned`,
+    /// `lock_acquires`, `lock_contentions`, `retries_aged`,
+    /// `epoch_bumps`, `audit_findings`, `events`, `events_dropped`.
+    ///
+    /// Histograms: `task_latency_ticks` (launch→outcome tick delta
+    /// per slot), `retry_depth`, `round_conflict_ratio_pct`
+    /// (`aborted * 100 / launched` per round), `round_latency_us`
+    /// (from the wall-clock side channel).
+    pub fn from_log(log: &EventLog) -> Self {
+        let mut reg = MetricsRegistry::default();
+        let mut task_latency = Histogram::pow2(20);
+        let mut retry_depth = Histogram::pow2(8);
+        let mut conflict_pct = Histogram::new(&[5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+        let mut round_latency = Histogram::pow2(24);
+        // (track, slot) -> launch tick, for task latency.
+        let mut launched_at: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+
+        reg.inc("events", log.events.len() as u64);
+        reg.inc("events_dropped", log.dropped);
+        for te in &log.events {
+            let tick = te.event.tick;
+            match te.event.kind {
+                EventKind::RoundBegin { .. } => {}
+                EventKind::RoundEnd { totals, .. } => {
+                    reg.inc("rounds", 1);
+                    if totals.launched > 0 {
+                        let pct = (u64::from(totals.aborted) * 100) / u64::from(totals.launched);
+                        conflict_pct.observe(pct);
+                    }
+                }
+                EventKind::RetryAged { retries, .. } => {
+                    reg.inc("retries_aged", 1);
+                    retry_depth.observe(u64::from(retries));
+                }
+                EventKind::TaskLaunch { slot, .. } => {
+                    reg.inc("tasks_launched", 1);
+                    launched_at.insert((te.track, slot), tick);
+                }
+                EventKind::TaskCommit { slot, spawned, .. } => {
+                    reg.inc("tasks_committed", 1);
+                    reg.inc("tasks_spawned", u64::from(spawned));
+                    if let Some(t0) = launched_at.remove(&(te.track, slot)) {
+                        task_latency.observe(tick.saturating_sub(t0));
+                    }
+                }
+                EventKind::TaskAbort { slot, .. } => {
+                    reg.inc("tasks_aborted", 1);
+                    if let Some(t0) = launched_at.remove(&(te.track, slot)) {
+                        task_latency.observe(tick.saturating_sub(t0));
+                    }
+                }
+                EventKind::TaskFault { slot, .. } => {
+                    reg.inc("tasks_faulted", 1);
+                    if let Some(t0) = launched_at.remove(&(te.track, slot)) {
+                        task_latency.observe(tick.saturating_sub(t0));
+                    }
+                }
+                EventKind::LockAcquire { .. } => reg.inc("lock_acquires", 1),
+                EventKind::LockContend { .. } => reg.inc("lock_contentions", 1),
+                EventKind::EpochBump { .. } => reg.inc("epoch_bumps", 1),
+                EventKind::Controller { .. } => {}
+                EventKind::Audit { findings } => reg.inc("audit_findings", findings),
+            }
+        }
+        for &nanos in &log.round_nanos {
+            round_latency.observe(nanos / 1_000);
+        }
+        reg.hists
+            .insert("task_latency_ticks".to_string(), task_latency);
+        reg.hists.insert("retry_depth".to_string(), retry_depth);
+        reg.hists
+            .insert("round_conflict_ratio_pct".to_string(), conflict_pct);
+        reg.hists
+            .insert("round_latency_us".to_string(), round_latency);
+        reg
+    }
+
+    fn inc(&mut self, name: &str, by: u64) {
+        let c = self.counters.entry(name.to_string()).or_insert(0);
+        *c = c.wrapping_add(by);
+    }
+
+    /// A counter's value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, RoundTotals, TracedEvent, CTL_TRACK};
+
+    fn te(track: u32, tick: u64, kind: EventKind) -> TracedEvent {
+        TracedEvent {
+            track,
+            event: Event { tick, kind },
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_mean() {
+        let mut h = Histogram::new(&[1, 2, 4]);
+        for v in [0, 1, 2, 3, 4, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.buckets(), [(1, 2), (2, 1), (4, 2), (u64::MAX, 1)]);
+        assert!((h.mean() - 110.0 / 6.0).abs() < 1e-12);
+        assert_eq!(Histogram::new(&[]).mean(), 0.0);
+    }
+
+    #[test]
+    fn from_log_counts_and_latencies() {
+        let log = EventLog {
+            events: vec![
+                te(CTL_TRACK, 0, EventKind::RoundBegin { epoch: 0, m: 2 }),
+                te(0, 0, EventKind::TaskLaunch { slot: 0, epoch: 0 }),
+                te(
+                    0,
+                    3,
+                    EventKind::TaskCommit {
+                        slot: 0,
+                        acquires: 2,
+                        spawned: 1,
+                    },
+                ),
+                te(1, 0, EventKind::TaskLaunch { slot: 1, epoch: 0 }),
+                te(
+                    1,
+                    1,
+                    EventKind::TaskAbort {
+                        slot: 1,
+                        acquires: 0,
+                    },
+                ),
+                te(
+                    1,
+                    2,
+                    EventKind::LockContend {
+                        lock: 9,
+                        slot: 1,
+                        holder: 0,
+                    },
+                ),
+                te(
+                    CTL_TRACK,
+                    1,
+                    EventKind::RoundEnd {
+                        epoch: 0,
+                        m: 2,
+                        totals: RoundTotals {
+                            launched: 2,
+                            committed: 1,
+                            aborted: 1,
+                            faulted: 0,
+                            spawned: 1,
+                        },
+                    },
+                ),
+                te(CTL_TRACK, 2, EventKind::EpochBump { old: 0, new: 1 }),
+            ],
+            dropped: 0,
+            round_nanos: vec![5_000],
+        };
+        let reg = MetricsRegistry::from_log(&log);
+        assert_eq!(reg.counter("rounds"), 1);
+        assert_eq!(reg.counter("tasks_launched"), 2);
+        assert_eq!(reg.counter("tasks_committed"), 1);
+        assert_eq!(reg.counter("tasks_aborted"), 1);
+        assert_eq!(reg.counter("tasks_spawned"), 1);
+        assert_eq!(reg.counter("lock_contentions"), 1);
+        assert_eq!(reg.counter("epoch_bumps"), 1);
+        assert_eq!(reg.counter("nonexistent"), 0);
+        let lat = reg.histogram("task_latency_ticks").expect("hist");
+        assert_eq!(lat.count(), 2);
+        assert_eq!(lat.sum(), 4); // 3 + 1 ticks
+        let pct = reg.histogram("round_conflict_ratio_pct").expect("hist");
+        assert_eq!(pct.count(), 1);
+        assert_eq!(pct.sum(), 50); // 1 abort / 2 launched
+        let rl = reg.histogram("round_latency_us").expect("hist");
+        assert_eq!(rl.sum(), 5);
+    }
+}

@@ -1,0 +1,253 @@
+//! Offline trace/metrics summarizer behind `cargo run -p xtask --
+//! report <file>`.
+//!
+//! The summarizer consumes the three formats this crate emits —
+//! Chrome trace JSON, metrics JSONL, canonical event JSONL — and
+//! prints a human-oriented digest. Since every format is emitted
+//! one record per line by [`crate::export`], parsing is line-oriented
+//! string scanning; there is no JSON parser in the workspace and none
+//! is needed for formats we ourselves produce.
+
+use std::collections::BTreeMap;
+
+/// Pull the raw value text following `"key":` on `line`, up to the
+/// next `,` or closing brace/bracket at the same nesting level.
+fn field_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' if depth == 0 => return Some(rest[..i].trim()),
+            '}' | ']' => depth -= 1,
+            ',' if depth == 0 => return Some(rest[..i].trim()),
+            _ => {}
+        }
+    }
+    Some(rest.trim())
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    field_raw(line, key).map(|v| v.trim_matches('"'))
+}
+
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+fn field_f64(line: &str, key: &str) -> Option<f64> {
+    field_raw(line, key)?.parse().ok()
+}
+
+/// Summarize trace/metrics text in any of the three emitted formats.
+/// Returns the digest, or an error for unrecognized content.
+pub fn summarize(content: &str) -> Result<String, String> {
+    if content.contains("\"traceEvents\"") {
+        Ok(summarize_chrome(content))
+    } else if content.lines().any(|l| l.contains("\"metric\"")) {
+        Ok(summarize_metrics(content))
+    } else if content.lines().any(|l| l.contains("\"kind\"")) {
+        Ok(summarize_events(content))
+    } else {
+        Err(
+            "unrecognized input: expected a Chrome trace (traceEvents), a metrics \
+             JSONL (\"metric\" lines), or an event JSONL (\"kind\" lines)"
+                .to_string(),
+        )
+    }
+}
+
+fn summarize_chrome(content: &str) -> String {
+    let mut by_name: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tracks: BTreeMap<u64, String> = BTreeMap::new();
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    let mut counters = 0u64;
+    for line in content.lines() {
+        let Some(ph) = field_str(line, "ph") else {
+            continue;
+        };
+        match ph {
+            "M" => {
+                if let (Some(tid), Some(name)) = (
+                    field_u64(line, "tid"),
+                    field_raw(line, "args").and_then(|a| field_str(a, "name")),
+                ) {
+                    tracks.insert(tid, name.to_string());
+                }
+            }
+            "X" => {
+                spans += 1;
+                if let Some(name) = field_str(line, "name") {
+                    // Collapse per-slot span names ("task 3 commit")
+                    // to their class.
+                    let class = if name.starts_with("task ") {
+                        let outcome = name.rsplit(' ').next().unwrap_or("task");
+                        format!("task {outcome}")
+                    } else if name.starts_with("round ") {
+                        "round".to_string()
+                    } else {
+                        name.to_string()
+                    };
+                    *by_name.entry(class).or_insert(0) += 1;
+                }
+            }
+            "i" => instants += 1,
+            "C" => counters += 1,
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "chrome trace: {} track(s), {spans} span(s), {instants} instant(s), {counters} counter sample(s)\n",
+        tracks.len()
+    ));
+    for (tid, name) in &tracks {
+        out.push_str(&format!("  track {tid}: {name}\n"));
+    }
+    for (name, n) in &by_name {
+        out.push_str(&format!("  {name}: {n}\n"));
+    }
+    out
+}
+
+fn summarize_metrics(content: &str) -> String {
+    let mut out = String::from("metrics snapshot:\n");
+    for line in content.lines() {
+        let (Some(metric), Some(ty)) = (field_str(line, "metric"), field_str(line, "type")) else {
+            continue;
+        };
+        match ty {
+            "counter" => {
+                let v = field_u64(line, "value").unwrap_or(0);
+                out.push_str(&format!("  {metric}: {v}\n"));
+            }
+            "histogram" => {
+                let count = field_u64(line, "count").unwrap_or(0);
+                let mean = field_f64(line, "mean").unwrap_or(0.0);
+                out.push_str(&format!("  {metric}: n={count} mean={mean:.2}\n"));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn summarize_events(content: &str) -> String {
+    let mut by_kind: BTreeMap<String, u64> = BTreeMap::new();
+    let mut tracks: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rounds = 0u64;
+    let mut launched = 0u64;
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut faulted = 0u64;
+    for line in content.lines() {
+        let Some(kind) = field_str(line, "kind") else {
+            continue;
+        };
+        *by_kind.entry(kind.to_string()).or_insert(0) += 1;
+        if let Some(track) = field_u64(line, "track") {
+            *tracks.entry(track).or_insert(0) += 1;
+        }
+        if kind == "round_end" {
+            rounds += 1;
+            launched += field_u64(line, "launched").unwrap_or(0);
+            committed += field_u64(line, "committed").unwrap_or(0);
+            aborted += field_u64(line, "aborted").unwrap_or(0);
+            faulted += field_u64(line, "faulted").unwrap_or(0);
+        }
+    }
+    let mut out = format!(
+        "event stream: {} event(s) on {} track(s), {rounds} round(s)\n",
+        by_kind.values().sum::<u64>(),
+        tracks.len()
+    );
+    if launched > 0 {
+        out.push_str(&format!(
+            "  totals: launched {launched}, committed {committed}, aborted {aborted}, \
+             faulted {faulted} (conflict ratio {:.3})\n",
+            aborted as f64 / launched as f64
+        ));
+    }
+    for (kind, n) in &by_kind {
+        out.push_str(&format!("  {kind}: {n}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, RoundTotals, TracedEvent, CTL_TRACK};
+    use crate::export;
+    use crate::metrics::MetricsRegistry;
+    use crate::recorder::EventLog;
+
+    fn sample_log() -> EventLog {
+        let mk = |track, tick, kind| TracedEvent {
+            track,
+            event: Event { tick, kind },
+        };
+        EventLog {
+            events: vec![
+                mk(CTL_TRACK, 0, EventKind::RoundBegin { epoch: 0, m: 1 }),
+                mk(0, 0, EventKind::TaskLaunch { slot: 0, epoch: 0 }),
+                mk(
+                    0,
+                    1,
+                    EventKind::TaskCommit {
+                        slot: 0,
+                        acquires: 0,
+                        spawned: 0,
+                    },
+                ),
+                mk(
+                    CTL_TRACK,
+                    1,
+                    EventKind::RoundEnd {
+                        epoch: 0,
+                        m: 1,
+                        totals: RoundTotals {
+                            launched: 1,
+                            committed: 1,
+                            ..RoundTotals::default()
+                        },
+                    },
+                ),
+            ],
+            dropped: 0,
+            round_nanos: vec![100],
+        }
+    }
+
+    #[test]
+    fn summarizes_all_three_formats() {
+        let log = sample_log();
+        let ev = summarize(&export::events_jsonl(&log)).expect("events");
+        assert!(ev.contains("1 round(s)"), "{ev}");
+        assert!(ev.contains("task_commit: 1"), "{ev}");
+        let tr = summarize(&export::chrome_trace(&log)).expect("trace");
+        assert!(tr.contains("chrome trace"), "{tr}");
+        assert!(tr.contains("controller"), "{tr}");
+        let m =
+            summarize(&export::metrics_jsonl(&MetricsRegistry::from_log(&log))).expect("metrics");
+        assert!(m.contains("tasks_committed: 1"), "{m}");
+        assert!(m.contains("task_latency_ticks"), "{m}");
+    }
+
+    #[test]
+    fn rejects_unknown_content() {
+        assert!(summarize("hello world").is_err());
+    }
+
+    #[test]
+    fn field_extraction_handles_nesting() {
+        let line = "{\"a\":1,\"args\":{\"name\":\"worker 0\",\"n\":2},\"b\":3}";
+        assert_eq!(field_u64(line, "a"), Some(1));
+        assert_eq!(field_u64(line, "b"), Some(3));
+        let args = field_raw(line, "args").expect("args");
+        assert_eq!(field_str(args, "name"), Some("worker 0"));
+    }
+}

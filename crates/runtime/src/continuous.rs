@@ -27,6 +27,7 @@
 use crate::exec::{Executor, WorkSet};
 use crate::faults::{recover, TaskFault};
 use crate::lock::{state, ConflictPolicy};
+use crate::probe::obs_emit;
 use crate::stats::{RoundStats, RunStats};
 use crate::task::{Abort, Operator, TaskCtx};
 use optpar_core::control::Controller;
@@ -124,6 +125,17 @@ impl<O: Operator> Executor<'_, O> {
             ws_.ctl
                 .observe((da + df) as f64 / launched as f64, launched);
             target.store(ws_.ctl.current_m(), Ordering::Release);
+            // Drain the worker rings and plot the controller's new
+            // trajectory point (no round barrier exists to do it).
+            #[cfg(feature = "obs")]
+            if let Some(rec) = self.recorder() {
+                rec.drain_workers();
+                rec.controller(
+                    ws_.ctl.current_m() as u64,
+                    (da + df) as f64 / launched as f64,
+                    ws_.ctl.target_rho(),
+                );
+            }
             ws_.rounds.push(RoundStats {
                 m,
                 launched,
@@ -137,6 +149,7 @@ impl<O: Operator> Executor<'_, O> {
 
         let worker = |w: usize| {
             let mut wrng = StdRng::seed_from_u64(base_seed ^ (w as u64) << 32);
+            let probe = self.probe_for(w);
             loop {
                 if done.load(Ordering::Acquire) {
                     break;
@@ -171,6 +184,14 @@ impl<O: Operator> Executor<'_, O> {
                 // Use the worker index as the (recycled) slot.
                 states[w].store(state::ACQUIRING, Ordering::Release);
                 let mut cx = TaskCtx::new(w, self.space(), &states, ConflictPolicy::FirstWins);
+                cx.attach_probe(probe);
+                obs_emit!(
+                    probe,
+                    optpar_obs::EventKind::TaskLaunch {
+                        slot: w as u32,
+                        epoch: self.space().epoch(),
+                    }
+                );
                 #[cfg(feature = "faults")]
                 if let Some(plan) = self.fault_plan() {
                     cx.arm_fault(plan, self.space().epoch());
@@ -179,6 +200,8 @@ impl<O: Operator> Executor<'_, O> {
                 // executor: roll back, release, re-queue, keep the
                 // worker.
                 let outcome = catch_unwind(AssertUnwindSafe(|| self.op().execute(&task, &mut cx)));
+                #[cfg(feature = "obs")]
+                let acquires = cx.acquires;
                 let aborted = match outcome {
                     Ok(Ok(spawned)) => match cx.finish_commit() {
                         Some(lockset) => {
@@ -186,6 +209,14 @@ impl<O: Operator> Executor<'_, O> {
                             // continuous mode (no barrier).
                             crate::lock::release_all(self.space(), w, &lockset);
                             counters.committed.fetch_add(1, Ordering::AcqRel);
+                            obs_emit!(
+                                probe,
+                                optpar_obs::EventKind::TaskCommit {
+                                    slot: w as u32,
+                                    acquires: acquires as u32,
+                                    spawned: spawned.len() as u32,
+                                }
+                            );
                             if !spawned.is_empty() {
                                 let mut q = recover(shared_ws.lock());
                                 q.extend(spawned);
@@ -197,6 +228,13 @@ impl<O: Operator> Executor<'_, O> {
                             // this is unreachable — but book it as an
                             // abort rather than crashing the worker.
                             counters.aborted.fetch_add(1, Ordering::AcqRel);
+                            obs_emit!(
+                                probe,
+                                optpar_obs::EventKind::TaskAbort {
+                                    slot: w as u32,
+                                    acquires: acquires as u32,
+                                }
+                            );
                             recover(shared_ws.lock()).push(task);
                             true
                         }
@@ -209,6 +247,13 @@ impl<O: Operator> Executor<'_, O> {
                         cx.finish_abort();
                         if matches!(abort, Abort::Fault) {
                             counters.faulted.fetch_add(1, Ordering::AcqRel);
+                            obs_emit!(
+                                probe,
+                                optpar_obs::EventKind::TaskFault {
+                                    slot: w as u32,
+                                    cause: crate::faults::FaultCause::Injected.code(),
+                                }
+                            );
                             self.log_fault(TaskFault {
                                 epoch: self.space().epoch(),
                                 slot: Some(w),
@@ -217,6 +262,13 @@ impl<O: Operator> Executor<'_, O> {
                             });
                         } else {
                             counters.aborted.fetch_add(1, Ordering::AcqRel);
+                            obs_emit!(
+                                probe,
+                                optpar_obs::EventKind::TaskAbort {
+                                    slot: w as u32,
+                                    acquires: acquires as u32,
+                                }
+                            );
                         }
                         recover(shared_ws.lock()).push(task);
                         true
@@ -227,6 +279,13 @@ impl<O: Operator> Executor<'_, O> {
                         cx.finish_abort();
                         counters.faulted.fetch_add(1, Ordering::AcqRel);
                         let (cause, detail) = crate::faults::classify_panic(payload.as_ref());
+                        obs_emit!(
+                            probe,
+                            optpar_obs::EventKind::TaskFault {
+                                slot: w as u32,
+                                cause: cause.code(),
+                            }
+                        );
                         self.log_fault(TaskFault {
                             epoch: self.space().epoch(),
                             slot: Some(w),
@@ -268,6 +327,12 @@ impl<O: Operator> Executor<'_, O> {
         // Flush the final partial window.
         let mut st = recover(winstate.into_inner());
         flush(&mut st);
+        // `flush` only drains on a non-empty window; sweep up whatever
+        // the last partial window left in the rings.
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.recorder() {
+            rec.drain_workers();
+        }
         let run = RunStats { rounds: st.rounds };
         debug_assert!(self.space().check_all_free().is_ok());
         *ws = recover(shared_ws.into_inner());

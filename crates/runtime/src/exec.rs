@@ -37,6 +37,7 @@
 use crate::faults::{FaultCause, FaultLog, TaskFault};
 use crate::lock::{state, ConflictPolicy, LockSpace};
 use crate::pool::WorkerPool;
+use crate::probe::{obs_emit, Probe};
 use crate::stats::{RoundStats, RunStats};
 use crate::task::{Operator, TaskCtx};
 use optpar_core::control::Controller;
@@ -259,6 +260,10 @@ pub struct Executor<'a, O: Operator> {
     /// Deterministic fault-injection plan (feature `faults`).
     #[cfg(feature = "faults")]
     fault_plan: Option<&'a crate::faults::FaultPlan>,
+    /// Attached observability recorder (feature `obs`): per-worker
+    /// event rings drained at the round barrier.
+    #[cfg(feature = "obs")]
+    recorder: Option<optpar_obs::Recorder>,
 }
 
 impl<O: Operator> std::fmt::Debug for Executor<'_, O> {
@@ -317,6 +322,8 @@ impl<'a, O: Operator> Executor<'a, O> {
             faults: Mutex::new(FaultLog::default()),
             #[cfg(feature = "faults")]
             fault_plan: None,
+            #[cfg(feature = "obs")]
+            recorder: None,
         }
     }
 
@@ -383,6 +390,52 @@ impl<'a, O: Operator> Executor<'a, O> {
         self.fault_plan
     }
 
+    /// Attach an observability recorder sized for this executor's
+    /// worker count. Subsequent rounds record events into per-worker
+    /// rings and drain them at the barrier.
+    #[cfg(feature = "obs")]
+    pub fn enable_obs(&mut self, cfg: optpar_obs::ObsConfig) {
+        self.recorder = Some(optpar_obs::Recorder::new(self.cfg.workers, cfg));
+    }
+
+    /// The attached recorder, if any (snapshot/take its [`EventLog`]
+    /// from here).
+    ///
+    /// [`EventLog`]: optpar_obs::EventLog
+    #[cfg(feature = "obs")]
+    pub fn recorder(&self) -> Option<&optpar_obs::Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Worker `w`'s event-ring probe.
+    #[cfg(feature = "obs")]
+    pub(crate) fn probe_for(&self, w: usize) -> Probe<'_> {
+        self.recorder.as_ref().and_then(|r| r.ring(w))
+    }
+
+    /// Worker `w`'s event-ring probe (zero-sized no-op without `obs`).
+    #[cfg(not(feature = "obs"))]
+    pub(crate) fn probe_for(&self, _w: usize) -> Probe<'_> {
+        crate::probe::no_probe()
+    }
+
+    /// Round prologue on the controller track: `RoundBegin` plus one
+    /// `RetryAged` per drawn task that crossed the retry budget (they
+    /// lead the prefix by the aging rule).
+    #[cfg(feature = "obs")]
+    fn obs_round_begin(&self, m: usize, batch: &[Entry<O::Task>]) {
+        if let Some(rec) = self.recorder.as_ref() {
+            rec.round_begin(self.space.epoch(), m as u64);
+            if self.cfg.retry_budget != u32::MAX {
+                for (slot, e) in batch.iter().enumerate() {
+                    if e.retries >= self.cfg.retry_budget {
+                        rec.retry_aged(slot as u32, e.retries);
+                    }
+                }
+            }
+        }
+    }
+
     /// Run one round launching up to `m` tasks from `ws`.
     ///
     /// Tasks whose retry count has reached
@@ -411,7 +464,20 @@ impl<'a, O: Operator> Executor<'a, O> {
         }
         let batch = ws.sample_drain_aged(m, rng, self.cfg.retry_budget);
         let launched = batch.len();
+        #[cfg(feature = "obs")]
+        self.obs_round_begin(m, &batch);
         if launched == 0 {
+            // Keep the trace's round segments 1:1 with RoundStats even
+            // for the degenerate empty round (which bumps no epoch).
+            #[cfg(feature = "obs")]
+            if let Some(rec) = self.recorder.as_ref() {
+                rec.round_end(
+                    self.space.epoch(),
+                    m as u64,
+                    optpar_obs::RoundTotals::default(),
+                    0,
+                );
+            }
             return RoundStats {
                 m,
                 ..RoundStats::default()
@@ -459,7 +525,7 @@ impl<'a, O: Operator> Executor<'a, O> {
             _ => batch
                 .iter()
                 .enumerate()
-                .map(|(slot, e)| self.run_task(slot, &e.task, states))
+                .map(|(slot, e)| self.run_task(slot, &e.task, states, self.probe_for(0)))
                 .collect(),
         };
         drop(scratch);
@@ -480,7 +546,18 @@ impl<'a, O: Operator> Executor<'a, O> {
     ) -> RoundStats {
         let batch = ws.sample_drain_aged(m, rng, self.cfg.retry_budget);
         let launched = batch.len();
+        #[cfg(feature = "obs")]
+        self.obs_round_begin(m, &batch);
         if launched == 0 {
+            #[cfg(feature = "obs")]
+            if let Some(rec) = self.recorder.as_ref() {
+                rec.round_end(
+                    self.space.epoch(),
+                    m as u64,
+                    optpar_obs::RoundTotals::default(),
+                    0,
+                );
+            }
             return RoundStats {
                 m,
                 ..RoundStats::default()
@@ -498,7 +575,7 @@ impl<'a, O: Operator> Executor<'a, O> {
             batch
                 .iter()
                 .enumerate()
-                .map(|(slot, e)| self.run_task(slot, &e.task, &states))
+                .map(|(slot, e)| self.run_task(slot, &e.task, &states, self.probe_for(0)))
                 .collect()
         } else {
             let next = AtomicUsize::new(0);
@@ -509,8 +586,9 @@ impl<'a, O: Operator> Executor<'a, O> {
             filled.resize_with(launched, || None);
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| {
+                    .map(|w| {
                         let next = &next;
+                        let probe = self.probe_for(w);
                         s.spawn(move || {
                             let mut local = Vec::new();
                             loop {
@@ -518,7 +596,8 @@ impl<'a, O: Operator> Executor<'a, O> {
                                 if i >= batch_ref.len() {
                                     break;
                                 }
-                                local.push((i, self.run_task(i, &batch_ref[i].task, states)));
+                                local
+                                    .push((i, self.run_task(i, &batch_ref[i].task, states, probe)));
                             }
                             local
                         })
@@ -593,9 +672,43 @@ impl<'a, O: Operator> Executor<'a, O> {
         }
         // Audit the finished round's traces before the epoch bump (the
         // traces carry the pre-bump epoch).
+        #[cfg(all(feature = "checker", feature = "obs"))]
+        let audit_before = self.space.audit().report_count();
         #[cfg(feature = "checker")]
         self.space.audit().drain_round();
+        // Round barrier from the trace's point of view: drain every
+        // worker ring, stamp audit findings and the round totals, then
+        // record the epoch bump the barrier performs.
+        #[cfg(feature = "obs")]
+        let pre_epoch = self.space.epoch();
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.recorder.as_ref() {
+            #[cfg(feature = "checker")]
+            let findings = (self
+                .space
+                .audit()
+                .report_count()
+                .saturating_sub(audit_before)) as u64;
+            #[cfg(not(feature = "checker"))]
+            let findings = 0u64;
+            rec.round_end(
+                pre_epoch,
+                m as u64,
+                optpar_obs::RoundTotals {
+                    launched: stats.launched as u32,
+                    committed: stats.committed as u32,
+                    aborted: stats.aborted as u32,
+                    faulted: stats.faulted as u32,
+                    spawned: stats.spawned as u32,
+                },
+                findings,
+            );
+        }
         self.space.advance_epoch();
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.recorder.as_ref() {
+            rec.epoch_bump(pre_epoch, self.space.epoch());
+        }
         debug_assert!(self.space.check_all_free().is_ok());
         stats
     }
@@ -639,6 +752,14 @@ impl<'a, O: Operator> Executor<'a, O> {
                 0
             };
             ctl.observe(rs.pressure_ratio(), rs.launched);
+            #[cfg(feature = "obs")]
+            if let Some(rec) = self.recorder.as_ref() {
+                rec.controller(
+                    ctl.current_m() as u64,
+                    rs.pressure_ratio(),
+                    ctl.target_rho(),
+                );
+            }
             run.rounds.push(rs);
         }
         run
@@ -654,8 +775,22 @@ impl<'a, O: Operator> Executor<'a, O> {
     /// because `TaskCtx` snapshots a slot *before* handing out the
     /// `&mut`, so the undo log is complete at every possible unwind
     /// point.
-    fn run_task(&self, slot: usize, task: &O::Task, states: &[AtomicU8]) -> TaskResult<O::Task> {
+    fn run_task(
+        &self,
+        slot: usize,
+        task: &O::Task,
+        states: &[AtomicU8],
+        probe: Probe<'_>,
+    ) -> TaskResult<O::Task> {
+        obs_emit!(
+            probe,
+            optpar_obs::EventKind::TaskLaunch {
+                slot: slot as u32,
+                epoch: self.space.epoch(),
+            }
+        );
         let mut cx = TaskCtx::new(slot, self.space, states, self.cfg.policy);
+        cx.attach_probe(probe);
         #[cfg(feature = "faults")]
         if let Some(plan) = self.fault_plan {
             cx.arm_fault(plan, self.space.epoch());
@@ -666,8 +801,27 @@ impl<'a, O: Operator> Executor<'a, O> {
                 match cx.finish_commit() {
                     // The committed lockset stays stamped in the lock
                     // space; the round's epoch bump will expire it.
-                    Some(_lockset) => TaskResult::Committed { spawned, acquires },
-                    None => TaskResult::Aborted { acquires },
+                    Some(_lockset) => {
+                        obs_emit!(
+                            probe,
+                            optpar_obs::EventKind::TaskCommit {
+                                slot: slot as u32,
+                                acquires: acquires as u32,
+                                spawned: spawned.len() as u32,
+                            }
+                        );
+                        TaskResult::Committed { spawned, acquires }
+                    }
+                    None => {
+                        obs_emit!(
+                            probe,
+                            optpar_obs::EventKind::TaskAbort {
+                                slot: slot as u32,
+                                acquires: acquires as u32,
+                            }
+                        );
+                        TaskResult::Aborted { acquires }
+                    }
                 }
             }
             Ok(Err(abort)) => {
@@ -684,6 +838,13 @@ impl<'a, O: Operator> Executor<'a, O> {
                 let faulted = matches!(abort, crate::task::Abort::Fault);
                 cx.finish_abort();
                 if faulted {
+                    obs_emit!(
+                        probe,
+                        optpar_obs::EventKind::TaskFault {
+                            slot: slot as u32,
+                            cause: FaultCause::Injected.code(),
+                        }
+                    );
                     TaskResult::Faulted {
                         fault: Box::new(TaskFault {
                             epoch: self.space.epoch(),
@@ -694,6 +855,13 @@ impl<'a, O: Operator> Executor<'a, O> {
                         acquires,
                     }
                 } else {
+                    obs_emit!(
+                        probe,
+                        optpar_obs::EventKind::TaskAbort {
+                            slot: slot as u32,
+                            acquires: acquires as u32,
+                        }
+                    );
                     TaskResult::Aborted { acquires }
                 }
             }
@@ -705,6 +873,13 @@ impl<'a, O: Operator> Executor<'a, O> {
                 let acquires = cx.acquires;
                 cx.finish_abort();
                 let (cause, detail) = crate::faults::classify_panic(payload.as_ref());
+                obs_emit!(
+                    probe,
+                    optpar_obs::EventKind::TaskFault {
+                        slot: slot as u32,
+                        cause: cause.code(),
+                    }
+                );
                 TaskResult::Faulted {
                     fault: Box::new(TaskFault {
                         epoch: self.space.epoch(),
@@ -753,18 +928,21 @@ impl<'a, O: Operator> Executor<'a, O> {
         let next = AtomicUsize::new(0);
         let slots: Vec<ResultSlot<O::Task>> =
             (0..n).map(|_| ResultSlot(UnsafeCell::new(None))).collect();
-        let job = |_w: usize| loop {
-            let start = next.fetch_add(chunk, Ordering::AcqRel);
-            if start >= n {
-                break;
-            }
-            let end = (start + chunk).min(n);
-            for i in start..end {
-                let r = self.run_task(i, &batch[i].task, states);
-                // SAFETY: index `i` belongs to exactly one claimed
-                // chunk, so this cell has a single writer; readers wait
-                // for the rendezvous below.
-                unsafe { *slots[i].0.get() = Some(r) };
+        let job = |w: usize| {
+            let probe = self.probe_for(w);
+            loop {
+                let start = next.fetch_add(chunk, Ordering::AcqRel);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                for i in start..end {
+                    let r = self.run_task(i, &batch[i].task, states, probe);
+                    // SAFETY: index `i` belongs to exactly one claimed
+                    // chunk, so this cell has a single writer; readers
+                    // wait for the rendezvous below.
+                    unsafe { *slots[i].0.get() = Some(r) };
+                }
             }
         };
         pool.run(&job);

@@ -55,6 +55,20 @@ pub enum FaultCause {
     PoisonedScratch,
 }
 
+impl FaultCause {
+    /// Stable numeric code for trace events (`0` is reserved for
+    /// "unknown"). The mapping is part of the trace format: changing
+    /// it invalidates recorded traces.
+    pub fn code(&self) -> u8 {
+        match self {
+            FaultCause::OperatorPanic => 1,
+            FaultCause::Injected => 2,
+            FaultCause::MissingResult => 3,
+            FaultCause::PoisonedScratch => 4,
+        }
+    }
+}
+
 impl std::fmt::Display for FaultCause {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

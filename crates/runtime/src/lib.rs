@@ -64,6 +64,7 @@ pub mod exec;
 pub mod faults;
 pub mod lock;
 pub mod pool;
+mod probe;
 pub mod stats;
 pub mod store;
 pub mod task;
@@ -72,6 +73,12 @@ pub mod task;
 /// re-exported so downstream tests can drive the audit sink.
 #[cfg(feature = "checker")]
 pub use optpar_checker as checker;
+
+/// The observability layer (`optpar-obs`), re-exported so downstream
+/// tests and tools can drain logs, fold metrics, export traces, and
+/// run the trace validator.
+#[cfg(feature = "obs")]
+pub use optpar_obs as obs;
 
 pub use arena::AppendArena;
 pub use exec::{Executor, ExecutorConfig, WorkSet};

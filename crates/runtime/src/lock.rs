@@ -129,6 +129,10 @@ impl LockSpaceBuilder {
             regions: self.regions,
             #[cfg(feature = "checker")]
             audit: optpar_checker::AuditSink::new(),
+            #[cfg(feature = "obs")]
+            contended: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            cas_retries: AtomicU64::new(0),
         }
     }
 }
@@ -144,6 +148,14 @@ pub struct LockSpace {
     /// the round barrier runs the lockset/oracle analyses over them.
     #[cfg(feature = "checker")]
     audit: optpar_checker::AuditSink,
+    /// Total acquisitions lost to a conflict (feature `obs`; a
+    /// statistic, so `Relaxed` suffices).
+    #[cfg(feature = "obs")]
+    contended: AtomicU64,
+    /// Total CAS retries inside [`acquire`] — benign races where the
+    /// owner word changed underfoot (feature `obs`).
+    #[cfg(feature = "obs")]
+    cas_retries: AtomicU64,
 }
 
 impl LockSpace {
@@ -220,6 +232,30 @@ impl LockSpace {
         &self.audit
     }
 
+    /// Lifetime lock-contention statistics:
+    /// `(conflict_losses, cas_retries)`.
+    #[cfg(feature = "obs")]
+    pub fn contention_counts(&self) -> (u64, u64) {
+        (
+            self.contended.load(Ordering::Relaxed),
+            self.cas_retries.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Count one lost acquisition (no-op without `obs`).
+    #[inline]
+    fn note_contention(&self) {
+        #[cfg(feature = "obs")]
+        self.contended.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one benign CAS retry (no-op without `obs`).
+    #[inline]
+    fn note_cas_retry(&self) {
+        #[cfg(feature = "obs")]
+        self.cas_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current owner of lock `l`: `None` if free (including words from
     /// stale epochs), else the owning slot.
     pub fn owner_of(&self, l: usize) -> Option<usize> {
@@ -292,6 +328,7 @@ pub(crate) fn acquire(
             {
                 return Ok(true);
             }
+            space.note_cas_retry();
             continue; // someone raced us; re-evaluate
         }
         if cur == me {
@@ -300,6 +337,7 @@ pub(crate) fn acquire(
         let other = (cur & OWNER_MASK) as usize - 1;
         match policy {
             ConflictPolicy::FirstWins => {
+                space.note_contention();
                 return Err(AcquireError::Conflict {
                     lock: l,
                     holder: other,
@@ -308,6 +346,7 @@ pub(crate) fn acquire(
             ConflictPolicy::PriorityWins => {
                 if slot >= other {
                     // The holder has higher priority; we lose.
+                    space.note_contention();
                     return Err(AcquireError::Conflict {
                         lock: l,
                         holder: other,
@@ -336,9 +375,11 @@ pub(crate) fn acquire(
                     {
                         return Ok(true);
                     }
+                    space.note_cas_retry();
                     continue;
                 }
                 // Victim already accessing/committed: we lose.
+                space.note_contention();
                 return Err(AcquireError::Conflict {
                     lock: l,
                     holder: other,

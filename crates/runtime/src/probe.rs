@@ -1,0 +1,40 @@
+//! The observability probe shim: the one place where the runtime's
+//! hot path meets the `obs` feature gate.
+//!
+//! A [`Probe`] is a worker's handle to its own event ring. With
+//! `obs` enabled it is `Option<&EventRing>` (None when no recorder
+//! is attached); with `obs` disabled it is a zero-sized placeholder,
+//! so every function that threads a probe through keeps one
+//! signature across both builds and no call site needs a `cfg`.
+//!
+//! [`obs_emit!`] is the record macro: its body is stripped by `cfg`
+//! before name resolution, so event-construction expressions naming
+//! `optpar_obs` types are free to appear at call sites of builds
+//! that do not link `optpar-obs` at all — they compile to nothing.
+
+/// Per-worker event-ring handle (`obs` builds).
+#[cfg(feature = "obs")]
+pub(crate) type Probe<'a> = Option<&'a optpar_obs::EventRing>;
+
+/// Zero-sized probe placeholder (non-`obs` builds).
+#[cfg(not(feature = "obs"))]
+pub(crate) type Probe<'a> = std::marker::PhantomData<&'a ()>;
+
+/// The zero-sized detached probe. Only the non-`obs` build needs a
+/// constructor — `obs` call sites build `Option` values directly.
+#[cfg(not(feature = "obs"))]
+pub(crate) fn no_probe<'a>() -> Probe<'a> {
+    std::marker::PhantomData
+}
+
+/// Record an event through a probe; compiles to nothing without the
+/// `obs` feature (the `$kind` expression is never evaluated).
+macro_rules! obs_emit {
+    ($probe:expr, $kind:expr) => {
+        #[cfg(feature = "obs")]
+        if let Some(ring) = $probe {
+            ring.record($kind);
+        }
+    };
+}
+pub(crate) use obs_emit;

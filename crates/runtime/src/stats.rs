@@ -191,4 +191,53 @@ mod tests {
         assert_eq!(run.overall_conflict_ratio(), 0.0);
         assert_eq!(run.commits_per_round(), 0.0);
     }
+
+    /// Pin the `launched == 0` behavior of every ratio accessor: an
+    /// empty round yields exactly `0.0` — never NaN — even when other
+    /// fields are nonzero (an `m` request with a drained work-set).
+    #[test]
+    fn empty_round_ratios_are_zero_not_nan() {
+        let r = RoundStats {
+            m: 64,
+            launched: 0,
+            committed: 0,
+            aborted: 0,
+            faulted: 0,
+            spawned: 0,
+            lock_acquires: 0,
+        };
+        for ratio in [r.conflict_ratio(), r.pressure_ratio(), r.fault_ratio()] {
+            assert!(!ratio.is_nan(), "0/0 must not leak NaN into the controller");
+            assert_eq!(ratio.to_bits(), 0.0f64.to_bits(), "exactly +0.0");
+        }
+        let run = RunStats { rounds: vec![r] };
+        assert_eq!(run.overall_conflict_ratio().to_bits(), 0.0f64.to_bits());
+    }
+
+    /// An empty-round observation must leave every closed-loop
+    /// controller's allocation untouched (the `launched == 0`
+    /// early-return), so a drained work-set cannot fold NaN or a
+    /// phantom sample into the window average.
+    #[test]
+    fn controllers_ignore_empty_round_observations() {
+        use optpar_core::control::{
+            Controller, HybridController, RecurrenceA, RecurrenceB, RecurrenceParams,
+        };
+        fn check<C: Controller>(mut ctl: C) {
+            let before = ctl.current_m();
+            for _ in 0..32 {
+                ctl.observe(f64::NAN, 0);
+                ctl.observe(1.0, 0);
+            }
+            assert_eq!(
+                ctl.current_m(),
+                before,
+                "{} moved m on a zero-launch observation",
+                ctl.name()
+            );
+        }
+        check(HybridController::with_rho(0.25));
+        check(RecurrenceA::new(RecurrenceParams::default()));
+        check(RecurrenceB::new(RecurrenceParams::default()));
+    }
 }

@@ -19,6 +19,7 @@
 //! locks are released.
 
 use crate::lock::{self, state, AcquireError, ConflictPolicy, LockSpace};
+use crate::probe::{obs_emit, Probe};
 use crate::store::SpecStore;
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -94,6 +95,15 @@ pub struct TaskCtx<'rt> {
     /// every context operation).
     #[cfg(feature = "faults")]
     inject: Option<crate::faults::ArmedFault<'rt>>,
+    /// This worker's event-ring probe (feature `obs`): lock
+    /// acquisitions and contentions are recorded through it.
+    #[cfg(feature = "obs")]
+    probe: Probe<'rt>,
+    /// The epoch stamped onto this task's lock events (read once at
+    /// probe attach, so every event of the task carries the round's
+    /// launch epoch).
+    #[cfg(feature = "obs")]
+    obs_epoch: u64,
 }
 
 impl std::fmt::Debug for TaskCtx<'_> {
@@ -128,8 +138,27 @@ impl<'rt> TaskCtx<'rt> {
             trace: optpar_checker::TaskTrace::new(slot, space.epoch()),
             #[cfg(feature = "faults")]
             inject: None,
+            #[cfg(feature = "obs")]
+            probe: None,
+            #[cfg(feature = "obs")]
+            obs_epoch: 0,
         }
     }
+
+    /// Attach this worker's event-ring probe (a no-op without `obs`).
+    /// Kept separate from [`TaskCtx::new`] so the many direct test
+    /// constructions need no probe plumbing.
+    #[cfg(feature = "obs")]
+    pub(crate) fn attach_probe(&mut self, probe: Probe<'rt>) {
+        self.probe = probe;
+        if probe.is_some() {
+            self.obs_epoch = self.space.epoch();
+        }
+    }
+
+    /// Attach this worker's event-ring probe (a no-op without `obs`).
+    #[cfg(not(feature = "obs"))]
+    pub(crate) fn attach_probe(&mut self, _probe: Probe<'rt>) {}
 
     /// Arm this context with the fault (if any) the plan draws for its
     /// `(epoch, slot)` coordinate.
@@ -192,6 +221,14 @@ impl<'rt> TaskCtx<'rt> {
                 self.trace
                     .events
                     .push(optpar_checker::TraceEvent::Acquired { lock: l });
+                obs_emit!(
+                    self.probe,
+                    optpar_obs::EventKind::LockAcquire {
+                        lock: l as u64,
+                        slot: self.slot as u32,
+                        epoch: self.obs_epoch,
+                    }
+                );
                 Ok(())
             }
             Ok(false) => Ok(()),
@@ -201,6 +238,14 @@ impl<'rt> TaskCtx<'rt> {
                     self.trace
                         .events
                         .push(optpar_checker::TraceEvent::Conflicted { lock, holder });
+                }
+                #[cfg(feature = "obs")]
+                if let (Some(ring), AcquireError::Conflict { lock, holder }) = (self.probe, e) {
+                    ring.record(optpar_obs::EventKind::LockContend {
+                        lock: lock as u64,
+                        slot: self.slot as u32,
+                        holder: holder as u32,
+                    });
                 }
                 Err(e.into())
             }

@@ -2,6 +2,9 @@
 //! `cargo run -p xtask -- analyze [--write-protocol]` — lexical rules
 //! plus the deep static analyses (footprint-escape,
 //! panic-reachability, atomic-protocol contract).
+//! `cargo run -p xtask -- report <trace-file>` — summarize an
+//! observability artifact (Chrome trace JSON, metrics JSONL, or the
+//! canonical event JSONL) recorded under `--features obs`.
 //!
 //! `lint` with no file arguments lints every `.rs` file in the
 //! workspace (excluding `target/`, `vendor/`, and `fixtures/`); with
@@ -19,8 +22,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(&args[1..]),
         Some("analyze") => analyze(&args[1..]),
+        Some("report") => trace_report(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint [files...] | analyze [--write-protocol]");
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [files...] \
+                 | analyze [--write-protocol] | report <trace-file>"
+            );
             ExitCode::from(2)
         }
     }
@@ -101,4 +108,28 @@ fn analyze(args: &[String]) -> ExitCode {
     }
     let violations = optpar_analysis::analyze_tree(&root);
     report("analyze", &violations)
+}
+
+fn trace_report(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: cargo run -p xtask -- report <trace-file>");
+        return ExitCode::from(2);
+    };
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("xtask: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match optpar_obs::report::summarize(&content) {
+        Ok(summary) => {
+            print!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask report: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

@@ -1,0 +1,364 @@
+//! End-to-end trace validation (`--features obs`).
+//!
+//! Every test drives a real application through the round executor
+//! with the recorder attached, folds the executor's own `RoundStats`
+//! into per-round [`RoundCheck`]s, and hands both to the trace
+//! validator: the event stream must *independently* reproduce the
+//! runtime's accounting (launched = committed + aborted + faulted,
+//! bit-equal conflict ratios, strictly monotone epoch bumps, no lock
+//! event straddling a round boundary). A passing test therefore means
+//! two separately-built witnesses of every round agree exactly.
+
+#![cfg(feature = "obs")]
+
+use optpar::apps::boruvka::{BoruvkaOp, WeightedGraph};
+use optpar::apps::delaunay::{DelaunayOp, RefineConfig};
+use optpar::apps::geometry::Point;
+use optpar::apps::sssp::{SsspInput, SsspOp};
+use optpar::apps::triangulation::Mesh;
+use optpar::core::control::{Controller, HybridController, HybridParams};
+use optpar::graph::gen;
+use optpar::runtime::obs::{export, validate, EventKind, EventLog, ObsConfig, RoundCheck};
+use optpar::runtime::{
+    Abort, ConflictPolicy, Executor, ExecutorConfig, Operator, TaskCtx, WorkSet,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn controller() -> HybridController {
+    HybridController::new(HybridParams {
+        rho: 0.25,
+        m_max: 1024,
+        ..HybridParams::default()
+    })
+}
+
+fn config(workers: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        workers,
+        policy: ConflictPolicy::FirstWins,
+        ..ExecutorConfig::default()
+    }
+}
+
+/// Drain `tasks` through `ex` round by round, recording a trace and
+/// collecting one [`RoundCheck`] per round from the executor's own
+/// stats; validate the trace against them and return the log.
+fn drive_validated<O: Operator>(
+    ex: &mut Executor<'_, O>,
+    tasks: Vec<O::Task>,
+    seed: u64,
+) -> EventLog {
+    ex.enable_obs(ObsConfig::default());
+    let mut ws = WorkSet::from_vec(tasks);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ctl = controller();
+    let mut checks = Vec::new();
+    while !ws.is_empty() {
+        let m = ctl.current_m();
+        let rs = ex.run_round(&mut ws, m, &mut rng);
+        ctl.observe(rs.pressure_ratio(), rs.launched);
+        checks.push(RoundCheck {
+            m: m as u64,
+            launched: rs.launched as u64,
+            committed: rs.committed as u64,
+            aborted: rs.aborted as u64,
+            faulted: rs.faulted as u64,
+            spawned: rs.spawned as u64,
+            conflict_ratio_bits: rs.conflict_ratio().to_bits(),
+        });
+        assert!(checks.len() < 1_000_000, "workload did not drain");
+    }
+    let log = ex.recorder().expect("recorder enabled above").snapshot();
+    match validate::validate(&log, &checks) {
+        Ok(report) => {
+            assert_eq!(report.rounds, checks.len());
+            assert!(report.events > 0);
+        }
+        Err(violations) => {
+            panic!(
+                "trace validation failed with {} violation(s):\n{}",
+                violations.len(),
+                violations.join("\n")
+            );
+        }
+    }
+    log
+}
+
+fn sssp_trace(workers: usize, seed: u64) -> EventLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_with_avg_degree(600, 6.0, &mut rng);
+    let input = SsspInput::random(g, 0, 100, &mut rng);
+    let reference = input.dijkstra();
+    let (space, op) = SsspOp::new(input);
+    let mut ex = Executor::new(&op, &space, config(workers));
+    let tasks = op.initial_tasks();
+    let log = drive_validated(&mut ex, tasks, seed ^ 0xA5A5);
+    drop(ex);
+    let mut op = op;
+    assert_eq!(op.distances(), reference, "result corrupted");
+    log
+}
+
+fn boruvka_trace(workers: usize, seed: u64) -> EventLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_with_avg_degree(500, 6.0, &mut rng);
+    let wg = WeightedGraph::random(g, &mut rng);
+    let reference = wg.kruskal();
+    let (space, op) = BoruvkaOp::new(&wg);
+    let mut ex = Executor::new(&op, &space, config(workers));
+    let tasks = op.initial_tasks();
+    let log = drive_validated(&mut ex, tasks, seed ^ 0x5A5A);
+    drop(ex);
+    let mut op = op;
+    assert_eq!(op.msf(), reference, "result corrupted");
+    log
+}
+
+fn delaunay_trace(workers: usize, seed: u64) -> EventLog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(1.0, 1.0),
+        Point::new(0.0, 1.0),
+    ];
+    pts.extend((0..120).map(|_| Point::new(rng.random::<f64>(), rng.random::<f64>())));
+    let mesh = Mesh::delaunay(&pts);
+    let (space, mut op) = DelaunayOp::with_auto_capacity(&mesh, RefineConfig::area_only(8e-4));
+    let tasks = op.initial_tasks();
+    let mut ex = Executor::new(&op, &space, config(workers));
+    drive_validated(&mut ex, tasks, seed ^ 0x3C3C)
+}
+
+// ---------------------------------------------------------------------
+// Satellite 1: trace invariants hold on every app × worker count
+// ---------------------------------------------------------------------
+
+#[test]
+fn sssp_trace_validates_at_every_worker_count() {
+    for workers in [1, 2, 4, 8] {
+        sssp_trace(workers, 11 + workers as u64);
+    }
+}
+
+#[test]
+fn boruvka_trace_validates_at_every_worker_count() {
+    for workers in [1, 2, 4, 8] {
+        boruvka_trace(workers, 21 + workers as u64);
+    }
+}
+
+#[test]
+fn delaunay_trace_validates_at_every_worker_count() {
+    for workers in [1, 2, 4, 8] {
+        delaunay_trace(workers, 31 + workers as u64);
+    }
+}
+
+#[test]
+fn exporters_consume_a_real_trace() {
+    let log = boruvka_trace(4, 77);
+    let chrome = export::chrome_trace(&log);
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(!chrome.contains("NaN"), "chrome trace must stay JSON-legal");
+    let metrics = optpar::runtime::obs::MetricsRegistry::from_log(&log);
+    assert!(metrics.counter("tasks_launched") > 0);
+    assert_eq!(
+        metrics.counter("tasks_launched"),
+        metrics.counter("tasks_committed")
+            + metrics.counter("tasks_aborted")
+            + metrics.counter("tasks_faulted"),
+    );
+    let summary = optpar::runtime::obs::report::summarize(&export::metrics_jsonl(&metrics))
+        .expect("metrics summary");
+    assert!(summary.contains("tasks_launched"));
+}
+
+// ---------------------------------------------------------------------
+// Satellite 2: single-worker runs are byte-deterministic
+// ---------------------------------------------------------------------
+
+#[test]
+fn single_worker_trace_is_byte_deterministic() {
+    let a = export::events_jsonl(&sssp_trace(1, 99));
+    let b = export::events_jsonl(&sssp_trace(1, 99));
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "two sequential runs from one seed must serialize identically"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Satellite 3: continuous-mode controller convergence, read from the
+// trace's controller track
+// ---------------------------------------------------------------------
+
+/// Boruvka with artificially long merges. Continuous-mode conflicts
+/// require *temporal* overlap between in-flight tasks; real component
+/// merges finish in microseconds, so an unmodified operator produces
+/// an almost conflict-free trace no matter what budget the controller
+/// picks. Spinning after the real work stretches every task's lock
+/// hold long enough that unthrottled concurrency genuinely collides —
+/// the adversarial workload the controller is supposed to tame.
+struct SlowBoruvka {
+    inner: BoruvkaOp,
+    spins: u32,
+}
+
+impl Operator for SlowBoruvka {
+    type Task = u32;
+    fn execute(&self, t: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> {
+        let out = self.inner.execute(t, cx);
+        for i in 0..self.spins {
+            std::hint::black_box(i);
+        }
+        out
+    }
+}
+
+/// One continuous-mode run; returns Ok(()) when the controller track
+/// shows convergence to the ρ band, Err(diagnostic) otherwise.
+fn convergence_attempt(rho: f64, seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_with_avg_degree(256, 8.0, &mut rng);
+    let wg = WeightedGraph::random(g, &mut rng);
+    let (space, inner) = BoruvkaOp::new(&wg);
+    let tasks = inner.initial_tasks();
+    let op = SlowBoruvka { inner, spins: 4000 };
+    let mut ex = Executor::new(&op, &space, config(8));
+    ex.enable_obs(ObsConfig::default());
+    let mut ws = WorkSet::from_vec(tasks);
+    let mut ctl = HybridController::new(HybridParams {
+        rho,
+        m_max: 64,
+        ..HybridParams::default()
+    });
+    let _ = ex.run_continuous(&mut ws, &mut ctl, 16, 1_000_000, &mut rng);
+    assert!(ws.is_empty(), "continuous run did not drain");
+
+    let log = ex.recorder().expect("recorder enabled").snapshot();
+    let series: Vec<f64> = log
+        .events
+        .iter()
+        .filter_map(|te| match te.event.kind {
+            EventKind::Controller { r_bits, .. } => Some(f64::from_bits(r_bits)),
+            _ => None,
+        })
+        .collect();
+    if series.len() < 12 {
+        return Err(format!("only {} controller windows", series.len()));
+    }
+    // Smooth the per-window ratio, then look for a sustained stretch
+    // inside ρ ± 0.1. A cold prefix (sparse early graph: few genuine
+    // collisions regardless of budget) and an endgame burst (a handful
+    // of surviving components, so every window has a tiny denominator)
+    // bracket the steered region; the claim under test is that the
+    // trajectory *enters* the band once contention is real and *stays*
+    // predominantly inside it while the adversarial phase lasts.
+    const SMOOTH: usize = 4;
+    let smoothed: Vec<f64> = series
+        .windows(SMOOTH)
+        .map(|w| w.iter().sum::<f64>() / SMOOTH as f64)
+        .collect();
+    let in_band = |r: f64| (r - rho).abs() <= 0.1;
+    let entry = smoothed
+        .iter()
+        .position(|&r| in_band(r))
+        .ok_or_else(|| format!("never entered the ρ band: {smoothed:?}"))?;
+    let last = smoothed
+        .iter()
+        .rposition(|&r| in_band(r))
+        .expect("entry exists, so rposition must too");
+    let span = last - entry + 1;
+    if span < 6 {
+        return Err(format!(
+            "band presence too short ({span} windows): {smoothed:?}"
+        ));
+    }
+    let stayed = smoothed[entry..=last]
+        .iter()
+        .filter(|&&r| in_band(r))
+        .count();
+    if stayed * 2 < span {
+        return Err(format!(
+            "left the ρ band too often after entry ({stayed}/{span} windows in band): {smoothed:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Continuous-mode scheduling is real-time concurrent — which tasks
+/// overlap depends on thread timing, so any single run can land a cold
+/// draw on a loaded machine. The controller only has to demonstrate
+/// convergence on one of a few independent seeds; a regression that
+/// breaks the steering loop fails all of them.
+#[test]
+fn continuous_controller_converges_to_rho_band() {
+    const RHO: f64 = 0.25;
+    let mut failures = Vec::new();
+    for seed in [8u64, 7, 11, 6] {
+        match convergence_attempt(RHO, seed) {
+            Ok(()) => return,
+            Err(why) => failures.push(format!("seed {seed}: {why}")),
+        }
+    }
+    panic!(
+        "controller never converged to ρ ± 0.1 on any seed:\n{}",
+        failures.join("\n")
+    );
+}
+
+// ---------------------------------------------------------------------
+// Cross-feature variants: the trace survives the checker and the
+// fault injector
+// ---------------------------------------------------------------------
+
+/// With the checker armed, audit findings would surface both as a
+/// panic (Panic mode) and as `Audit` trace events; a clean run must
+/// produce neither.
+#[cfg(feature = "checker")]
+#[test]
+fn trace_validates_with_checker_armed() {
+    for workers in [1, 4] {
+        let log = sssp_trace(workers, 51 + workers as u64);
+        let audits = log
+            .events
+            .iter()
+            .filter(|te| matches!(te.event.kind, EventKind::Audit { .. }))
+            .count();
+        assert_eq!(audits, 0, "clean run must emit no audit events");
+    }
+}
+
+/// Injected faults must show up in the stream as `TaskFault` events
+/// and still reconcile with the executor's accounting.
+#[cfg(feature = "faults")]
+#[test]
+fn trace_validates_under_fault_injection() {
+    use optpar::runtime::FaultPlan;
+    let mut rng = StdRng::seed_from_u64(43);
+    let g = gen::random_with_avg_degree(600, 6.0, &mut rng);
+    let input = SsspInput::random(g, 0, 100, &mut rng);
+    let reference = input.dijkstra();
+    let (space, op) = SsspOp::new(input);
+    let plan = FaultPlan::seeded(2002)
+        .with_panic_rate(0.05)
+        .with_spurious_abort_rate(0.05);
+    let mut ex = Executor::new(&op, &space, config(4));
+    ex.set_fault_plan(&plan);
+    let tasks = op.initial_tasks();
+    let log = drive_validated(&mut ex, tasks, 44);
+    assert!(plan.fired_count() > 0, "the plan never fired");
+    let faults = log
+        .events
+        .iter()
+        .filter(|te| matches!(te.event.kind, EventKind::TaskFault { .. }))
+        .count();
+    assert!(faults > 0, "injected faults must appear in the stream");
+    drop(ex);
+    let mut op = op;
+    assert_eq!(op.distances(), reference, "result corrupted under faults");
+}
