@@ -24,15 +24,24 @@ const RELAXED_ALLOWLIST: &[&str] = &[
 const SPAWN_ALLOWLIST: &[&str] = &["crates/runtime/src/pool.rs"];
 
 /// Round-critical files in which `Instant::now` is banned.
+///
+/// `pipelined.rs` is on the list deliberately: its batch loop is the
+/// barrier-free analogue of the round hot path. `phase.rs` is
+/// deliberately *not* — it is the designated timing module the banned
+/// files call into, and its stamps are inert unless a bench attaches
+/// a clock.
 const INSTANT_BANLIST: &[&str] = &[
     "crates/runtime/src/lock.rs",
     "crates/runtime/src/task.rs",
     "crates/runtime/src/store.rs",
     "crates/runtime/src/exec.rs",
+    "crates/runtime/src/pipelined.rs",
 ];
 
 /// Round-critical runtime modules in which `.unwrap()` / `.expect(`
-/// are banned outside test spans.
+/// are banned outside test spans (`pipelined.rs`: a panicking worker
+/// batch would strand its in-flight permits, so the no-unwrap rule
+/// applies with full force).
 pub const UNWRAP_BANLIST: &[&str] = &[
     "crates/runtime/src/lock.rs",
     "crates/runtime/src/task.rs",
@@ -41,6 +50,7 @@ pub const UNWRAP_BANLIST: &[&str] = &[
     "crates/runtime/src/pool.rs",
     "crates/runtime/src/continuous.rs",
     "crates/runtime/src/faults.rs",
+    "crates/runtime/src/pipelined.rs",
 ];
 
 /// Does the `unsafe` token on 1-indexed line `ln` have a `// SAFETY:`

@@ -37,6 +37,7 @@ const ROUND_CRITICAL: &[&str] = &[
     "crates/runtime/src/pool.rs",
     "crates/runtime/src/continuous.rs",
     "crates/runtime/src/faults.rs",
+    "crates/runtime/src/pipelined.rs",
 ];
 
 /// Files whose slice indexing has been audited (bounds always hold by

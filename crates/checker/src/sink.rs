@@ -7,7 +7,11 @@
 //! (always) and the sequential commit-set oracle (inline rounds). The
 //! continuous executor never arms it, so its per-completion trace
 //! pushes are dropped in O(1) — the round analyses do not apply to
-//! barrier-free execution.
+//! barrier-free execution. The *pipelined* executor arms it once per
+//! run and calls [`AuditSink::drain_window`] at every controller
+//! window: traces are grouped by lane tag back into batches and each
+//! batch gets the batch-scoped analysis, with the sink staying armed
+//! across windows until [`AuditSink::disarm`].
 //!
 //! Epoch-transition assertions ([`AuditSink::assert_epoch_step`],
 //! [`AuditSink::assert_wrap_swept`], [`AuditSink::report_now`]) bypass
@@ -119,6 +123,64 @@ impl AuditSink {
         }
     }
 
+    /// Pipelined window drain: audit the collected traces *per batch*
+    /// and leave the sink armed for the next window.
+    ///
+    /// Pipelined traces carry their batch's lane tag as `epoch`, so
+    /// grouping by epoch reassembles the batches. Each group gets the
+    /// batch-scoped lockset analysis ([`lockset::audit_batch`] —
+    /// phantom-conflict checking is off, because a conflict may name a
+    /// holder whose batch drains in a different window), plus the
+    /// commit-set oracle when armed sequential: with one worker the
+    /// window flush always falls between batches, so every group is a
+    /// complete batch and greedy commit order is exactly reproducible.
+    ///
+    /// # Panics
+    /// In [`CheckerMode::Panic`], panics with the joined report text
+    /// if any violation was found.
+    pub fn drain_window(&self) {
+        let (found, mode) = {
+            let mut st = recover(self.state.lock());
+            if !st.armed {
+                return;
+            }
+            let traces = std::mem::take(&mut st.traces);
+            // Group by lane tag, preserving deposit order within each
+            // batch (the oracle needs execution order).
+            let mut groups: Vec<Vec<TaskTrace>> = Vec::new();
+            for t in traces {
+                match groups
+                    .iter_mut()
+                    .find(|g| g.first().is_some_and(|h| h.epoch == t.epoch))
+                {
+                    Some(g) => g.push(t),
+                    None => groups.push(vec![t]),
+                }
+            }
+            let mut found = Vec::new();
+            for g in &groups {
+                found.extend(lockset::audit_batch(g));
+                if st.sequential {
+                    found.extend(oracle::audit_sequential_round(g));
+                }
+            }
+            st.reports.extend(found.iter().cloned());
+            (found, st.mode)
+        };
+        if mode == CheckerMode::Panic && !found.is_empty() {
+            // PANIC-OK: CheckerMode::Panic is the fail-fast audit mode.
+            panic!("{}", join_reports(&found));
+        }
+    }
+
+    /// Stop collecting traces (end of a pipelined run) and drop any
+    /// still buffered.
+    pub fn disarm(&self) {
+        let mut st = recover(self.state.lock());
+        st.armed = false;
+        st.traces.clear();
+    }
+
     /// File a report immediately (epoch invariants fire outside the
     /// arm/drain cycle). Respects the mode.
     ///
@@ -155,7 +217,7 @@ impl AuditSink {
                 epoch,
                 detail: format!(
                     "wraparound sweep left word {idx} = {raw:#x} non-zero; a task \
-                     abandoned 2^32 rounds ago could alias the reused tag"
+                     abandoned 2^24 epochs ago could alias the reused tag"
                 ),
             });
         }
@@ -240,6 +302,45 @@ mod tests {
             .downcast_ref::<String>()
             .expect("panic payload is a String");
         assert!(msg.contains("RACE on lock 9"), "got: {msg}");
+    }
+
+    #[test]
+    fn window_drain_groups_by_lane_tag_and_stays_armed() {
+        let sink = AuditSink::new();
+        sink.set_mode(CheckerMode::Collect);
+        sink.arm(false);
+        // Two batches interleaved in deposit order: lane tags 0x0100_0007
+        // and 0x0200_0003. Within the first, two committers share lock
+        // 1 (a race); the second is clean. Across batches, slots 0 and
+        // 2 share lock 9 — legal cross-batch overlap that must NOT be
+        // flagged by the per-batch analysis.
+        let tag_a = (1u64 << 24) | 7;
+        let tag_b = (2u64 << 24) | 3;
+        let mk = |slot, epoch, lock| TaskTrace {
+            slot,
+            epoch,
+            events: vec![TraceEvent::Acquired { lock }],
+            outcome: Outcome::Committed,
+        };
+        sink.push_trace(mk(0, tag_a, 1));
+        sink.push_trace(mk(2, tag_b, 9));
+        sink.push_trace(mk(1, tag_a, 1));
+        sink.push_trace(mk(3, tag_b, 4));
+        sink.drain_window();
+        let reports = sink.take_reports();
+        assert_eq!(reports.len(), 1, "only the intra-batch race: {reports:?}");
+        assert!(matches!(reports[0], Report::Race { lock: 1, .. }));
+        // Still armed: the next window keeps collecting.
+        sink.push_trace(mk(0, tag_a, 5));
+        sink.push_trace(mk(1, tag_a, 5));
+        sink.drain_window();
+        assert_eq!(sink.take_reports().len(), 1);
+        // Disarm drops buffered traces and stops collection.
+        sink.push_trace(mk(0, tag_a, 6));
+        sink.disarm();
+        sink.push_trace(mk(1, tag_a, 6));
+        sink.drain_window(); // no-op: disarmed
+        assert_eq!(sink.report_count(), 0);
     }
 
     #[test]

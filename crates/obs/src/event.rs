@@ -128,6 +128,26 @@ pub enum EventKind {
         /// Number of new audit reports at this round's drain.
         findings: u64,
     },
+    /// A pipelined controller window closed: the in-flight budget was
+    /// re-planned from the sliding completions window.
+    WindowAdvance {
+        /// Cumulative completions at the flush.
+        completions: u64,
+        /// Budget-gate occupancy (tasks in flight) at the flush.
+        inflight: u64,
+        /// In-flight budget in force after the flush.
+        target: u64,
+    },
+    /// A pipelined worker retired a batch: one lane-epoch bump
+    /// released every lock word the batch had stamped, in O(1).
+    BatchRetire {
+        /// Worker (= lane - 1) that retired the batch.
+        worker: u32,
+        /// Lane tag the batch ran under.
+        tag: u64,
+        /// Tasks the batch completed (committed + re-queued).
+        tasks: u32,
+    },
 }
 
 impl EventKind {
@@ -147,6 +167,8 @@ impl EventKind {
             EventKind::EpochBump { .. } => "epoch_bump",
             EventKind::Controller { .. } => "controller",
             EventKind::Audit { .. } => "audit",
+            EventKind::WindowAdvance { .. } => "window_advance",
+            EventKind::BatchRetire { .. } => "batch_retire",
         }
     }
 }

@@ -162,6 +162,23 @@ pub fn chrome_trace(log: &EventLog) -> String {
                     "{{\"name\":\"audit\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"findings\":{findings}}}}}"
                 ));
             }
+            EventKind::WindowAdvance {
+                completions,
+                inflight,
+                target,
+            } => {
+                lines.push(format!(
+                    "{{\"name\":\"inflight\",\"ph\":\"C\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"inflight\":{inflight},\"target\":{target}}}}}"
+                ));
+                lines.push(format!(
+                    "{{\"name\":\"window {completions}\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"
+                ));
+            }
+            EventKind::BatchRetire { worker, tag, tasks } => {
+                lines.push(format!(
+                    "{{\"name\":\"batch retire\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"worker\":{worker},\"tag\":{tag},\"tasks\":{tasks}}}}}"
+                ));
+            }
         }
     }
     let mut out = String::from("{\"traceEvents\":[\n");
@@ -276,6 +293,19 @@ pub fn events_jsonl(log: &EventLog) -> String {
             }
             EventKind::Audit { findings } => {
                 let _ = write!(out, ",\"findings\":{findings}");
+            }
+            EventKind::WindowAdvance {
+                completions,
+                inflight,
+                target,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"completions\":{completions},\"inflight\":{inflight},\"target\":{target}"
+                );
+            }
+            EventKind::BatchRetire { worker, tag, tasks } => {
+                let _ = write!(out, ",\"worker\":{worker},\"tag\":{tag},\"tasks\":{tasks}");
             }
         }
         out.push_str("}\n");

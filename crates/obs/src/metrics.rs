@@ -155,6 +155,11 @@ impl MetricsRegistry {
                 EventKind::EpochBump { .. } => reg.inc("epoch_bumps", 1),
                 EventKind::Controller { .. } => {}
                 EventKind::Audit { findings } => reg.inc("audit_findings", findings),
+                EventKind::WindowAdvance { .. } => reg.inc("windows_advanced", 1),
+                EventKind::BatchRetire { tasks, .. } => {
+                    reg.inc("batches_retired", 1);
+                    reg.inc("batch_tasks_retired", u64::from(tasks));
+                }
             }
         }
         for &nanos in &log.round_nanos {

@@ -6,9 +6,19 @@
 //! ([`Recorder::ring`]) — the hot path never sees the mutex. All
 //! mutex-taking methods run at points that are already serialized in
 //! the runtime: the round barrier (round mode) or the window flusher
-//! (continuous mode). Like every lock the runtime can reach, the log
-//! mutex recovers from poisoning — the log is a plain append buffer,
-//! valid at every intermediate state.
+//! (continuous/pipelined mode). Like every lock the runtime can
+//! reach, the log mutex recovers from poisoning — the log is a plain
+//! append buffer, valid at every intermediate state.
+//!
+//! The barrier drain is *amortized*: a ring is only scanned at the
+//! barrier once it is ≥ 1/8 full (or 32 rounds have passed), so the
+//! barrier's serial section stops paying a per-round sweep over every
+//! ring. Drained worker events are staged in per-epoch buckets and
+//! spliced back into their round's segment when the log is assembled
+//! (`snapshot`/`take_log`) — the assembled stream is identical to the
+//! old drain-every-round order, and the validator's segment rules
+//! hold unchanged. Epochs are monotone within each ring's stream, so
+//! the splice preserves per-track tick order by construction.
 //!
 //! Wall-clock time never enters the event stream. `round_begin` /
 //! `round_end` bracket each round with an `Instant` pair whose
@@ -18,8 +28,18 @@
 
 use crate::event::{Event, EventKind, RoundTotals, TracedEvent, CTL_TRACK};
 use crate::ring::EventRing;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Drain a ring at the barrier once it holds at least
+/// `capacity / DRAIN_OCCUPANCY_DIV` events (amortizing the barrier's
+/// serial drain over several rounds instead of paying the scan every
+/// round)...
+const DRAIN_OCCUPANCY_DIV: usize = 8;
+/// ...but never let a trickle sit longer than this many rounds, so a
+/// mostly-idle worker's events still assemble near their round.
+const DRAIN_DEADLINE_ROUNDS: u32 = 32;
 
 /// Observability knobs.
 #[derive(Clone, Copy, Debug)]
@@ -54,9 +74,78 @@ pub struct EventLog {
 
 #[derive(Debug, Default)]
 struct Inner {
+    /// Until assembly, `log.events` holds only controller-track
+    /// events; worker events wait in `staged` buckets and are spliced
+    /// in at [`Inner::assemble`] time.
     log: EventLog,
     ctl_tick: u64,
     round_started: Option<Instant>,
+    /// Drained worker events bucketed by the epoch they ran under
+    /// (derived per ring from `TaskLaunch`/`LockAcquire` payloads).
+    staged: BTreeMap<u64, Vec<TracedEvent>>,
+    /// `(index into log.events, epoch)`: where each non-empty round's
+    /// worker bucket belongs — just before that round's `Audit`/
+    /// `RoundEnd`. Indices are recorded in increasing order.
+    splices: Vec<(usize, u64)>,
+    /// Last epoch seen in each ring's stream (epochs are monotone per
+    /// ring: a worker finishes round `n` before it runs round `n+1`).
+    ring_epoch: Vec<u64>,
+    /// Rounds since each ring was last drained, for the deadline.
+    ring_age: Vec<u32>,
+}
+
+impl Inner {
+    /// Drain one ring into the staged buckets, assigning each event
+    /// the epoch its round ran under.
+    fn stage_ring(&mut self, w: usize, ring: &EventRing) {
+        let mut tmp = Vec::with_capacity(ring.len());
+        ring.drain_into(w as u32, &mut tmp);
+        for te in tmp {
+            if let EventKind::TaskLaunch { epoch, .. } | EventKind::LockAcquire { epoch, .. } =
+                te.event.kind
+            {
+                self.ring_epoch[w] = epoch;
+            }
+            self.staged.entry(self.ring_epoch[w]).or_default().push(te);
+        }
+        self.ring_age[w] = 0;
+    }
+
+    /// Splice every staged bucket into the controller stream at its
+    /// recorded round position; buckets with no recorded round (the
+    /// barrier-free modes, which never emit `RoundEnd`) append at the
+    /// end in epoch order. Callers must have staged every ring first,
+    /// so no worker event is left behind in a ring.
+    fn assemble(&mut self) {
+        if self.splices.is_empty() && self.staged.is_empty() {
+            return;
+        }
+        let ctl = std::mem::take(&mut self.log.events);
+        let mut staged = std::mem::take(&mut self.staged);
+        let splices = std::mem::take(&mut self.splices);
+        let total: usize = staged.values().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(ctl.len() + total);
+        let mut si = 0;
+        for (i, te) in ctl.into_iter().enumerate() {
+            while si < splices.len() && splices[si].0 == i {
+                if let Some(bucket) = staged.remove(&splices[si].1) {
+                    out.extend(bucket);
+                }
+                si += 1;
+            }
+            out.push(te);
+        }
+        while si < splices.len() {
+            if let Some(bucket) = staged.remove(&splices[si].1) {
+                out.extend(bucket);
+            }
+            si += 1;
+        }
+        for (_, bucket) in staged {
+            out.extend(bucket);
+        }
+        self.log.events = out;
+    }
 }
 
 /// Per-worker rings + controller track + aggregate log (module docs).
@@ -81,9 +170,14 @@ impl Recorder {
         let rings: Vec<EventRing> = (0..workers.max(1))
             .map(|_| EventRing::with_capacity(cfg.ring_capacity))
             .collect();
+        let n = workers.max(1);
         Recorder {
             rings: rings.into_boxed_slice(),
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(Inner {
+                ring_epoch: vec![0; n],
+                ring_age: vec![0; n],
+                ..Inner::default()
+            }),
         }
     }
 
@@ -107,28 +201,39 @@ impl Recorder {
         });
     }
 
-    fn drain_rings(&self, inner: &mut Inner) {
+    /// Stage-drain every ring (no rewind — safe while producers run)
+    /// and refresh the cumulative drop count.
+    fn stage_all(&self, inner: &mut Inner) {
         let mut dropped = 0u64;
         for (w, ring) in self.rings.iter().enumerate() {
-            ring.drain_into(w as u32, &mut inner.log.events);
+            inner.stage_ring(w, ring);
             dropped = dropped.wrapping_add(ring.dropped());
         }
         inner.log.dropped = dropped;
     }
 
-    /// Drain, then rewind every ring to slot 0 so producers keep
-    /// reusing the same cache-resident slots round after round.
-    /// Callers must hold the quiescence [`EventRing::rewind`]
-    /// requires (the round barrier does).
-    fn drain_rings_quiescent(&self, inner: &mut Inner) {
-        self.drain_rings(inner);
-        for ring in self.rings.iter() {
-            // SAFETY: the caller guarantees all producers are parked
-            // (round barrier) and the drain above emptied the ring;
-            // the barrier's own synchronization orders the rewind
-            // between this round's records and the next round's.
-            unsafe { ring.rewind() };
+    /// Barrier-side amortized drain: stage only the rings that crossed
+    /// the occupancy threshold or the round deadline, and rewind those
+    /// so producers keep reusing the cache-resident low slots. Callers
+    /// must hold the quiescence [`EventRing::rewind`] requires (the
+    /// round barrier does).
+    fn stage_rings_quiescent_amortized(&self, inner: &mut Inner) {
+        let mut dropped = 0u64;
+        for (w, ring) in self.rings.iter().enumerate() {
+            inner.ring_age[w] += 1;
+            let threshold = (ring.capacity() / DRAIN_OCCUPANCY_DIV).max(1);
+            if ring.len() >= threshold || inner.ring_age[w] >= DRAIN_DEADLINE_ROUNDS {
+                inner.stage_ring(w, ring);
+                // SAFETY: the caller guarantees all producers are
+                // parked (round barrier) and the stage above emptied
+                // the ring; the barrier's own synchronization orders
+                // the rewind between this round's records and the
+                // next round's.
+                unsafe { ring.rewind() };
+            }
+            dropped = dropped.wrapping_add(ring.dropped());
         }
+        inner.log.dropped = dropped;
     }
 
     /// Round prologue: emit `RoundBegin` on the controller track and
@@ -151,7 +256,16 @@ impl Recorder {
     /// parked at the barrier — the drain also rewinds the rings.
     pub fn round_end(&self, epoch: u64, m: u64, totals: RoundTotals, findings: u64) {
         let mut inner = recover(self.inner.lock());
-        self.drain_rings_quiescent(&mut inner);
+        self.stage_rings_quiescent_amortized(&mut inner);
+        // Mark where this round's worker bucket belongs in the final
+        // stream: just before its Audit/RoundEnd. Empty rounds record
+        // no splice — they launch nothing AND reuse the epoch of the
+        // following non-empty round (no bump), which must own the
+        // bucket for that key.
+        if totals.launched > 0 {
+            let at = inner.log.events.len();
+            inner.splices.push((at, epoch));
+        }
         if findings > 0 {
             Self::ctl_emit(&mut inner, EventKind::Audit { findings });
         }
@@ -183,18 +297,32 @@ impl Recorder {
         );
     }
 
-    /// Drain every worker ring into the log without emitting any
-    /// controller event — the continuous mode's window flush, and the
-    /// final sweep after a run.
+    /// A pipelined controller window closed (controller track).
+    pub fn window_advance(&self, completions: u64, inflight: u64, target: u64) {
+        let mut inner = recover(self.inner.lock());
+        Self::ctl_emit(
+            &mut inner,
+            EventKind::WindowAdvance {
+                completions,
+                inflight,
+                target,
+            },
+        );
+    }
+
+    /// Drain every worker ring into the staged log without emitting
+    /// any controller event — the barrier-free modes' window flush,
+    /// and the final sweep after a run.
     pub fn drain_workers(&self) {
         let mut inner = recover(self.inner.lock());
-        self.drain_rings(&mut inner);
+        self.stage_all(&mut inner);
     }
 
     /// Drain and clone the accumulated log, leaving it in place.
     pub fn snapshot(&self) -> EventLog {
         let mut inner = recover(self.inner.lock());
-        self.drain_rings(&mut inner);
+        self.stage_all(&mut inner);
+        inner.assemble();
         inner.log.clone()
     }
 
@@ -202,7 +330,8 @@ impl Recorder {
     /// buffer (ring ticks and drop counts are not reset).
     pub fn take_log(&self) -> EventLog {
         let mut inner = recover(self.inner.lock());
-        self.drain_rings(&mut inner);
+        self.stage_all(&mut inner);
+        inner.assemble();
         std::mem::take(&mut inner.log)
     }
 
@@ -260,6 +389,78 @@ mod tests {
         assert_eq!(log.events[1].track, 0);
         assert_eq!(log.events[3].track, 1);
         assert_eq!(log.events[0].track, CTL_TRACK);
+    }
+
+    #[test]
+    fn amortized_drain_assembles_events_into_their_rounds() {
+        // Capacity 1 << 10 → drain threshold 128: two tiny rounds
+        // never trip it, so no ring is drained at either barrier.
+        // Assembly at take_log must still splice each round's worker
+        // events inside its own segment, in the exact order the old
+        // drain-every-round recorder produced.
+        let rec = Recorder::new(
+            1,
+            ObsConfig {
+                ring_capacity: 1 << 10,
+            },
+        );
+        for round in 0..2u64 {
+            rec.round_begin(round, 1);
+            let ring = rec.ring(0).expect("ring");
+            ring.record(EventKind::TaskLaunch {
+                slot: 0,
+                epoch: round,
+            });
+            ring.record(EventKind::TaskCommit {
+                slot: 0,
+                acquires: 0,
+                spawned: 0,
+            });
+            rec.round_end(
+                round,
+                1,
+                RoundTotals {
+                    launched: 1,
+                    committed: 1,
+                    ..RoundTotals::default()
+                },
+                0,
+            );
+            rec.epoch_bump(round, round + 1);
+        }
+        let log = rec.take_log();
+        let kinds: Vec<&str> = log.events.iter().map(|e| e.event.kind.label()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "round_begin",
+                "task_launch",
+                "task_commit",
+                "round_end",
+                "epoch_bump",
+                "round_begin",
+                "task_launch",
+                "task_commit",
+                "round_end",
+                "epoch_bump",
+            ]
+        );
+    }
+
+    #[test]
+    fn window_advance_lands_on_the_controller_track() {
+        let rec = Recorder::new(1, ObsConfig::default());
+        rec.window_advance(128, 6, 8);
+        let log = rec.snapshot();
+        assert_eq!(log.events[0].track, CTL_TRACK);
+        assert_eq!(
+            log.events[0].event.kind,
+            EventKind::WindowAdvance {
+                completions: 128,
+                inflight: 6,
+                target: 8
+            }
+        );
     }
 
     #[test]

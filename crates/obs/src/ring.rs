@@ -158,6 +158,22 @@ impl EventRing {
         self.tail.store(0, Ordering::Relaxed);
     }
 
+    /// Published events currently waiting to be drained. Consumer- or
+    /// coordinator-side: may race the producer, in which case it
+    /// under-counts by the events still being published — fine for
+    /// the drain-threshold heuristic it serves.
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        // Acquire for symmetry with drain_into's window read.
+        let head = self.head.load(Ordering::Acquire);
+        head.wrapping_sub(tail) as usize
+    }
+
+    /// True when no published event is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Number of events dropped because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)

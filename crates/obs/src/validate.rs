@@ -215,6 +215,16 @@ pub fn validate(log: &EventLog, checks: &[RoundCheck]) -> Result<ValidationRepor
                     ));
                 }
             }
+            // Pipelined-mode events. Round logs (the only logs this
+            // validator's segment rules apply to) never contain them;
+            // flag them as foreign rather than silently counting.
+            EventKind::WindowAdvance { .. } | EventKind::BatchRetire { .. } => {
+                errors.push(format!(
+                    "event {i}: {} in a round-mode trace (pipelined logs are not \
+                     round-validated)",
+                    te.event.kind.label()
+                ));
+            }
         }
     }
     if open.is_some() {

@@ -79,6 +79,12 @@ impl<O: Operator> Executor<'_, O> {
             .map(|_| AtomicU8::new(state::ACQUIRING))
             .collect();
 
+        // Tasks alive anywhere: pending in the work-set or drawn by a
+        // worker and not yet committed. Termination tests this single
+        // counter — testing `inflight` after an empty draw is racy
+        // (the last in-flight worker may re-queue an abort after our
+        // draw but before its decrement, losing the task).
+        let live = AtomicUsize::new(ws.len());
         let shared_ws: Mutex<WorkSet<O::Task>> = Mutex::new(std::mem::replace(ws, WorkSet::new()));
         let target = AtomicUsize::new(ctl.current_m());
         let done = AtomicBool::new(false);
@@ -172,9 +178,10 @@ impl<O: Operator> Executor<'_, O> {
                 };
                 let Some(task) = task else {
                     inflight.fetch_sub(1, Ordering::AcqRel);
-                    // Nothing pending: if nothing is running
-                    // either, the system is quiescent.
-                    if inflight.load(Ordering::Acquire) == 0 {
+                    // Nothing pending: quiescent iff no task is alive
+                    // anywhere (pending, running, or about to be
+                    // re-queued by a worker that drew it).
+                    if live.load(Ordering::Acquire) == 0 {
                         done.store(true, Ordering::Release);
                         break;
                     }
@@ -217,10 +224,17 @@ impl<O: Operator> Executor<'_, O> {
                                     spawned: spawned.len() as u32,
                                 }
                             );
-                            if !spawned.is_empty() {
+                            let spawned_n = spawned.len();
+                            if spawned_n > 0 {
                                 let mut q = recover(shared_ws.lock());
                                 q.extend(spawned);
+                                live.fetch_add(spawned_n, Ordering::AcqRel);
                             }
+                            // The committed task leaves the system
+                            // only after its spawns were counted, so
+                            // `live` never transiently reads zero
+                            // while work exists.
+                            live.fetch_sub(1, Ordering::AcqRel);
                             false
                         }
                         None => {

@@ -36,6 +36,7 @@
 
 use crate::faults::{FaultCause, FaultLog, TaskFault};
 use crate::lock::{state, ConflictPolicy, LockSpace};
+use crate::phase::{self, Phase};
 use crate::pool::WorkerPool;
 use crate::probe::{obs_emit, Probe};
 use crate::stats::{RoundStats, RunStats};
@@ -205,6 +206,22 @@ impl<T> WorkSet<T> {
         }
         batch
     }
+
+    /// Move every pending entry out, retry/seq bookkeeping intact
+    /// (the pipelined executor shards them across per-worker queues).
+    pub(crate) fn take_entries(&mut self) -> Vec<Entry<T>> {
+        std::mem::take(&mut self.tasks)
+    }
+
+    /// Absorb entries coming back from the pipelined shards, bumping
+    /// `next_seq` past every absorbed stamp so later [`WorkSet::push`]
+    /// calls never reuse a live seq.
+    pub(crate) fn absorb_entries(&mut self, entries: Vec<Entry<T>>) {
+        for e in entries {
+            self.next_seq = self.next_seq.max(e.seq + 1);
+            self.tasks.push(e);
+        }
+    }
 }
 
 /// Executor configuration.
@@ -260,6 +277,9 @@ pub struct Executor<'a, O: Operator> {
     /// Deterministic fault-injection plan (feature `faults`).
     #[cfg(feature = "faults")]
     fault_plan: Option<&'a crate::faults::FaultPlan>,
+    /// Optional per-phase time accounting (draw / execute / commit /
+    /// wait), stamped at round or batch granularity — never per task.
+    phases: Option<&'a crate::phase::PhaseClock>,
     /// Attached observability recorder (feature `obs`): per-worker
     /// event rings drained at the round barrier.
     #[cfg(feature = "obs")]
@@ -322,6 +342,7 @@ impl<'a, O: Operator> Executor<'a, O> {
             faults: Mutex::new(FaultLog::default()),
             #[cfg(feature = "faults")]
             fault_plan: None,
+            phases: None,
             #[cfg(feature = "obs")]
             recorder: None,
         }
@@ -388,6 +409,19 @@ impl<'a, O: Operator> Executor<'a, O> {
     #[cfg(feature = "faults")]
     pub(crate) fn fault_plan(&self) -> Option<&'a crate::faults::FaultPlan> {
         self.fault_plan
+    }
+
+    /// Attach a phase clock: subsequent runs charge their draw /
+    /// execute / commit / wait time to it. Stamps are taken at round
+    /// (or batch) granularity, so the per-task hot path stays
+    /// timer-free.
+    pub fn set_phase_clock(&mut self, clock: &'a crate::phase::PhaseClock) {
+        self.phases = Some(clock);
+    }
+
+    /// The attached phase clock, if any.
+    pub(crate) fn phases(&self) -> Option<&'a crate::phase::PhaseClock> {
+        self.phases
     }
 
     /// Attach an observability recorder sized for this executor's
@@ -462,7 +496,9 @@ impl<'a, O: Operator> Executor<'a, O> {
                 }));
             }
         }
+        let t_draw = phase::maybe_start(self.phases);
         let batch = ws.sample_drain_aged(m, rng, self.cfg.retry_budget);
+        phase::maybe_add(self.phases, Phase::Draw, t_draw);
         let launched = batch.len();
         #[cfg(feature = "obs")]
         self.obs_round_begin(m, &batch);
@@ -522,11 +558,16 @@ impl<'a, O: Operator> Executor<'a, O> {
 
         let results: Vec<TaskResult<O::Task>> = match self.pool.as_ref() {
             Some(pool) if self.cfg.workers > 1 => self.run_parallel(pool, &batch, states),
-            _ => batch
-                .iter()
-                .enumerate()
-                .map(|(slot, e)| self.run_task(slot, &e.task, states, self.probe_for(0)))
-                .collect(),
+            _ => {
+                let t_exec = phase::maybe_start(self.phases);
+                let out = batch
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, e)| self.run_task(slot, &e.task, states, self.probe_for(0)))
+                    .collect();
+                phase::maybe_add(self.phases, Phase::Execute, t_exec);
+                out
+            }
         };
         drop(scratch);
 
@@ -544,7 +585,9 @@ impl<'a, O: Operator> Executor<'a, O> {
         m: usize,
         rng: &mut R,
     ) -> RoundStats {
+        let t_draw = phase::maybe_start(self.phases);
         let batch = ws.sample_drain_aged(m, rng, self.cfg.retry_budget);
+        phase::maybe_add(self.phases, Phase::Draw, t_draw);
         let launched = batch.len();
         #[cfg(feature = "obs")]
         self.obs_round_begin(m, &batch);
@@ -572,16 +615,22 @@ impl<'a, O: Operator> Executor<'a, O> {
         self.space.audit().arm(self.cfg.workers == 1);
 
         let results: Vec<TaskResult<O::Task>> = if self.cfg.workers == 1 {
-            batch
+            let t_exec = phase::maybe_start(self.phases);
+            let out = batch
                 .iter()
                 .enumerate()
                 .map(|(slot, e)| self.run_task(slot, &e.task, &states, self.probe_for(0)))
-                .collect()
+                .collect();
+            phase::maybe_add(self.phases, Phase::Execute, t_exec);
+            out
         } else {
             let next = AtomicUsize::new(0);
             let workers = self.cfg.workers.min(launched);
             let batch_ref = &batch;
             let states = &states;
+            let pc = self.phases;
+            let exec_before = pc.map(|c| c.snapshot().execute_ns);
+            let t_wall = phase::maybe_start(pc);
             let mut filled: Vec<Option<TaskResult<O::Task>>> = Vec::new();
             filled.resize_with(launched, || None);
             std::thread::scope(|s| {
@@ -590,6 +639,7 @@ impl<'a, O: Operator> Executor<'a, O> {
                         let next = &next;
                         let probe = self.probe_for(w);
                         s.spawn(move || {
+                            let t_busy = phase::maybe_start(pc);
                             let mut local = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::AcqRel);
@@ -599,6 +649,7 @@ impl<'a, O: Operator> Executor<'a, O> {
                                 local
                                     .push((i, self.run_task(i, &batch_ref[i].task, states, probe)));
                             }
+                            phase::maybe_add(pc, Phase::Execute, t_busy);
                             local
                         })
                     })
@@ -616,6 +667,13 @@ impl<'a, O: Operator> Executor<'a, O> {
                     }
                 }
             });
+            // Wait = worker-seconds the dispatch held that nobody
+            // spent executing (stragglers at the implicit join).
+            if let (Some(c), Some(before)) = (pc, exec_before) {
+                let wall = t_wall.map_or(0, phase::span_ns);
+                let busy = c.snapshot().execute_ns.saturating_sub(before);
+                c.add_ns(Phase::Wait, (workers as u64 * wall).saturating_sub(busy));
+            }
             filled
                 .into_iter()
                 .enumerate()
@@ -636,6 +694,7 @@ impl<'a, O: Operator> Executor<'a, O> {
         batch: Vec<Entry<O::Task>>,
         results: Vec<TaskResult<O::Task>>,
     ) -> RoundStats {
+        let t_commit = phase::maybe_start(self.phases);
         let mut stats = RoundStats {
             m,
             launched: batch.len(),
@@ -710,6 +769,9 @@ impl<'a, O: Operator> Executor<'a, O> {
             rec.epoch_bump(pre_epoch, self.space.epoch());
         }
         debug_assert!(self.space.check_all_free().is_ok());
+        // Commit covers the merge plus the barrier's serial
+        // bookkeeping (audit drain, ring drain, epoch bump).
+        phase::maybe_add(self.phases, Phase::Commit, t_commit);
         stats
     }
 
@@ -928,7 +990,9 @@ impl<'a, O: Operator> Executor<'a, O> {
         let next = AtomicUsize::new(0);
         let slots: Vec<ResultSlot<O::Task>> =
             (0..n).map(|_| ResultSlot(UnsafeCell::new(None))).collect();
+        let pc = self.phases;
         let job = |w: usize| {
+            let t_busy = phase::maybe_start(pc);
             let probe = self.probe_for(w);
             loop {
                 let start = next.fetch_add(chunk, Ordering::AcqRel);
@@ -944,8 +1008,21 @@ impl<'a, O: Operator> Executor<'a, O> {
                     unsafe { *slots[i].0.get() = Some(r) };
                 }
             }
+            phase::maybe_add(pc, Phase::Execute, t_busy);
         };
+        let exec_before = pc.map(|c| c.snapshot().execute_ns);
+        let t_wall = phase::maybe_start(pc);
         pool.run(&job);
+        // Wait = worker-seconds the rendezvous held that nobody spent
+        // executing (the barrier's straggler cost).
+        if let (Some(c), Some(before)) = (pc, exec_before) {
+            let wall = t_wall.map_or(0, phase::span_ns);
+            let busy = c.snapshot().execute_ns.saturating_sub(before);
+            c.add_ns(
+                Phase::Wait,
+                (self.cfg.workers as u64 * wall).saturating_sub(busy),
+            );
+        }
         slots
             .into_iter()
             .enumerate()
@@ -1025,6 +1102,40 @@ mod tests {
                 "element {v} drawn {h} times, expected ≈{expect}"
             );
         }
+    }
+
+    #[test]
+    fn phase_clock_accumulates_round_phases() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let n = 128;
+        let (space, r) = ring_setup(n);
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let clock = crate::phase::PhaseClock::new();
+        let mut ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 2,
+                policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
+            },
+        );
+        ex.set_phase_clock(&clock);
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        while !ws.is_empty() {
+            let _ = ex.run_round(&mut ws, 16, &mut rng);
+        }
+        let b = clock.snapshot();
+        assert!(b.draw_ns > 0, "draw was timed");
+        assert!(b.execute_ns > 0, "execute was timed");
+        assert!(b.commit_ns > 0, "commit was timed");
+        // `wait_ns` is derived (workers·wall − busy) and can
+        // legitimately be ~0 on an idle machine, so no bound on it.
+        assert_eq!(
+            b.total_ns(),
+            b.draw_ns + b.execute_ns + b.commit_ns + b.wait_ns
+        );
     }
 
     #[test]

@@ -36,6 +36,11 @@
 //!   [`exec::ExecutorConfig::retry_budget`] retries, so no task
 //!   starves; a round watchdog shrinks `m` toward 1 under sustained
 //!   zero-commit stalls.
+//! * [`pipelined`] — the barrier-free **epoch-pipelined** executor:
+//!   workers draw, execute, and commit continuously against a sliding
+//!   in-flight speculation window, with per-worker lock *lanes* in the
+//!   [`lock::LockSpace`] so batch release stays O(1) without a global
+//!   epoch bump and one slow task no longer stalls the world.
 //!
 //! ## Execution model
 //!
@@ -63,6 +68,8 @@ pub mod continuous;
 pub mod exec;
 pub mod faults;
 pub mod lock;
+pub mod phase;
+pub mod pipelined;
 pub mod pool;
 mod probe;
 pub mod stats;
@@ -86,6 +93,8 @@ pub use faults::{FaultCause, FaultLog, TaskFault};
 #[cfg(feature = "faults")]
 pub use faults::{FaultKind, FaultPlan, FaultRecord};
 pub use lock::{ConflictPolicy, LockSpace, Region};
+pub use phase::{Phase, PhaseBreakdown, PhaseClock};
+pub use pipelined::PipelinedConfig;
 pub use pool::WorkerPool;
 pub use stats::{RoundStats, RunStats};
 pub use store::SpecStore;

@@ -1,15 +1,23 @@
 //! Abstract locks: the conflict-detection substrate.
 //!
 //! Every shared datum is assigned one word in a [`LockSpace`]. A word
-//! packs `(epoch, owner)` into one `AtomicU64`: the high 32 bits carry
-//! the epoch tag under which the word was last written, the low 32
-//! bits carry `slot + 1` for the owning task (`0` = free). A word
-//! whose epoch tag differs from the space's current epoch is *free by
-//! definition* — it is residue from an earlier round. The round
-//! barrier is therefore a single counter increment
-//! ([`LockSpace::advance_epoch`]): committed tasks keep their locks
-//! held until the barrier (the model's semantics) without anyone
-//! walking their locksets to release them.
+//! packs `(tag, owner)` into one `AtomicU64`: the high 32 bits carry
+//! the epoch *tag* under which the word was last written, the low 32
+//! bits carry `slot + 1` for the owning task (`0` = free). The tag
+//! itself is split into an 8-bit *lane* and a 24-bit lane-local
+//! epoch: lane 0 is the global round lane (its epoch is the low 24
+//! bits of the monotonic round counter), lanes `1..MAX_LANES` are
+//! per-worker lanes used by the pipelined executor. A word whose tag
+//! is not *live* — its lane's current epoch differs from the epoch
+//! stamped in the tag — is *free by definition*: it is residue from
+//! an earlier round or an already-retired batch. The round barrier is
+//! therefore a single counter increment
+//! ([`LockSpace::advance_epoch`]), and retiring a pipelined batch is
+//! a single lane bump ([`LockSpace::advance_lane`]): committed tasks
+//! keep their locks held until the barrier / batch retirement (the
+//! model's semantics) without anyone walking their locksets to
+//! release them — and a bump on one lane never stalls or frees work
+//! on another.
 //!
 //! Acquisition is a CAS loop; a collision is a *speculative conflict*,
 //! resolved by the round's [`ConflictPolicy`]:
@@ -40,6 +48,17 @@ const OWNER_MASK: u64 = 0xFFFF_FFFF;
 
 /// Shift of the epoch tag within a lock word.
 const EPOCH_SHIFT: u32 = 32;
+
+/// Shift of the lane id within the 32-bit tag (high 8 tag bits).
+const LANE_SHIFT: u32 = 24;
+
+/// Low 24 bits of a tag: the lane-local epoch.
+const LANE_EPOCH_MASK: u64 = 0x00FF_FFFF;
+
+/// Number of epoch lanes. Lane 0 is the global round lane; lanes
+/// `1..MAX_LANES` are claimable by pipelined workers (one per
+/// worker), capping pipelined execution at 255 workers.
+pub const MAX_LANES: usize = 256;
 
 /// How a lock collision between two speculative tasks is resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -123,9 +142,11 @@ impl LockSpaceBuilder {
     /// Freeze into an immutable lock space.
     pub fn build(self) -> LockSpace {
         let owners = (0..self.total).map(|_| AtomicU64::new(0)).collect();
+        let lanes = (0..MAX_LANES).map(|_| AtomicU64::new(0)).collect();
         LockSpace {
             owners,
             epoch: AtomicU64::new(0),
+            lanes,
             regions: self.regions,
             #[cfg(feature = "checker")]
             audit: optpar_checker::AuditSink::new(),
@@ -141,8 +162,12 @@ impl LockSpaceBuilder {
 #[derive(Debug)]
 pub struct LockSpace {
     owners: Box<[AtomicU64]>,
-    /// Monotonic round counter; its low 32 bits tag live lock words.
+    /// Monotonic round counter; its low 24 bits are lane 0's epoch.
     epoch: AtomicU64,
+    /// Per-lane epoch counters for lanes `1..MAX_LANES` (entry 0 is
+    /// unused — lane 0 reads `epoch` instead). A pipelined worker owns
+    /// exactly one lane and bumps it once per retired batch.
+    lanes: Box<[AtomicU64]>,
     regions: Vec<Region>,
     /// Speculation-safety audit sink: tasks deposit traces here and
     /// the round barrier runs the lockset/oracle analyses over them.
@@ -191,10 +216,42 @@ impl LockSpace {
         self.epoch.load(Ordering::Acquire)
     }
 
-    /// The 32-bit tag live lock words must carry.
+    /// Lane 0's current 32-bit tag (high 8 lane bits zero).
     #[inline]
     fn epoch_tag(&self) -> u64 {
-        self.epoch() & OWNER_MASK
+        self.epoch() & LANE_EPOCH_MASK
+    }
+
+    /// The 32-bit tag a task running in `lane` must stamp right now.
+    /// Lane 0 reads the global round counter; other lanes read their
+    /// own batch counter.
+    #[inline]
+    pub fn lane_tag(&self, lane: usize) -> u64 {
+        if lane == 0 {
+            self.epoch_tag()
+        } else {
+            ((lane as u64) << LANE_SHIFT)
+                | (self.lanes[lane].load(Ordering::Acquire) & LANE_EPOCH_MASK)
+        }
+    }
+
+    /// Is `tag` the stamping lane's *current* tag? A lock word whose
+    /// tag is not live is free by definition (lazy expiry), whatever
+    /// its owner bits say.
+    #[inline]
+    fn tag_is_live(&self, tag: u64) -> bool {
+        let lane = (tag >> LANE_SHIFT) as usize;
+        if lane == 0 {
+            tag == self.epoch_tag()
+        } else {
+            tag & LANE_EPOCH_MASK == self.lanes[lane].load(Ordering::Acquire) & LANE_EPOCH_MASK
+        }
+    }
+
+    /// Is the word `w` held by a live owner right now?
+    #[inline]
+    fn word_is_held(&self, w: u64) -> bool {
+        w & OWNER_MASK != 0 && self.tag_is_live(w >> EPOCH_SHIFT)
     }
 
     /// Advance the epoch: the O(1) round barrier. Every word still
@@ -202,15 +259,17 @@ impl LockSpace {
     /// a committed task of the finished round — becomes free without
     /// being touched.
     ///
-    /// The 32-bit tag wraps once every 2^32 rounds; on wrap the space
-    /// is swept to zero so a word abandoned 2^32 rounds ago cannot
-    /// alias the reused tag. Amortized cost is nil.
+    /// The 24-bit lane-0 epoch wraps once every 2^24 rounds; on wrap
+    /// the space is swept to zero so a word abandoned 2^24 rounds ago
+    /// cannot alias the reused tag. The sweep runs at a round barrier,
+    /// where no lane is live, so it may clear lane residue too.
+    /// Amortized cost is nil.
     pub fn advance_epoch(&self) {
         let old = self.epoch.fetch_add(1, Ordering::AcqRel);
         let new = old.wrapping_add(1);
         #[cfg(feature = "checker")]
         self.audit.assert_epoch_step(old, new);
-        if new & OWNER_MASK == 0 {
+        if new & LANE_EPOCH_MASK == 0 {
             for w in self.owners.iter() {
                 w.store(0, Ordering::Release);
             }
@@ -223,6 +282,46 @@ impl LockSpace {
                     .map(|(i, w)| (i, w.load(Ordering::Acquire)))
                     .find(|&(_, w)| w != 0),
             );
+        }
+    }
+
+    /// Advance lane `lane`'s epoch: the O(1) batch retirement. Every
+    /// word still stamped with the lane's previous epoch — i.e. every
+    /// lock still held by a committed task of the retired batch —
+    /// becomes free without being touched, and no other lane notices.
+    ///
+    /// The 24-bit lane epoch wraps once every 2^24 batches; on wrap,
+    /// residue carrying this lane's id is swept to zero by CAS so a
+    /// word abandoned 2^24 batches ago cannot alias the reused tag.
+    /// The CAS sweep is safe concurrently with other lanes: it only
+    /// clears words whose stamp belongs to this (single-owner) lane.
+    ///
+    /// # Panics
+    /// Panics if `lane` is 0 (the global lane; use
+    /// [`Self::advance_epoch`]) or out of range.
+    pub fn advance_lane(&self, lane: usize) {
+        assert!(
+            (1..MAX_LANES).contains(&lane),
+            "lane {lane} is not a worker lane"
+        );
+        let old = self.lanes[lane].fetch_add(1, Ordering::AcqRel);
+        if old.wrapping_add(1) & LANE_EPOCH_MASK == 0 {
+            let lane = lane as u64;
+            for w in self.owners.iter() {
+                loop {
+                    let cur = w.load(Ordering::Acquire);
+                    if cur >> (EPOCH_SHIFT + LANE_SHIFT) != lane {
+                        break; // not our residue; leave it alone
+                    }
+                    if w.compare_exchange(cur, 0, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                    // Another lane took the word between load and CAS;
+                    // re-evaluate (its new stamp is not ours).
+                }
+            }
         }
     }
 
@@ -256,28 +355,27 @@ impl LockSpace {
         self.cas_retries.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Current owner of lock `l`: `None` if free (including words from
-    /// stale epochs), else the owning slot.
+    /// Current owner of lock `l`: `None` if free (including words
+    /// whose stamping lane has moved on), else the owning slot.
     pub fn owner_of(&self, l: usize) -> Option<usize> {
         let w = self.owners[l].load(Ordering::Acquire);
-        if w >> EPOCH_SHIFT == self.epoch_tag() && w & OWNER_MASK != 0 {
+        if self.word_is_held(w) {
             Some((w & OWNER_MASK) as usize - 1)
         } else {
             None
         }
     }
 
-    /// Assert every lock is free under the current epoch (round
-    /// boundary invariant). Returns the first held lock on violation.
+    /// Assert every lock is free under every live lane epoch (round /
+    /// quiescence boundary invariant). Returns the first held lock on
+    /// violation.
     ///
     /// Immediately after [`Self::advance_epoch`] this holds by
     /// construction — the scan exists for tests and debug assertions,
     /// not for the hot path (which needs no check at all).
     pub fn check_all_free(&self) -> Result<(), usize> {
-        let tag = self.epoch_tag();
         for (l, w) in self.owners.iter().enumerate() {
-            let w = w.load(Ordering::Acquire);
-            if w >> EPOCH_SHIFT == tag && w & OWNER_MASK != 0 {
+            if self.word_is_held(w.load(Ordering::Acquire)) {
                 return Err(l);
             }
         }
@@ -299,10 +397,13 @@ pub enum AcquireError {
     Doomed,
 }
 
-/// Attempt to acquire lock `l` for task `slot` under `policy`.
+/// Attempt to acquire lock `l` for task `slot` under `policy`,
+/// stamping lane 0's current tag (the round-synchronous and
+/// continuous modes).
 ///
 /// `states` is the per-round task-state array. Returns `Ok(true)` if
 /// newly acquired, `Ok(false)` if already held (reentrant).
+#[cfg_attr(not(test), allow(dead_code))] // production paths go through TaskCtx's cached tag
 pub(crate) fn acquire(
     space: &LockSpace,
     states: &[AtomicU8],
@@ -310,8 +411,28 @@ pub(crate) fn acquire(
     slot: usize,
     l: usize,
 ) -> Result<bool, AcquireError> {
+    acquire_tagged(space, states, policy, slot, space.epoch_tag(), l)
+}
+
+/// Attempt to acquire lock `l` for task `slot` under `policy`,
+/// stamping `tag` (the caller's lane tag, cached for the batch).
+///
+/// A word is *held* iff its owner bits are set and its tag is live:
+/// either it equals ours (our lane's current epoch — we only run
+/// while that holds), or it belongs to a *different* lane whose
+/// current epoch still matches. A same-lane word with a different
+/// epoch is retired-batch residue and therefore free; this keeps the
+/// lane-0 fast path identical to the classic single-epoch check (no
+/// extra loads on stale words).
+pub(crate) fn acquire_tagged(
+    space: &LockSpace,
+    states: &[AtomicU8],
+    policy: ConflictPolicy,
+    slot: usize,
+    tag: u64,
+    l: usize,
+) -> Result<bool, AcquireError> {
     let owners = space.owners();
-    let tag = space.epoch_tag();
     let me = (tag << EPOCH_SHIFT) | (slot as u64 + 1);
     loop {
         // A doomed task must stop acquiring.
@@ -319,7 +440,10 @@ pub(crate) fn acquire(
             return Err(AcquireError::Doomed);
         }
         let cur = owners[l].load(Ordering::Acquire);
-        let held = cur >> EPOCH_SHIFT == tag && cur & OWNER_MASK != 0;
+        let cur_tag = cur >> EPOCH_SHIFT;
+        let held = cur & OWNER_MASK != 0
+            && (cur_tag == tag
+                || (cur_tag >> LANE_SHIFT != tag >> LANE_SHIFT && space.tag_is_live(cur_tag)));
         if !held {
             // Free — either genuinely (owner 0) or by epoch staleness.
             if owners[l]
@@ -389,13 +513,20 @@ pub(crate) fn acquire(
     }
 }
 
-/// Release every lock in `lockset` held by `slot` under the current
-/// epoch, skipping stolen entries. Used by aborting tasks (which must
-/// free their words within the round) and by unit tests; committed
-/// tasks rely on [`LockSpace::advance_epoch`] instead.
+/// Release every lock in `lockset` held by `slot` under lane 0's
+/// current epoch, skipping stolen entries. Used by aborting tasks
+/// (which must free their words within the round) and by unit tests;
+/// committed tasks rely on [`LockSpace::advance_epoch`] instead.
 pub(crate) fn release_all(space: &LockSpace, slot: usize, lockset: &[usize]) {
+    release_all_tagged(space, slot, space.epoch_tag(), lockset)
+}
+
+/// Release every lock in `lockset` held by `slot` under `tag` (the
+/// caller's cached lane tag), skipping stolen entries. Aborting
+/// pipelined tasks must free their words within their batch;
+/// committed ones rely on [`LockSpace::advance_lane`] instead.
+pub(crate) fn release_all_tagged(space: &LockSpace, slot: usize, tag: u64, lockset: &[usize]) {
     let owners = space.owners();
-    let tag = space.epoch_tag();
     let me = (tag << EPOCH_SHIFT) | (slot as u64 + 1);
     let free = tag << EPOCH_SHIFT;
     for &l in lockset {
@@ -686,22 +817,22 @@ mod tests {
         assert_ne!(st[owner].load(Ordering::Acquire), state::DOOMED);
     }
 
-    /// Drive the epoch across the 32-bit tag wraparound: words stamped
-    /// with the maximal tag must read free after the wrap sweep, the
-    /// monotonic counter must keep counting, and the space must be
-    /// immediately reusable under the fresh zero tag.
+    /// Drive the epoch across the 24-bit lane-0 tag wraparound: words
+    /// stamped with the maximal tag must read free after the wrap
+    /// sweep, the monotonic counter must keep counting, and the space
+    /// must be immediately reusable under the fresh zero tag.
     #[test]
     fn epoch_tag_wraparound_sweeps_stale_owners() {
         let mut b = LockSpace::builder();
         let _ = b.region(3);
         let space = b.build();
 
-        // Jump to the last epoch before the tag wraps (tag =
-        // 0xFFFF_FFFF) with some high bits set, as after ~6 * 2^32
+        // Jump to the last epoch before the lane-0 tag wraps (tag =
+        // 0x00FF_FFFF) with some high bits set, as after ~6 * 2^24
         // real rounds.
-        let pre_wrap: u64 = (6 << EPOCH_SHIFT) | OWNER_MASK;
+        let pre_wrap: u64 = (6 << LANE_SHIFT) | LANE_EPOCH_MASK;
         space.epoch.store(pre_wrap, Ordering::Release);
-        assert_eq!(space.epoch_tag(), OWNER_MASK);
+        assert_eq!(space.epoch_tag(), LANE_EPOCH_MASK);
 
         // Stamp locks 0 and 2 under the maximal tag (lock 1 stays 0).
         let st = states(2);
@@ -774,5 +905,249 @@ mod tests {
             acquire(&space, &st, ConflictPolicy::FirstWins, 0, 0),
             Ok(true)
         );
+    }
+
+    /// Acquire every word under one lane tag, then retire the batch
+    /// with a single lane bump: everything must read free with no
+    /// release traversal, exactly like the round barrier — but scoped
+    /// to that lane.
+    #[test]
+    fn lane_bump_frees_batch_words_in_o1() {
+        let mut b = LockSpace::builder();
+        let _ = b.region(8);
+        let space = b.build();
+        let st = states(3);
+        let tag = space.lane_tag(1);
+        for l in 0..8 {
+            assert_eq!(
+                acquire_tagged(&space, &st, ConflictPolicy::FirstWins, l % 3, tag, l),
+                Ok(true)
+            );
+        }
+        assert!(space.check_all_free().is_err(), "words are held");
+        space.advance_lane(1);
+        assert!(
+            space.check_all_free().is_ok(),
+            "lane bump expires the batch"
+        );
+        for l in 0..8 {
+            assert_eq!(space.owner_of(l), None, "stale word {l} must read free");
+        }
+        // Immediately reusable under the lane's next epoch.
+        let tag2 = space.lane_tag(1);
+        assert_ne!(tag, tag2);
+        assert_eq!(
+            acquire_tagged(&space, &st, ConflictPolicy::FirstWins, 0, tag2, 3),
+            Ok(true)
+        );
+        assert_eq!(space.owner_of(3), Some(0));
+    }
+
+    /// Lanes are independent: a bump on one lane must not expire
+    /// another lane's held words, nor lane 0's, and vice versa. This
+    /// is the no-slow-task-stalls-the-world property at the lock
+    /// level.
+    #[test]
+    fn lane_bump_does_not_disturb_other_lanes() {
+        let mut b = LockSpace::builder();
+        let _ = b.region(3);
+        let space = b.build();
+        let st = states(3);
+        // Lock 0 under lane 1, lock 1 under lane 2, lock 2 under lane 0.
+        assert_eq!(
+            acquire_tagged(
+                &space,
+                &st,
+                ConflictPolicy::FirstWins,
+                0,
+                space.lane_tag(1),
+                0
+            ),
+            Ok(true)
+        );
+        assert_eq!(
+            acquire_tagged(
+                &space,
+                &st,
+                ConflictPolicy::FirstWins,
+                1,
+                space.lane_tag(2),
+                1
+            ),
+            Ok(true)
+        );
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::FirstWins, 2, 2),
+            Ok(true)
+        );
+        // Retire lane 2's batch only.
+        space.advance_lane(2);
+        assert_eq!(space.owner_of(0), Some(0), "lane 1 hold survives");
+        assert_eq!(space.owner_of(1), None, "lane 2 hold expired");
+        assert_eq!(space.owner_of(2), Some(2), "lane 0 hold survives");
+        // A global round barrier expires lane 0 but not lane 1.
+        space.advance_epoch();
+        assert_eq!(space.owner_of(0), Some(0), "lane 1 hold still survives");
+        assert_eq!(space.owner_of(2), None, "lane 0 hold expired");
+    }
+
+    /// A live hold in one lane must conflict with an acquirer in a
+    /// different lane (cross-batch conflicts are real conflicts), and
+    /// expired residue must not.
+    #[test]
+    fn cross_lane_conflict_and_expiry() {
+        let mut b = LockSpace::builder();
+        let _ = b.region(1);
+        let space = b.build();
+        let st = states(4);
+        assert_eq!(
+            acquire_tagged(
+                &space,
+                &st,
+                ConflictPolicy::FirstWins,
+                0,
+                space.lane_tag(1),
+                0
+            ),
+            Ok(true)
+        );
+        // Live cross-lane conflict, from another lane and from lane 0.
+        assert_eq!(
+            acquire_tagged(
+                &space,
+                &st,
+                ConflictPolicy::FirstWins,
+                1,
+                space.lane_tag(2),
+                0
+            ),
+            Err(AcquireError::Conflict { lock: 0, holder: 0 })
+        );
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::FirstWins, 2, 0),
+            Err(AcquireError::Conflict { lock: 0, holder: 0 })
+        );
+        // After the holding lane retires, both may take it.
+        space.advance_lane(1);
+        assert_eq!(
+            acquire_tagged(
+                &space,
+                &st,
+                ConflictPolicy::FirstWins,
+                3,
+                space.lane_tag(2),
+                0
+            ),
+            Ok(true),
+            "stale cross-lane residue must be treated as free"
+        );
+        assert_eq!(space.owner_of(0), Some(3));
+    }
+
+    /// Drive one lane across its 24-bit epoch wraparound: residue
+    /// stamped by that lane is CAS-swept to zero, while live words of
+    /// other lanes (and lane 0) are untouched.
+    #[test]
+    fn lane_epoch_wraparound_sweeps_only_that_lane() {
+        let mut b = LockSpace::builder();
+        let _ = b.region(3);
+        let space = b.build();
+        let st = states(3);
+        // Park lane 3 one step before its epoch wraps.
+        space.lanes[3].store(LANE_EPOCH_MASK, Ordering::Release);
+        let tag3 = space.lane_tag(3);
+        assert_eq!(tag3, (3 << LANE_SHIFT) | LANE_EPOCH_MASK);
+        assert_eq!(
+            acquire_tagged(&space, &st, ConflictPolicy::FirstWins, 0, tag3, 0),
+            Ok(true)
+        );
+        // Live holds in lane 4 and lane 0 that must survive the sweep.
+        assert_eq!(
+            acquire_tagged(
+                &space,
+                &st,
+                ConflictPolicy::FirstWins,
+                1,
+                space.lane_tag(4),
+                1
+            ),
+            Ok(true)
+        );
+        assert_eq!(
+            acquire(&space, &st, ConflictPolicy::FirstWins, 2, 2),
+            Ok(true)
+        );
+
+        space.advance_lane(3);
+
+        // Lane 3's counter wrapped to a zero epoch and its residue was
+        // physically swept (a zero tag is the one value lazy expiry
+        // would alias).
+        assert_eq!(space.lanes[3].load(Ordering::Acquire) & LANE_EPOCH_MASK, 0);
+        assert_eq!(space.owners[0].load(Ordering::Acquire), 0);
+        // The other lanes' words are physically untouched and still held.
+        assert_eq!(space.owner_of(1), Some(1));
+        assert_eq!(space.owner_of(2), Some(2));
+        // Lane 3 is immediately reusable under its fresh zero epoch.
+        assert_eq!(
+            acquire_tagged(
+                &space,
+                &st,
+                ConflictPolicy::FirstWins,
+                0,
+                space.lane_tag(3),
+                0
+            ),
+            Ok(true)
+        );
+        assert_eq!(space.owner_of(0), Some(0));
+    }
+
+    /// Tagged release is scoped to the releasing batch: it frees the
+    /// caller's own live words, skips residue from its previous batch,
+    /// and never clobbers another lane's live hold on a recycled word.
+    #[test]
+    fn tagged_release_is_scoped_to_its_batch() {
+        let mut b = LockSpace::builder();
+        let _ = b.region(2);
+        let space = b.build();
+        let st = states(2);
+        let tag = space.lane_tag(1);
+        assert_eq!(
+            acquire_tagged(&space, &st, ConflictPolicy::FirstWins, 0, tag, 0),
+            Ok(true)
+        );
+        assert_eq!(
+            acquire_tagged(&space, &st, ConflictPolicy::FirstWins, 0, tag, 1),
+            Ok(true)
+        );
+        // Lock 1's batch retires; lock 0 is then re-taken by lane 2
+        // under the same slot number.
+        space.advance_lane(1);
+        assert_eq!(
+            acquire_tagged(
+                &space,
+                &st,
+                ConflictPolicy::FirstWins,
+                0,
+                space.lane_tag(2),
+                0
+            ),
+            Ok(true)
+        );
+        // A release under the *old* lane-1 tag can only clear words
+        // still physically carrying that exact dead stamp (harmless:
+        // they already read free); it must never clobber lane 2's
+        // live hold on the recycled word 0, even from the same slot.
+        release_all_tagged(&space, 0, tag, &[0, 1]);
+        assert_eq!(space.owner_of(0), Some(0), "lane 2's hold survives");
+        // A release under the current lane tag frees a live abort.
+        let tag1b = space.lane_tag(1);
+        assert_eq!(
+            acquire_tagged(&space, &st, ConflictPolicy::FirstWins, 1, tag1b, 1),
+            Ok(true)
+        );
+        release_all_tagged(&space, 1, tag1b, &[1]);
+        assert_eq!(space.owner_of(1), None);
     }
 }

@@ -1,0 +1,1110 @@
+//! Pipelined (epoch-windowed, barrier-free) execution mode.
+//!
+//! Round mode parks every worker at a global barrier once per round so
+//! a single epoch bump can retire the whole round's locks; one slow
+//! task therefore stalls the world. This module breaks that barrier
+//! while keeping the O(1) retire:
+//!
+//! * each worker owns a private **lock lane** (lane `w + 1` in the
+//!   [`LockSpace`]); it draws a *batch* of tasks, runs them under the
+//!   lane's current tag, and retires the batch with one
+//!   [`LockSpace::advance_lane`] bump — committed locks die wholesale,
+//!   exactly like the round epoch bump, but per worker, so nobody
+//!   waits for anybody;
+//! * the work-set is **sharded** per worker: a worker drains its own
+//!   shard and steals from the others only when it runs dry, keeping
+//!   the draw path contention-free in the common case. Aged-retry
+//!   prefix semantics are preserved per draw (each shard draw applies
+//!   the same aging rule as round mode);
+//! * the controller's `m(t)` is reinterpreted as an **in-flight
+//!   speculation budget**: a counting gate admits at most `m` tasks
+//!   into flight; every `window` completions the crossing worker
+//!   flushes the sliding window — observing `r̄ = (aborts + faults) /
+//!   completions` — and the controller adjusts the budget. A
+//!   zero-commit watchdog (mirroring the round executor's) halves the
+//!   budget after `watchdog_stall` commit-free windows, down to 1,
+//!   where a lone in-flight task cannot conflict and Prop. 1 gives
+//!   forward progress.
+//!
+//! Aborted tasks release their own (tag-scoped) locks immediately and
+//! re-queue on the worker's home shard with a bumped retry count;
+//! spawned tasks are distributed round-robin across the shards.
+//!
+//! Fault injection keys on the **batch tag** instead of the (constant)
+//! global epoch: a re-queued task re-rolls its fault draw under a
+//! fresh tag on every retry, so a deterministic per-coordinate plan
+//! cannot livelock the drain the way a constant coordinate would.
+//!
+//! With the `checker` feature the audit sink stays armed across the
+//! run and is drained at every window flush; traces group by batch
+//! tag, intra-batch exclusivity is audited exactly, and (at one
+//! worker, where window flushes fall between batches) the sequential
+//! commit-set oracle runs per batch. Cross-batch committed
+//! exclusivity is enforced dynamically by the lane-tagged lock words
+//! and verified end-to-end against sequential references.
+//!
+//! Only [`ConflictPolicy::FirstWins`] is supported: slots are
+//! recycled batch positions and carry no priority meaning.
+//!
+//! [`LockSpace`]: crate::lock::LockSpace
+//! [`LockSpace::advance_lane`]: crate::lock::LockSpace::advance_lane
+
+use crate::exec::{Entry, Executor, WorkSet};
+use crate::faults::{recover, TaskFault};
+use crate::lock::{state, ConflictPolicy, MAX_LANES};
+use crate::phase::{self, Phase};
+use crate::probe::obs_emit;
+use crate::stats::{RoundStats, RunStats};
+use crate::task::{Abort, Operator, TaskCtx};
+use optpar_core::control::Controller;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tuning knobs for [`Executor::run_pipelined`].
+#[derive(Clone, Copy, Debug)]
+pub struct PipelinedConfig {
+    /// Completions per controller window: every `window` finished
+    /// tasks the crossing worker flushes the sliding window and the
+    /// controller adjusts the in-flight budget.
+    pub window: usize,
+    /// Maximum tasks a worker draws, executes, and retires as one
+    /// batch (one lane bump frees the whole batch's locks). Also the
+    /// per-worker slot stride.
+    pub batch: usize,
+    /// Stop after this many completions even if work remains
+    /// (`usize::MAX` = run to quiescence).
+    pub max_completions: usize,
+}
+
+impl Default for PipelinedConfig {
+    fn default() -> Self {
+        PipelinedConfig {
+            window: 128,
+            batch: 16,
+            max_completions: usize::MAX,
+        }
+    }
+}
+
+/// Aggregated outcome counters shared between workers.
+#[derive(Default)]
+struct Counters {
+    committed: AtomicUsize,
+    aborted: AtomicUsize,
+    /// Contained operator panics and injected faults (disjoint from
+    /// `aborted`, mirroring [`RoundStats::faulted`]).
+    faulted: AtomicUsize,
+}
+
+/// The pending-task multiset sharded one queue per worker.
+///
+/// Workers drain their own shard and steal from the others only when
+/// it runs dry; spawned tasks are placed round-robin so a spawn-heavy
+/// worker does not monopolize its own future work. Each shard keeps
+/// its own `seq` counter — stamps are only a tie-break within a drawn
+/// prefix, so cross-shard collisions are harmless.
+struct ShardedWorkSet<T> {
+    shards: Box<[Mutex<WorkSet<T>>]>,
+    /// Round-robin placement cursor for spawned tasks.
+    place: AtomicUsize,
+}
+
+impl<T> ShardedWorkSet<T> {
+    /// Shard `ws`'s entries round-robin across `n` per-worker queues
+    /// (retry counts and enqueue stamps ride along).
+    fn new(ws: &mut WorkSet<T>, n: usize) -> Self {
+        let mut shards: Vec<WorkSet<T>> = (0..n).map(|_| WorkSet::new()).collect();
+        for (i, e) in ws.take_entries().into_iter().enumerate() {
+            if let Some(shard) = shards.get_mut(i % n.max(1)) {
+                shard.push_entry(e);
+            }
+        }
+        ShardedWorkSet {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            place: AtomicUsize::new(0),
+        }
+    }
+
+    /// Shard `i`, wrapped modulo the shard count. `None` only for a
+    /// zero-shard set, which is never constructed: there is one shard
+    /// per worker and `run_pipelined` requires `workers >= 1`.
+    fn shard(&self, i: usize) -> Option<&Mutex<WorkSet<T>>> {
+        self.shards.get(i % self.shards.len().max(1))
+    }
+
+    /// Draw up to `max` entries, scanning shards from `home`. The
+    /// first non-empty shard supplies the whole batch via the same
+    /// aged-uniform sampler round mode uses, so starvation avoidance
+    /// carries over per shard.
+    fn draw<R: Rng + ?Sized>(
+        &self,
+        home: usize,
+        max: usize,
+        rng: &mut R,
+        budget: u32,
+    ) -> Vec<Entry<T>> {
+        for k in 0..self.shards.len() {
+            let Some(shard) = self.shard(home + k) else {
+                break;
+            };
+            let mut q = recover(shard.lock());
+            if q.is_empty() {
+                continue;
+            }
+            return q.sample_drain_aged(max, rng, budget);
+        }
+        Vec::new()
+    }
+
+    /// Re-queue an aborted or faulted entry on its worker's home
+    /// shard, retry count bumped (feeding the aging prefix on
+    /// redraw).
+    fn requeue(&self, home: usize, e: Entry<T>) {
+        if let Some(shard) = self.shard(home) {
+            recover(shard.lock()).push_entry(Entry {
+                retries: e.retries + 1,
+                ..e
+            });
+        }
+    }
+
+    /// Distribute spawned tasks round-robin across all shards.
+    fn spawn(&self, tasks: Vec<T>) {
+        for t in tasks {
+            let at = self.place.fetch_add(1, Ordering::AcqRel);
+            if let Some(shard) = self.shard(at) {
+                recover(shard.lock()).push(t);
+            }
+        }
+    }
+
+    /// Merge every shard's leftovers back out (end of run).
+    fn drain_all(&self) -> Vec<Entry<T>> {
+        let mut out = Vec::new();
+        for s in self.shards.iter() {
+            out.append(&mut recover(s.lock()).take_entries());
+        }
+        out
+    }
+}
+
+impl<O: Operator> Executor<'_, O> {
+    /// Run in pipelined mode until the work-set drains (or
+    /// `cfg.max_completions` tasks have finished).
+    ///
+    /// Workers draw, execute, and retire task batches continuously
+    /// against their private lock lanes; `ctl` adjusts the in-flight
+    /// budget every `cfg.window` completions from the sliding
+    /// abort-ratio window. Returns one [`RoundStats`] entry per
+    /// flushed window.
+    ///
+    /// # Panics
+    /// Panics if configured with [`ConflictPolicy::PriorityWins`], a
+    /// zero window or batch, or more than [`MAX_LANES`]` - 1` workers.
+    pub fn run_pipelined<C: Controller + Send, R: Rng + ?Sized>(
+        &self,
+        ws: &mut WorkSet<O::Task>,
+        ctl: &mut C,
+        cfg: PipelinedConfig,
+        rng: &mut R,
+    ) -> RunStats {
+        assert!(cfg.window >= 1, "window must be positive");
+        assert!(cfg.batch >= 1, "batch must be positive");
+        assert_eq!(
+            self.config().policy,
+            ConflictPolicy::FirstWins,
+            "pipelined mode supports only first-wins arbitration"
+        );
+        let workers = self.config().workers;
+        assert!(
+            workers < MAX_LANES,
+            "pipelined mode supports at most {} workers (one lock lane each)",
+            MAX_LANES - 1
+        );
+        let retry_budget = self.config().retry_budget;
+        let watchdog = self.config().watchdog_stall;
+        let pc = self.phases();
+        // Strided slot pool: worker w owns slots
+        // [w * batch, (w + 1) * batch), one per batch position, so
+        // slot indices are globally unique while batches overlap.
+        let stride = cfg.batch;
+        let states: Vec<AtomicU8> = (0..workers * stride)
+            .map(|_| AtomicU8::new(state::ACQUIRING))
+            .collect();
+
+        // Tasks alive anywhere: pending in a shard or drawn and not
+        // yet committed. Termination tests this single counter — an
+        // empty draw alone is racy (a concurrent batch may still
+        // re-queue an abort).
+        let live = AtomicUsize::new(ws.len());
+        let shards = ShardedWorkSet::new(ws, workers);
+        let target = AtomicUsize::new(ctl.current_m().max(1));
+        let done = AtomicBool::new(false);
+        let inflight = AtomicUsize::new(0);
+        let counters = Counters::default();
+        let completions = AtomicUsize::new(0);
+        let base_seed: u64 = rng.random();
+
+        #[cfg(feature = "checker")]
+        self.space().audit().arm(workers == 1);
+
+        // Window flushing is done by whichever worker crosses the
+        // boundary, so the controller sits behind a mutex together
+        // with the window bookkeeping.
+        struct WindowState<'c, C: Controller> {
+            ctl: &'c mut C,
+            last_committed: usize,
+            last_aborted: usize,
+            last_faulted: usize,
+            /// Consecutive commit-free windows (watchdog input).
+            stalled: u32,
+            rounds: Vec<RoundStats>,
+        }
+        let winstate = Mutex::new(WindowState {
+            ctl,
+            last_committed: 0,
+            last_aborted: 0,
+            last_faulted: 0,
+            stalled: 0,
+            rounds: Vec::new(),
+        });
+        let flush = |st: &mut WindowState<'_, C>| {
+            let c = counters.committed.load(Ordering::Acquire);
+            let a = counters.aborted.load(Ordering::Acquire);
+            let f = counters.faulted.load(Ordering::Acquire);
+            let dc = c - st.last_committed;
+            let da = a - st.last_aborted;
+            let df = f - st.last_faulted;
+            let launched = dc + da + df;
+            if launched == 0 {
+                return;
+            }
+            st.last_committed = c;
+            st.last_aborted = a;
+            st.last_faulted = f;
+            let m = target.load(Ordering::Acquire);
+            let r = (da + df) as f64 / launched as f64;
+            st.ctl.observe(r, launched);
+            // Zero-commit watchdog: a fixed controller never shrinks,
+            // so after `watchdog` consecutive commit-free windows the
+            // budget is halved per further stalled window, down to 1,
+            // where a lone in-flight task cannot conflict.
+            if dc == 0 {
+                st.stalled += 1;
+            } else {
+                st.stalled = 0;
+            }
+            let mut next = st.ctl.current_m().max(1);
+            if watchdog != u32::MAX && st.stalled >= watchdog {
+                let shift = (st.stalled - watchdog + 1).min(63);
+                next = (next >> shift).max(1);
+            }
+            target.store(next, Ordering::Release);
+            // Traces deposited by retired batches form complete tag
+            // groups by now; the sliding-window audit runs here. (At
+            // multiple workers a mid-batch group may split across two
+            // flushes — each part is audited soundly on its own, see
+            // the module docs.)
+            #[cfg(feature = "checker")]
+            self.space().audit().drain_window();
+            #[cfg(feature = "obs")]
+            if let Some(rec) = self.recorder() {
+                rec.drain_workers();
+                rec.controller(next as u64, r, st.ctl.target_rho());
+                rec.window_advance(
+                    completions.load(Ordering::Acquire) as u64,
+                    inflight.load(Ordering::Acquire) as u64,
+                    next as u64,
+                );
+            }
+            st.rounds.push(RoundStats {
+                m,
+                launched,
+                committed: dc,
+                aborted: da,
+                faulted: df,
+                spawned: 0,
+                lock_acquires: 0,
+            });
+        };
+
+        let worker = |w: usize| {
+            let mut wrng = StdRng::seed_from_u64(base_seed ^ (w as u64) << 32);
+            let probe = self.probe_for(w);
+            let lane = w + 1;
+            loop {
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+                // Claim up to `batch` in-flight permits against the
+                // budget in one RMW (the closure re-reads the target
+                // on every retry, so a shrinking budget is honored).
+                let mut granted = 0usize;
+                let claimed = inflight.fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                    let t = target.load(Ordering::Acquire);
+                    if cur >= t {
+                        None
+                    } else {
+                        granted = cfg.batch.min(t - cur);
+                        Some(cur + granted)
+                    }
+                });
+                if claimed.is_err() {
+                    let t0 = phase::maybe_start(pc);
+                    std::thread::yield_now();
+                    phase::maybe_add(pc, Phase::Wait, t0);
+                    continue;
+                }
+                let t0 = phase::maybe_start(pc);
+                let batch = shards.draw(w, granted, &mut wrng, retry_budget);
+                phase::maybe_add(pc, Phase::Draw, t0);
+                let drawn = batch.len();
+                if drawn < granted {
+                    // Return the permits the draw could not fill.
+                    inflight.fetch_sub(granted - drawn, Ordering::AcqRel);
+                }
+                if drawn == 0 {
+                    // Nothing pending: quiescent iff no task is alive
+                    // anywhere (pending, running, or about to be
+                    // re-queued by a worker that drew it).
+                    if live.load(Ordering::Acquire) == 0 {
+                        done.store(true, Ordering::Release);
+                        break;
+                    }
+                    let t0 = phase::maybe_start(pc);
+                    std::thread::yield_now();
+                    phase::maybe_add(pc, Phase::Wait, t0);
+                    continue;
+                }
+                // This batch's lane tag: locks taken below are
+                // stamped with it, die wholesale at the retire bump,
+                // and key the fault draw (a retried task re-rolls
+                // under a fresh tag).
+                let tag = self.space().lane_tag(lane);
+                let mut any_aborted = false;
+                let t1 = phase::maybe_start(pc);
+                for (i, entry) in batch.into_iter().enumerate() {
+                    let slot = w * stride + i;
+                    // `slot < workers * stride` by construction; the
+                    // requeue arm keeps `live` honest rather than
+                    // panicking past containment or leaking the task.
+                    let Some(slot_state) = states.get(slot) else {
+                        shards.requeue(w, entry);
+                        any_aborted = true;
+                        continue;
+                    };
+                    slot_state.store(state::ACQUIRING, Ordering::Release);
+                    let mut cx = TaskCtx::new_in_lane(
+                        slot,
+                        self.space(),
+                        &states,
+                        ConflictPolicy::FirstWins,
+                        lane,
+                    );
+                    cx.attach_probe(probe);
+                    obs_emit!(
+                        probe,
+                        optpar_obs::EventKind::TaskLaunch {
+                            slot: slot as u32,
+                            epoch: self.space().epoch(),
+                        }
+                    );
+                    #[cfg(feature = "faults")]
+                    if let Some(plan) = self.fault_plan() {
+                        cx.arm_fault(plan, tag);
+                    }
+                    // Contain operator panics exactly like the round
+                    // executor: roll back, release, re-queue, keep
+                    // the worker.
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| self.op().execute(&entry.task, &mut cx)));
+                    #[cfg(feature = "obs")]
+                    let acquires = cx.acquires;
+                    match outcome {
+                        Ok(Ok(spawned)) => match cx.finish_commit() {
+                            Some(_lockset) => {
+                                // No per-lock release: the whole
+                                // batch's locks expire in O(1) at the
+                                // retire bump below.
+                                counters.committed.fetch_add(1, Ordering::AcqRel);
+                                obs_emit!(
+                                    probe,
+                                    optpar_obs::EventKind::TaskCommit {
+                                        slot: slot as u32,
+                                        acquires: acquires as u32,
+                                        spawned: spawned.len() as u32,
+                                    }
+                                );
+                                let spawned_n = spawned.len();
+                                if spawned_n > 0 {
+                                    live.fetch_add(spawned_n, Ordering::AcqRel);
+                                    shards.spawn(spawned);
+                                }
+                                // The committed task leaves the
+                                // system only after its spawns were
+                                // counted, so `live` never
+                                // transiently reads zero while work
+                                // exists.
+                                live.fetch_sub(1, Ordering::AcqRel);
+                            }
+                            None => {
+                                // First-wins tasks cannot be doomed,
+                                // so this is unreachable — book it as
+                                // an abort rather than crashing the
+                                // worker.
+                                counters.aborted.fetch_add(1, Ordering::AcqRel);
+                                obs_emit!(
+                                    probe,
+                                    optpar_obs::EventKind::TaskAbort {
+                                        slot: slot as u32,
+                                        acquires: acquires as u32,
+                                    }
+                                );
+                                shards.requeue(w, entry);
+                                any_aborted = true;
+                            }
+                        },
+                        Ok(Err(abort)) => {
+                            #[cfg(feature = "checker")]
+                            if matches!(abort, Abort::Fault) {
+                                cx.note_fault();
+                            }
+                            cx.finish_abort();
+                            if matches!(abort, Abort::Fault) {
+                                counters.faulted.fetch_add(1, Ordering::AcqRel);
+                                obs_emit!(
+                                    probe,
+                                    optpar_obs::EventKind::TaskFault {
+                                        slot: slot as u32,
+                                        cause: crate::faults::FaultCause::Injected.code(),
+                                    }
+                                );
+                                self.log_fault(TaskFault {
+                                    epoch: tag,
+                                    slot: Some(slot),
+                                    cause: crate::faults::FaultCause::Injected,
+                                    detail: "injected spurious abort".to_string(),
+                                });
+                            } else {
+                                counters.aborted.fetch_add(1, Ordering::AcqRel);
+                                obs_emit!(
+                                    probe,
+                                    optpar_obs::EventKind::TaskAbort {
+                                        slot: slot as u32,
+                                        acquires: acquires as u32,
+                                    }
+                                );
+                            }
+                            shards.requeue(w, entry);
+                            any_aborted = true;
+                        }
+                        Err(payload) => {
+                            #[cfg(feature = "checker")]
+                            cx.note_fault();
+                            cx.finish_abort();
+                            counters.faulted.fetch_add(1, Ordering::AcqRel);
+                            let (cause, detail) = crate::faults::classify_panic(payload.as_ref());
+                            obs_emit!(
+                                probe,
+                                optpar_obs::EventKind::TaskFault {
+                                    slot: slot as u32,
+                                    cause: cause.code(),
+                                }
+                            );
+                            self.log_fault(TaskFault {
+                                epoch: tag,
+                                slot: Some(slot),
+                                cause,
+                                detail,
+                            });
+                            shards.requeue(w, entry);
+                            any_aborted = true;
+                        }
+                    }
+                }
+                phase::maybe_add(pc, Phase::Execute, t1);
+                // Retire: one lane bump frees every committed lock
+                // the batch stamped; no other worker waits for it.
+                let t2 = phase::maybe_start(pc);
+                self.space().advance_lane(lane);
+                obs_emit!(
+                    probe,
+                    optpar_obs::EventKind::BatchRetire {
+                        worker: w as u32,
+                        tag,
+                        tasks: drawn as u32,
+                    }
+                );
+                inflight.fetch_sub(drawn, Ordering::AcqRel);
+                let fin = completions.fetch_add(drawn, Ordering::AcqRel) + drawn;
+                // The worker whose batch crosses a window boundary
+                // flushes the window to the controller.
+                if (fin - drawn) / cfg.window != fin / cfg.window {
+                    let mut st = recover(winstate.lock());
+                    flush(&mut st);
+                }
+                phase::maybe_add(pc, Phase::Commit, t2);
+                if fin >= cfg.max_completions {
+                    done.store(true, Ordering::Release);
+                    break;
+                }
+                if any_aborted {
+                    // Abort backoff: let the conflicting holder's
+                    // batch retire before retrying against its live
+                    // locks.
+                    std::thread::yield_now();
+                }
+            }
+        };
+        // Dispatch on the executor's persistent pool; workers == 1
+        // runs inline on the calling thread.
+        match self.pool() {
+            Some(pool) => pool.run(&worker),
+            None => worker(0),
+        }
+        // Flush the final partial window.
+        let mut st = recover(winstate.into_inner());
+        flush(&mut st);
+        // `flush` only drains on a non-empty window; sweep up whatever
+        // the last partial window left in the rings.
+        #[cfg(feature = "obs")]
+        if let Some(rec) = self.recorder() {
+            rec.drain_workers();
+        }
+        #[cfg(feature = "checker")]
+        {
+            let audit = self.space().audit();
+            audit.drain_window();
+            audit.disarm();
+        }
+        let run = RunStats { rounds: st.rounds };
+        debug_assert!(self.space().check_all_free().is_ok());
+        ws.absorb_entries(shards.drain_all());
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecutorConfig;
+    use crate::lock::LockSpace;
+    use crate::store::SpecStore;
+    use optpar_core::control::{FixedController, HybridController};
+
+    /// Ring operator: task i touches slots i and i+1.
+    struct RingOp<'s> {
+        store: &'s SpecStore<i64>,
+        n: usize,
+    }
+
+    impl Operator for RingOp<'_> {
+        type Task = usize;
+        fn execute(&self, &i: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            let j = (i + 1) % self.n;
+            *cx.write(self.store, i)? += 1;
+            *cx.write(self.store, j)? -= 1;
+            Ok(vec![])
+        }
+    }
+
+    fn exec_cfg(workers: usize) -> ExecutorConfig {
+        ExecutorConfig {
+            workers,
+            policy: ConflictPolicy::FirstWins,
+            ..ExecutorConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipelined_drains_and_serializes() {
+        let n = 256;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(&op, &space, exec_cfg(4));
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 32,
+                batch: 4,
+                max_completions: usize::MAX,
+            },
+            &mut rng,
+        );
+        assert!(ws.is_empty());
+        assert_eq!(run.total_committed(), n);
+        assert!(space.check_all_free().is_ok(), "lock leak detected");
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+    }
+
+    #[test]
+    fn pipelined_with_adaptive_controller() {
+        let n = 512;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(&op, &space, exec_cfg(3));
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = HybridController::with_rho(0.25);
+        let mut rng = StdRng::seed_from_u64(2);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 64,
+                ..PipelinedConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(ws.is_empty());
+        assert_eq!(run.total_committed(), n);
+        assert!(run.round_count() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "first-wins")]
+    fn pipelined_rejects_priority_policy() {
+        let mut b = LockSpace::builder();
+        let r = b.region(1);
+        let space = b.build();
+        let store = SpecStore::filled(r, 1, 0i64);
+        let op = RingOp {
+            store: &store,
+            n: 1,
+        };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 2,
+                policy: ConflictPolicy::PriorityWins,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut ws = WorkSet::from_vec(vec![0usize]);
+        let mut ctl = FixedController::new(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = ex.run_pipelined(&mut ws, &mut ctl, PipelinedConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn pipelined_single_worker_is_conflict_free_at_budget_one() {
+        let n = 64;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(&op, &space, exec_cfg(1));
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 16,
+                ..PipelinedConfig::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(run.total_committed(), n);
+        assert_eq!(run.total_aborted(), 0, "no overlap, no conflicts");
+    }
+
+    /// In-flight budget clamp: at m = 1 at most one task is ever in
+    /// flight, so even with many workers there is no temporal overlap
+    /// and therefore not a single conflict.
+    #[test]
+    fn budget_one_admits_one_task_at_a_time() {
+        let n = 64;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(&op, &space, exec_cfg(4));
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 8,
+                ..PipelinedConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(ws.is_empty());
+        assert_eq!(run.total_committed(), n);
+        assert_eq!(run.total_aborted(), 0, "budget 1 admits no overlap");
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+    }
+
+    /// Operator that spawns a chain: task k > 0 spawns task k - 1.
+    struct SpawnChain<'s> {
+        store: &'s SpecStore<i64>,
+    }
+
+    impl Operator for SpawnChain<'_> {
+        type Task = usize;
+        fn execute(&self, &k: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            *cx.write(self.store, k)? += 1;
+            Ok(if k > 0 { vec![k - 1] } else { vec![] })
+        }
+    }
+
+    #[test]
+    fn spawned_tasks_enter_the_shards_and_commit() {
+        let n = 10;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = SpawnChain { store: &store };
+        let ex = Executor::new(&op, &space, exec_cfg(4));
+        let mut ws = WorkSet::from_vec(vec![n - 1]);
+        let mut ctl = FixedController::new(4);
+        let mut rng = StdRng::seed_from_u64(6);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 4,
+                ..PipelinedConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(ws.is_empty());
+        assert_eq!(run.total_committed(), n, "the whole chain committed");
+        let mut store = store;
+        assert!(store.snapshot().iter().all(|&v| v == 1));
+    }
+
+    /// Conflict-free operator with one "wedged" task that spins until
+    /// most other tasks have executed. Under a global round barrier
+    /// this deadlocks (the wedged task waits for tasks in later
+    /// rounds); pipelined workers flow past it.
+    struct WedgedOp<'s> {
+        store: &'s SpecStore<i64>,
+        progress: AtomicUsize,
+        wedge: usize,
+        wait_for: usize,
+    }
+
+    impl Operator for WedgedOp<'_> {
+        type Task = usize;
+        fn execute(&self, &i: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            if i == self.wedge {
+                let mut spins = 0u64;
+                while self.progress.load(Ordering::Acquire) < self.wait_for {
+                    std::thread::yield_now();
+                    spins += 1;
+                    assert!(
+                        spins < 1_000_000_000,
+                        "other workers made no progress past the wedged task"
+                    );
+                }
+            } else {
+                self.progress.fetch_add(1, Ordering::AcqRel);
+            }
+            *cx.write(self.store, i)? += 1;
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn wedged_task_does_not_stall_other_workers() {
+        let n = 128;
+        let batch = 16;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = WedgedOp {
+            store: &store,
+            progress: AtomicUsize::new(0),
+            wedge: 0,
+            // At most `batch - 1` tasks can be queued behind the
+            // wedge in its own batch; everything else must flow.
+            wait_for: n - 2 * batch,
+        };
+        let ex = Executor::new(&op, &space, exec_cfg(4));
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(64);
+        let mut rng = StdRng::seed_from_u64(7);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 32,
+                batch,
+                max_completions: usize::MAX,
+            },
+            &mut rng,
+        );
+        assert!(ws.is_empty());
+        assert_eq!(run.total_committed(), n);
+        assert_eq!(run.total_aborted(), 0, "tasks are disjoint");
+        let mut store = store;
+        assert!(store.snapshot().iter().all(|&v| v == 1));
+    }
+
+    /// Operator that always loses: every execution reports a
+    /// conflict, so no window ever commits anything.
+    struct AlwaysConflict;
+
+    impl Operator for AlwaysConflict {
+        type Task = usize;
+        fn execute(&self, _t: &usize, _cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            Err(Abort::Conflict { lock: 0 })
+        }
+    }
+
+    #[test]
+    fn zero_commit_watchdog_clamps_budget_to_one() {
+        let n = 64;
+        let mut b = LockSpace::builder();
+        let _ = b.region(1);
+        let space = b.build();
+        let op = AlwaysConflict;
+        let ex = Executor::new(&op, &space, exec_cfg(2));
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(64);
+        let mut rng = StdRng::seed_from_u64(8);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 16,
+                batch: 8,
+                max_completions: 400,
+            },
+            &mut rng,
+        );
+        assert_eq!(run.total_committed(), 0);
+        assert_eq!(ws.len(), n, "every task was re-queued");
+        let last = run.rounds.last().expect("at least one window");
+        assert_eq!(
+            last.m,
+            1,
+            "watchdog clamped the in-flight budget to 1: {:?}",
+            run.rounds.iter().map(|r| r.m).collect::<Vec<_>>()
+        );
+        assert!(
+            run.rounds.iter().any(|r| r.m > 1),
+            "the clamp engaged after, not before, the stall"
+        );
+    }
+
+    #[test]
+    fn lane_epoch_wraparound_mid_run() {
+        // Park lane 1's 24-bit epoch just short of its wrap, then run
+        // enough batches that the tag wraps (and sweeps) mid-run.
+        let n = 64;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        for _ in 0..((1usize << 24) - 3) {
+            space.advance_lane(1);
+        }
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(&op, &space, exec_cfg(1));
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 8,
+                batch: 4,
+                max_completions: usize::MAX,
+            },
+            &mut rng,
+        );
+        assert!(ws.is_empty());
+        assert_eq!(run.total_committed(), n);
+        assert!(space.check_all_free().is_ok(), "wrap left a stale lock");
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+    }
+
+    #[test]
+    fn phase_clock_accumulates_pipelined_phases() {
+        let n = 256;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let clock = crate::phase::PhaseClock::new();
+        let mut ex = Executor::new(&op, &space, exec_cfg(4));
+        ex.set_phase_clock(&clock);
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(8);
+        let mut rng = StdRng::seed_from_u64(23);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 32,
+                batch: 4,
+                max_completions: usize::MAX,
+            },
+            &mut rng,
+        );
+        assert_eq!(run.total_committed(), n);
+        let bd = clock.snapshot();
+        assert!(bd.draw_ns > 0, "draw was timed");
+        assert!(bd.execute_ns > 0, "execute was timed");
+        assert!(bd.commit_ns > 0, "retire/flush was timed");
+        // Wait accrues only when workers starve on the budget or the
+        // drained shards, which an unloaded run may never hit — no
+        // lower bound on it.
+    }
+
+    /// Ring operator that panics exactly once, on first sight of
+    /// task 7.
+    struct PanicOnceRing<'s> {
+        store: &'s SpecStore<i64>,
+        n: usize,
+        armed: AtomicBool,
+    }
+
+    impl Operator for PanicOnceRing<'_> {
+        type Task = usize;
+        fn execute(&self, &i: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            if i == 7 && self.armed.swap(false, Ordering::AcqRel) {
+                panic!("pipelined op blew up on task 7");
+            }
+            let j = (i + 1) % self.n;
+            *cx.write(self.store, i)? += 1;
+            *cx.write(self.store, j)? -= 1;
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn pipelined_contains_operator_panics() {
+        let n = 64;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = PanicOnceRing {
+            store: &store,
+            n,
+            armed: AtomicBool::new(true),
+        };
+        let ex = Executor::new(&op, &space, exec_cfg(4));
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(8);
+        let mut rng = StdRng::seed_from_u64(17);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 16,
+                batch: 4,
+                max_completions: usize::MAX,
+            },
+            &mut rng,
+        );
+        assert!(ws.is_empty());
+        assert_eq!(
+            run.total_committed(),
+            n,
+            "the panicked task was re-queued and committed"
+        );
+        assert_eq!(run.total_faulted(), 1);
+        assert_eq!(ex.fault_count(), 1);
+        let faults = ex.take_faults();
+        assert!(faults[0].detail.contains("pipelined op blew up"));
+        assert_eq!(ex.worker_panics(), 0, "the panic never reached the pool");
+        assert!(
+            space.check_all_free().is_ok(),
+            "faulted locks were released"
+        );
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+    }
+}
+
+#[cfg(test)]
+mod stress_tests {
+    use super::*;
+    use crate::exec::ExecutorConfig;
+    use crate::lock::LockSpace;
+    use crate::store::SpecStore;
+    use optpar_core::control::FixedController;
+
+    /// High-contention operator: every task touches slot 0.
+    struct HotSpot<'s> {
+        store: &'s SpecStore<i64>,
+    }
+    impl Operator for HotSpot<'_> {
+        type Task = usize;
+        fn execute(&self, &i: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            *cx.write(self.store, 0)? += i as i64;
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn hotspot_contention_no_leaks() {
+        let mut b = LockSpace::builder();
+        let r = b.region(1);
+        let space = b.build();
+        let store = SpecStore::filled(r, 1, 0i64);
+        let op = HotSpot { store: &store };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 4,
+                policy: ConflictPolicy::FirstWins,
+                ..ExecutorConfig::default()
+            },
+        );
+        let n = 200;
+        let mut ws = WorkSet::from_vec((1..=n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(8);
+        let mut rng = StdRng::seed_from_u64(19);
+        let run = ex.run_pipelined(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 32,
+                batch: 4,
+                max_completions: 10_000_000,
+            },
+            &mut rng,
+        );
+        assert!(ws.is_empty());
+        assert_eq!(run.total_committed(), n);
+        assert!(space.check_all_free().is_ok(), "lock leak detected");
+        let mut store = store;
+        assert_eq!(
+            *store.get_mut(0),
+            (n * (n + 1) / 2) as i64,
+            "serializable sum"
+        );
+    }
+}

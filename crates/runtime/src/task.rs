@@ -81,6 +81,11 @@ pub struct TaskCtx<'rt> {
     space: &'rt LockSpace,
     states: &'rt [AtomicU8],
     policy: ConflictPolicy,
+    /// The lane tag stamped onto every lock word this task acquires:
+    /// lane 0's current epoch for round/continuous tasks, the owning
+    /// worker's lane tag for pipelined tasks. Cached at construction —
+    /// a task's lane epoch cannot advance while the task runs.
+    tag: u64,
     lockset: Vec<usize>,
     undo: Vec<UndoEntry>,
     accessed: bool,
@@ -125,17 +130,54 @@ impl<'rt> TaskCtx<'rt> {
         states: &'rt [AtomicU8],
         policy: ConflictPolicy,
     ) -> Self {
+        Self::with_tag(
+            slot,
+            space,
+            states,
+            policy,
+            space.lane_tag(0),
+            space.epoch(),
+        )
+    }
+
+    /// A context for a pipelined task running in worker lane `lane`:
+    /// lock words are stamped with the lane's current tag, and the
+    /// audit trace carries that tag as its epoch so the checker groups
+    /// traces per batch (the unit within which committed-exclusivity
+    /// must hold).
+    pub(crate) fn new_in_lane(
+        slot: usize,
+        space: &'rt LockSpace,
+        states: &'rt [AtomicU8],
+        policy: ConflictPolicy,
+        lane: usize,
+    ) -> Self {
+        let tag = space.lane_tag(lane);
+        Self::with_tag(slot, space, states, policy, tag, tag)
+    }
+
+    fn with_tag(
+        slot: usize,
+        space: &'rt LockSpace,
+        states: &'rt [AtomicU8],
+        policy: ConflictPolicy,
+        tag: u64,
+        trace_epoch: u64,
+    ) -> Self {
+        // Without the checker the trace-epoch argument is unused.
+        let _ = trace_epoch;
         TaskCtx {
             slot,
             space,
             states,
             policy,
+            tag,
             lockset: Vec::with_capacity(8),
             undo: Vec::new(),
             accessed: false,
             acquires: 0,
             #[cfg(feature = "checker")]
-            trace: optpar_checker::TaskTrace::new(slot, space.epoch()),
+            trace: optpar_checker::TaskTrace::new(slot, trace_epoch),
             #[cfg(feature = "faults")]
             inject: None,
             #[cfg(feature = "obs")]
@@ -213,7 +255,7 @@ impl<'rt> TaskCtx<'rt> {
         // where an armed injected fault ticks toward firing.
         #[cfg(feature = "faults")]
         self.tick_fault()?;
-        match lock::acquire(self.space, self.states, self.policy, self.slot, l) {
+        match lock::acquire_tagged(self.space, self.states, self.policy, self.slot, self.tag, l) {
             Ok(true) => {
                 self.lockset.push(l);
                 self.acquires += 1;
@@ -432,7 +474,7 @@ impl<'rt> TaskCtx<'rt> {
         for entry in self.undo.drain(..).rev() {
             (entry.restore)();
         }
-        lock::release_all(self.space, self.slot, &self.lockset);
+        lock::release_all_tagged(self.space, self.slot, self.tag, &self.lockset);
         self.states[self.slot].store(state::ABORTED, Ordering::Release);
         #[cfg(feature = "checker")]
         {

@@ -1,0 +1,301 @@
+//! End-to-end equivalence for pipelined (barrier-free) execution.
+//!
+//! Every application drains to completion in pipelined mode at 1, 4,
+//! and 8 workers and must reproduce its sequential reference exactly
+//! (Dijkstra distances, Kruskal forest weight, fully refined valid
+//! mesh) — the sliding epoch window, per-worker lock lanes, and
+//! in-flight budget may reorder and retry work but must never change
+//! the result.
+//!
+//! The same tests double as the speculation-safety gate: built with
+//! `--features checker`, `run_pipelined` keeps the audit sink armed
+//! across the run, drains it at every window flush, and (at one
+//! worker) replays the commit rule through the commit-set oracle — a
+//! single finding panics the drain, and the clean-audit claim is
+//! asserted explicitly afterwards. With `--features faults` the
+//! fault-injection module below re-runs the matrix under a seeded
+//! ~10% panic/spurious-abort schedule and reconciles the plan's
+//! ledger with the executor's fault log at matching
+//! `(batch-tag, slot)` coordinates.
+
+use optpar::apps::boruvka::{BoruvkaOp, WeightedGraph};
+use optpar::apps::delaunay::{bad_count, DelaunayOp, RefineConfig};
+use optpar::apps::geometry::Point;
+use optpar::apps::sssp::{SsspInput, SsspOp};
+use optpar::apps::triangulation::Mesh;
+use optpar::core::control::{HybridController, HybridParams};
+use optpar::graph::gen;
+use optpar::runtime::{ConflictPolicy, Executor, ExecutorConfig, PipelinedConfig, WorkSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn controller() -> HybridController {
+    HybridController::new(HybridParams {
+        rho: 0.25,
+        m_max: 2048,
+        ..HybridParams::default()
+    })
+}
+
+fn config(workers: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        workers,
+        policy: ConflictPolicy::FirstWins,
+        ..ExecutorConfig::default()
+    }
+}
+
+fn pipe_cfg() -> PipelinedConfig {
+    PipelinedConfig {
+        window: 64,
+        batch: 8,
+        max_completions: usize::MAX,
+    }
+}
+
+/// SSSP against Dijkstra.
+fn sssp_pipelined(workers: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_with_avg_degree(800, 6.0, &mut rng);
+    let input = SsspInput::random(g, 0, 100, &mut rng);
+    let reference = input.dijkstra();
+    let (space, op) = SsspOp::new(input);
+    let ex = Executor::new(&op, &space, config(workers));
+    let mut ws = WorkSet::from_vec(op.initial_tasks());
+    let mut ctl = controller();
+    let run = ex.run_pipelined(&mut ws, &mut ctl, pipe_cfg(), &mut rng);
+    assert!(ws.is_empty());
+    assert!(run.total_committed() > 0);
+    assert_eq!(ex.worker_panics(), 0);
+    assert!(space.check_all_free().is_ok(), "a lane leaked a lock");
+    #[cfg(feature = "checker")]
+    assert_eq!(space.audit().report_count(), 0);
+    let mut op = op;
+    assert_eq!(op.distances(), reference);
+}
+
+#[test]
+fn sssp_pipelined_matches_dijkstra_w1() {
+    sssp_pipelined(1, 101);
+}
+
+#[test]
+fn sssp_pipelined_matches_dijkstra_w4() {
+    sssp_pipelined(4, 102);
+}
+
+#[test]
+fn sssp_pipelined_matches_dijkstra_w8() {
+    sssp_pipelined(8, 103);
+}
+
+/// Boruvka against Kruskal: components merge under speculation, the
+/// hardest case for lane-scoped lock retirement.
+fn boruvka_pipelined(workers: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gen::random_with_avg_degree(600, 6.0, &mut rng);
+    let wg = WeightedGraph::random(g, &mut rng);
+    let reference = wg.kruskal();
+    let (space, op) = BoruvkaOp::new(&wg);
+    let ex = Executor::new(&op, &space, config(workers));
+    let mut ws = WorkSet::from_vec(op.initial_tasks());
+    let mut ctl = controller();
+    let run = ex.run_pipelined(&mut ws, &mut ctl, pipe_cfg(), &mut rng);
+    assert!(ws.is_empty());
+    assert!(run.total_committed() > 0);
+    assert_eq!(ex.worker_panics(), 0);
+    assert!(space.check_all_free().is_ok(), "a lane leaked a lock");
+    #[cfg(feature = "checker")]
+    assert_eq!(space.audit().report_count(), 0);
+    let mut op = op;
+    assert_eq!(op.msf(), reference);
+}
+
+#[test]
+fn boruvka_pipelined_matches_kruskal_w1() {
+    boruvka_pipelined(1, 111);
+}
+
+#[test]
+fn boruvka_pipelined_matches_kruskal_w4() {
+    boruvka_pipelined(4, 112);
+}
+
+#[test]
+fn boruvka_pipelined_matches_kruskal_w8() {
+    boruvka_pipelined(8, 113);
+}
+
+/// Delaunay refinement: the mesh must end fully refined and valid
+/// regardless of how batches interleaved.
+fn delaunay_pipelined(workers: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(1.0, 1.0),
+        Point::new(0.0, 1.0),
+    ];
+    pts.extend((0..40).map(|_| Point::new(rng.random::<f64>(), rng.random::<f64>())));
+    let mesh = Mesh::delaunay(&pts);
+    let cfg = RefineConfig::area_only(2e-3);
+    let (space, mut op) = DelaunayOp::with_auto_capacity(&mesh, cfg);
+    let tasks = op.initial_tasks();
+    assert!(!tasks.is_empty());
+    let ex = Executor::new(&op, &space, config(workers));
+    let mut ws = WorkSet::from_vec(tasks);
+    let mut ctl = controller();
+    let run = ex.run_pipelined(&mut ws, &mut ctl, pipe_cfg(), &mut rng);
+    assert!(ws.is_empty());
+    assert!(run.total_committed() > 0);
+    assert_eq!(ex.worker_panics(), 0);
+    assert!(space.check_all_free().is_ok(), "a lane leaked a lock");
+    #[cfg(feature = "checker")]
+    assert_eq!(space.audit().report_count(), 0);
+    let refined = op.into_mesh();
+    refined.check_valid().unwrap();
+    assert_eq!(bad_count(&refined, cfg), 0);
+    assert!((refined.total_area() - 1.0).abs() < 1e-6);
+}
+
+#[test]
+fn delaunay_pipelined_refines_fully_w1() {
+    delaunay_pipelined(1, 121);
+}
+
+#[test]
+fn delaunay_pipelined_refines_fully_w4() {
+    delaunay_pipelined(4, 122);
+}
+
+#[test]
+fn delaunay_pipelined_refines_fully_w8() {
+    delaunay_pipelined(8, 123);
+}
+
+/// Fault-injection matrix: same equivalence contract under a seeded
+/// ~10% injected-fault schedule, plus ledger/log reconciliation. In
+/// pipelined mode fault coordinates key on the batch tag (a retried
+/// task re-rolls under a fresh tag), so the plan ledger and the
+/// executor's fault log must agree on `(tag, slot)` pairs.
+#[cfg(feature = "faults")]
+mod injected {
+    use super::*;
+    use optpar::runtime::{FaultCause, FaultKind, FaultPlan, Operator, TaskFault};
+
+    fn audit_faults<O: Operator>(ex: &Executor<'_, O>, plan: &FaultPlan, workers: usize) {
+        assert_eq!(ex.worker_panics(), 0, "a panic escaped containment");
+        if workers > 1 {
+            assert_eq!(ex.live_workers(), Some(workers), "a worker thread died");
+        }
+        assert!(
+            plan.fired_count() > 0,
+            "the plan never fired; test is vacuous"
+        );
+        let log: Vec<TaskFault> = ex.take_faults();
+        assert!(
+            log.iter().all(|f| f.cause == FaultCause::Injected),
+            "only injected faults expected, got {log:?}"
+        );
+        let mut fired: Vec<(u64, usize)> = plan
+            .fired()
+            .into_iter()
+            .filter(|r| matches!(r.kind, FaultKind::Panic | FaultKind::SpuriousAbort))
+            .map(|r| (r.epoch, r.slot))
+            .collect();
+        let mut logged: Vec<(u64, usize)> = log
+            .iter()
+            .map(|f| (f.epoch, f.slot.expect("task faults carry a slot")))
+            .collect();
+        fired.sort_unstable();
+        logged.sort_unstable();
+        assert_eq!(fired, logged, "fault ledger and fault log disagree");
+    }
+
+    fn sssp_faulted(workers: usize, seed: u64, plan_seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_with_avg_degree(800, 6.0, &mut rng);
+        let input = SsspInput::random(g, 0, 100, &mut rng);
+        let reference = input.dijkstra();
+        let (space, op) = SsspOp::new(input);
+        let plan = FaultPlan::seeded(plan_seed).with_panic_rate(0.10);
+        let mut ex = Executor::new(&op, &space, config(workers));
+        ex.set_fault_plan(&plan);
+        let mut ws = WorkSet::from_vec(op.initial_tasks());
+        let mut ctl = controller();
+        let _ = ex.run_pipelined(&mut ws, &mut ctl, pipe_cfg(), &mut rng);
+        assert!(ws.is_empty());
+        audit_faults(&ex, &plan, workers);
+        drop(ex);
+        let mut op = op;
+        assert_eq!(op.distances(), reference);
+    }
+
+    #[test]
+    fn sssp_pipelined_with_injected_panics_w1() {
+        sssp_faulted(1, 131, 2001);
+    }
+
+    #[test]
+    fn sssp_pipelined_with_injected_panics_w4() {
+        sssp_faulted(4, 132, 2002);
+    }
+
+    #[test]
+    fn sssp_pipelined_with_injected_panics_w8() {
+        sssp_faulted(8, 133, 2003);
+    }
+
+    #[test]
+    fn boruvka_pipelined_with_mixed_faults() {
+        let mut rng = StdRng::seed_from_u64(141);
+        let g = gen::random_with_avg_degree(600, 6.0, &mut rng);
+        let wg = WeightedGraph::random(g, &mut rng);
+        let reference = wg.kruskal();
+        let (space, op) = BoruvkaOp::new(&wg);
+        // Panics exercise unwinding rollback inside a lane batch,
+        // spurious aborts the structured lane-scoped release.
+        let plan = FaultPlan::seeded(2004)
+            .with_panic_rate(0.07)
+            .with_spurious_abort_rate(0.05);
+        let mut ex = Executor::new(&op, &space, config(4));
+        ex.set_fault_plan(&plan);
+        let mut ws = WorkSet::from_vec(op.initial_tasks());
+        let mut ctl = controller();
+        let _ = ex.run_pipelined(&mut ws, &mut ctl, pipe_cfg(), &mut rng);
+        assert!(ws.is_empty());
+        audit_faults(&ex, &plan, 4);
+        drop(ex);
+        let mut op = op;
+        assert_eq!(op.msf(), reference);
+    }
+
+    #[test]
+    fn delaunay_pipelined_with_injected_panics() {
+        let mut rng = StdRng::seed_from_u64(151);
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        pts.extend((0..40).map(|_| Point::new(rng.random::<f64>(), rng.random::<f64>())));
+        let mesh = Mesh::delaunay(&pts);
+        let cfg = RefineConfig::area_only(2e-3);
+        let (space, mut op) = DelaunayOp::with_auto_capacity(&mesh, cfg);
+        let tasks = op.initial_tasks();
+        let plan = FaultPlan::seeded(2005).with_panic_rate(0.10);
+        let mut ex = Executor::new(&op, &space, config(4));
+        ex.set_fault_plan(&plan);
+        let mut ws = WorkSet::from_vec(tasks);
+        let mut ctl = controller();
+        let _ = ex.run_pipelined(&mut ws, &mut ctl, pipe_cfg(), &mut rng);
+        assert!(ws.is_empty());
+        audit_faults(&ex, &plan, 4);
+        drop(ex);
+        let refined = op.into_mesh();
+        refined.check_valid().unwrap();
+        assert_eq!(bad_count(&refined, cfg), 0);
+        assert!((refined.total_area() - 1.0).abs() < 1e-6);
+    }
+}
