@@ -1,0 +1,26 @@
+//! Seeded violation: the operator's code locks its whole neighborhood
+//! (radius 1) but the blessed FOOTPRINT.toml still records the old
+//! radius-0 contract — the drift must be reported, naming the
+//! operator and the radius change. Exactly one finding.
+
+use optpar_runtime::{Abort, Operator, TaskCtx};
+
+pub struct DriftOp {
+    state: StateTable,
+    graph: CsrGraph,
+}
+
+impl Operator for DriftOp {
+    type Task = u32;
+
+    fn execute(&self, &v: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> {
+        cx.lock(&self.state, v as usize)?;
+        // VIOLATION (vs FOOTPRINT.toml): the neighbor locks below
+        // widen the footprint to radius 1; the blessed contract still
+        // says radius 0.
+        for &w in self.graph.neighbors_slice(v) {
+            cx.lock(&self.state, w as usize)?;
+        }
+        Ok(vec![])
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded violation: the operator chases a forwarding pointer read
+//! from speculative state — a data-dependent (unbounded) footprint —
+//! but carries no unboundedness annotation (escape hatch). The
+//! blessed contract already records the unboundedness, so exactly the
+//! missing-annotation rule fires. Exactly one finding.
+
+use optpar_runtime::{Abort, Operator, TaskCtx};
+
+pub struct ChaseOp {
+    repr: ReprTable,
+}
+
+impl Operator for ChaseOp {
+    type Task = u32;
+
+    // VIOLATION: data-dependent reach with no FOOTPRINT-UNBOUNDED
+    // escape hatch on this fn.
+    fn execute(&self, &c: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> {
+        let next = *cx.read(&self.repr, c as usize)?;
+        cx.lock(&self.repr, next as usize)?;
+        Ok(vec![])
+    }
+}

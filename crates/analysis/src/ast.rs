@@ -407,10 +407,15 @@ fn parse_impl_header(header: &[Tree]) -> (Option<String>, bool) {
         Some(f) => {
             let trait_ids: Vec<&str> = path_idents(&rest[..f]);
             let is_operator = trait_ids.last() == Some(&"Operator");
-            let ty = path_idents(&rest[f + 1..]).first().map(|s| s.to_string());
+            // The *last* path segment is the type name: `impl Operator
+            // for geom::Op` quals its fns as `Op`, so `Self::helper`
+            // call sites resolve against the right impl (taking the
+            // first segment recorded the module name and silently
+            // dropped the `Self::` call-graph edges).
+            let ty = path_idents(&rest[f + 1..]).last().map(|s| s.to_string());
             (ty, is_operator)
         }
-        None => (path_idents(rest).first().map(|s| s.to_string()), false),
+        None => (path_idents(rest).last().map(|s| s.to_string()), false),
     }
 }
 
@@ -665,6 +670,21 @@ mod tests {
         assert!(gated.fns[0].is_test);
         let nott = items("#[cfg(not(test))] fn live() {}");
         assert!(!nott.fns[0].is_test);
+    }
+
+    #[test]
+    fn qualified_impl_type_quals_by_last_segment() {
+        // Regression: a path-qualified impl type (`geom::Op`) must
+        // record the type name, not the module, or `Self::helper`
+        // resolution inside the impl silently loses its edges.
+        let src = "impl Operator for geom::Op {\n\
+                   fn execute(&self, t: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> { Ok(vec![]) }\n\
+                   }\n\
+                   impl geom::Op { fn helper(&self) {} }";
+        let ast = items(src);
+        assert_eq!(ast.fns[0].qual.as_deref(), Some("Op"));
+        assert!(ast.fns[0].is_operator_execute);
+        assert_eq!(ast.fns[1].symbol(), "Op::helper");
     }
 
     #[test]

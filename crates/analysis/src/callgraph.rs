@@ -125,7 +125,7 @@ fn is_args_of(trees: &[Tree], i: usize, name: &str) -> bool {
 
 /// If an ident at `i` heads a call, return its argument group's
 /// children (handles `name(..)` and turbofish `name::<T>(..)`).
-fn call_args_at(trees: &[Tree], i: usize) -> Option<&[Tree]> {
+pub(crate) fn call_args_at(trees: &[Tree], i: usize) -> Option<&[Tree]> {
     if let Some(g) = trees.get(i + 1).and_then(|t| t.group(Delim::Paren)) {
         return Some(g);
     }
@@ -172,7 +172,7 @@ fn is_chain_component(t: &Tree) -> bool {
 
 /// Root identifier of the receiver chain of the method whose name sits
 /// at `i` (`trees[i-1]` is the `.`).
-fn receiver_root(trees: &[Tree], i: usize) -> Option<String> {
+pub(crate) fn receiver_root(trees: &[Tree], i: usize) -> Option<String> {
     if i < 2 {
         return None;
     }
@@ -192,7 +192,7 @@ fn receiver_root(trees: &[Tree], i: usize) -> Option<String> {
 
 /// Path segments of a plain call whose final ident is at `i`, walking
 /// back through `::`.
-fn path_of(trees: &[Tree], i: usize) -> Vec<String> {
+pub(crate) fn path_of(trees: &[Tree], i: usize) -> Vec<String> {
     let mut segs = vec![trees[i].leaf().map(|t| t.text.clone()).unwrap_or_default()];
     let mut k = i;
     while k >= 2
@@ -260,14 +260,39 @@ impl FnIndex {
         };
         match call.kind {
             CallKind::Macro => Vec::new(),
-            CallKind::Method => cands
-                .iter()
-                .copied()
-                .filter(|&id| {
-                    let (first_param, _, _) = fn_of(id);
-                    first_param == "self"
-                })
-                .collect(),
+            CallKind::Method => {
+                let self_cands: Vec<FnId> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let (first_param, _, _) = fn_of(id);
+                        first_param == "self"
+                    })
+                    .collect();
+                // A method called on the literal receiver `self` is a
+                // method of the caller's own type: when any candidate
+                // quals to the caller's impl, drop the same-named
+                // methods of unrelated types (keeps helper summaries
+                // from being polluted cross-impl). Fall back to every
+                // self-method when none match — by-name resolution must
+                // only ever over-approximate.
+                if call.recv_root.as_deref() == Some("self") {
+                    if let Some(q) = caller_qual {
+                        let own: Vec<FnId> = self_cands
+                            .iter()
+                            .copied()
+                            .filter(|&id| {
+                                let (_, qual, _) = fn_of(id);
+                                qual.as_deref() == Some(q)
+                            })
+                            .collect();
+                        if !own.is_empty() {
+                            return own;
+                        }
+                    }
+                }
+                self_cands
+            }
             CallKind::Plain => {
                 if call.path.len() <= 1 {
                     return cands.clone();
@@ -362,6 +387,74 @@ mod tests {
         let outer = got.iter().find(|(_, n, _, _)| n == "outer").expect("outer");
         assert!(inner.3, "inner is contained");
         assert!(!outer.3, "outer is not");
+    }
+
+    #[test]
+    fn self_qualified_call_resolves_under_path_qualified_impl() {
+        // Regression for the `impl Operator for geom::Op` header: the
+        // impl type must qual as `Op` so `Self::helper(..)` resolves to
+        // the helper in the same impl.
+        let src = "impl Operator for geom::Op {\n\
+                   fn execute(&self, t: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> {\n\
+                   Self::helper(self, cx)\n\
+                   }\n\
+                   }\n\
+                   impl geom::Op { fn helper(&self, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> { Ok(vec![]) } }";
+        let ws = crate::Workspace::from_sources(vec![(
+            "crates/apps/src/geom.rs".to_string(),
+            src.to_string(),
+        )]);
+        let ast = &ws.files[0].ast;
+        let index = FnIndex::build(
+            ws.files
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i, f.rel.as_str(), &f.ast)),
+            |_| true,
+        );
+        let pairs: Vec<(String, crate::ast::FileAst)> =
+            vec![("crates/apps/src/geom.rs".to_string(), ast.clone())];
+        let execute = &ast.fns[0];
+        let body = execute.body.as_ref().expect("body");
+        let mut resolved = Vec::new();
+        for_each_call(body, &mut |c| {
+            if c.name == "helper" {
+                resolved = resolve_call(&index, c, execute, &pairs);
+            }
+        });
+        assert_eq!(resolved, vec![FnId { file: 0, idx: 1 }]);
+    }
+
+    #[test]
+    fn self_receiver_method_prefers_own_impl() {
+        // `self.find(..)` inside `Dsu` must resolve to `Dsu::find`, not
+        // to the same-named method of an unrelated type, when both are
+        // indexed.
+        let src = "impl Dsu { fn find(&self, x: u32) -> u32 { self.find(x) } }\n\
+                   impl Other { fn find(&self, x: u32) -> u32 { x } }";
+        let ws = crate::Workspace::from_sources(vec![(
+            "crates/apps/src/dsu.rs".to_string(),
+            src.to_string(),
+        )]);
+        let ast = &ws.files[0].ast;
+        let index = FnIndex::build(
+            ws.files
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (i, f.rel.as_str(), &f.ast)),
+            |_| true,
+        );
+        let pairs: Vec<(String, crate::ast::FileAst)> =
+            vec![("crates/apps/src/dsu.rs".to_string(), ast.clone())];
+        let caller = &ast.fns[0];
+        let body = caller.body.as_ref().expect("body");
+        let mut resolved = Vec::new();
+        for_each_call(body, &mut |c| {
+            if c.kind == CallKind::Method && c.name == "find" {
+                resolved = resolve_call(&index, c, caller, &pairs);
+            }
+        });
+        assert_eq!(resolved, vec![FnId { file: 0, idx: 0 }]);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod lexer;
 pub mod lint;
 pub mod panicpath;
 pub mod protocol;
+pub mod radius;
 pub mod report;
 pub mod tree;
 
@@ -54,6 +55,8 @@ pub struct Workspace {
     pub files: Vec<SourceFile>,
     /// `PROTOCOL.toml` text at the root, if present.
     pub protocol: Option<String>,
+    /// `FOOTPRINT.toml` text at the root, if present.
+    pub footprint: Option<String>,
 }
 
 impl Workspace {
@@ -75,6 +78,7 @@ impl Workspace {
         Workspace {
             files,
             protocol: None,
+            footprint: None,
         }
     }
 
@@ -96,6 +100,7 @@ impl Workspace {
         }
         let mut ws = Workspace::from_sources(sources);
         ws.protocol = std::fs::read_to_string(root.join("PROTOCOL.toml")).ok();
+        ws.footprint = std::fs::read_to_string(root.join("FOOTPRINT.toml")).ok();
         ws
     }
 }
@@ -139,6 +144,7 @@ pub fn analyze_workspace(ws: &Workspace) -> Vec<Violation> {
     out.extend(footprint::analyze(ws));
     out.extend(panicpath::analyze(ws));
     out.extend(protocol::analyze(ws));
+    out.extend(radius::analyze(ws));
     sort_violations(&mut out);
     out
 }
@@ -152,6 +158,11 @@ pub fn analyze_tree(root: &Path) -> Vec<Violation> {
 pub fn protocol_toml(ws: &Workspace) -> String {
     let (entries, _) = protocol::extract(ws);
     protocol::to_toml(&entries)
+}
+
+/// The blessed FOOTPRINT.toml text for a workspace's current code.
+pub fn footprint_toml(ws: &Workspace) -> String {
+    radius::to_toml(&radius::extract(ws))
 }
 
 /// Locate the workspace root: the nearest ancestor of `start` whose
@@ -207,6 +218,34 @@ mod tests {
         assert_eq!(vs.len(), 1, "{vs:?}");
         assert_eq!(vs[0].rule, "atomic-protocol");
         assert!(vs[0].detail.contains("weakened"), "{}", vs[0].detail);
+    }
+
+    #[test]
+    fn radius_drift_fixture_trips_exactly_the_radius_rule() {
+        let vs = analyze_tree(&fixture("radius_drift"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "footprint-radius");
+        assert!(
+            vs[0].detail.contains("DriftOp") && vs[0].detail.contains("radius 0 -> 1"),
+            "{}",
+            vs[0].detail
+        );
+    }
+
+    #[test]
+    fn unbounded_unannotated_fixture_trips_exactly_the_unbounded_rule() {
+        let vs = analyze_tree(&fixture("unbounded_unannotated"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "footprint-unbounded");
+        assert!(vs[0].detail.contains("ChaseOp"), "{}", vs[0].detail);
+    }
+
+    #[test]
+    fn lock_outside_ctx_fixture_trips_exactly_the_ctx_rule() {
+        let vs = analyze_tree(&fixture("lock_outside_ctx"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "footprint-ctx");
+        assert!(vs[0].detail.contains("lock_raw"), "{}", vs[0].detail);
     }
 
     /// The workspace itself is clean under the full analysis — the

@@ -187,6 +187,7 @@ impl BoruvkaOp {
 impl Operator for BoruvkaOp {
     type Task = u32;
 
+    // FOOTPRINT-UNBOUNDED: component merge locks every member of the loser component, whose size is runtime state
     fn execute(&self, &c: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> {
         let ci = c as usize;
         cx.lock(&self.comp, ci)?;

@@ -313,6 +313,7 @@ impl DelaunayOp {
 impl Operator for DelaunayOp {
     type Task = u32;
 
+    // FOOTPRINT-UNBOUNDED: cavity growth locks every triangle whose circumcircle contains the new point
     fn execute(&self, &t: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> {
         cx.lock(&self.tris, t as usize)?;
         let tri = *cx.read(&self.tris, t as usize)?;

@@ -162,6 +162,13 @@ impl Operator for SsspOp {
         }
         Ok(spawn)
     }
+
+    /// Seed = the node's own distance slot: the operator's footprint is
+    /// the radius-1 ball around it (`FOOTPRINT.toml`), which the
+    /// checker cross-validates against every acquired lock.
+    fn conflict_seed(&self, &u: &NodeId) -> Option<u64> {
+        Some(self.dist.region().lock_of(u as usize) as u64)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,305 @@
+//! Static↔dynamic footprint cross-check (end-to-end).
+//!
+//! The analyzer infers each operator's conflict radius d̂ and blesses
+//! it into `FOOTPRINT.toml`; the checker's [`RadiusPolicy`] turns that
+//! contract into a runtime assertion: every lock a seeded task acquires
+//! must lie within d̂ hops of its seed element. These tests close the
+//! loop on real workloads:
+//!
+//! * sssp (bounded, d̂ = 1) drains clean under the policy at 1 and 4
+//!   workers — the inferred radius really does cover the dynamic
+//!   footprint;
+//! * a deliberately *widened* operator (locks 2 hops out, declares 1)
+//!   is caught with a structured [`Report::RadiusExceeded`];
+//! * boruvka and delaunay, whose contracts are unbounded, run with the
+//!   policy installed but no `conflict_seed` — their traces carry no
+//!   seed, so the check is vacuous by design (nothing sound to assert);
+//! * the core-side manifest parser agrees with the blessed
+//!   `FOOTPRINT.toml` about which operators are bounded.
+//!
+//! Build with `--features checker`.
+#![cfg(feature = "checker")]
+
+use optpar_apps::boruvka::{BoruvkaOp, WeightedGraph};
+use optpar_apps::delaunay::{DelaunayOp, RefineConfig};
+use optpar_apps::geometry::Point;
+use optpar_apps::sssp::{SsspInput, SsspOp};
+use optpar_apps::triangulation::Mesh;
+use optpar_core::footprint::{footprint_for, parse_footprints};
+use optpar_graph::{gen, ConflictGraph, CsrGraph};
+use optpar_runtime::checker::{CheckerMode, RadiusPolicy, Report};
+use optpar_runtime::{
+    Abort, Executor, ExecutorConfig, LockSpace, Operator, SpecStore, TaskCtx, WorkSet,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The blessed manifest, baked in so the tests always check HEAD's
+/// contracts.
+const FOOTPRINT_TOML: &str =
+    include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../FOOTPRINT.toml"));
+
+/// All-pairs BFS hop distances of `g` (u32::MAX = unreachable).
+fn bfs_all_pairs(g: &CsrGraph) -> Vec<Vec<u32>> {
+    let n = g.node_count();
+    (0..n)
+        .map(|s| {
+            let mut dist = vec![u32::MAX; n];
+            dist[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s as u32]);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u as usize];
+                for &v in g.neighbors_slice(u) {
+                    if dist[v as usize] == u32::MAX {
+                        dist[v as usize] = du + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            dist
+        })
+        .collect()
+}
+
+/// A radius policy whose hop metric is BFS distance on `g`, with the
+/// store's lock region mapped back to nodes (locks outside `[base,
+/// base + n)` are auxiliary and exempt).
+fn graph_policy(g: &CsrGraph, base: usize, radius: u32) -> RadiusPolicy {
+    let n = g.node_count();
+    let dist = bfs_all_pairs(g);
+    RadiusPolicy {
+        radius,
+        dist: Box::new(move |seed, lock| {
+            let s = (seed as usize).checked_sub(base)?;
+            let l = lock.checked_sub(base)?;
+            if s >= n || l >= n {
+                return None;
+            }
+            Some(dist[s][l])
+        }),
+    }
+}
+
+/// sssp declares d̂ = 1 and implements `conflict_seed`; under the
+/// BFS-distance policy every acquired lock must sit within one hop of
+/// the task's node. Clean at both worker counts.
+#[test]
+fn sssp_traces_stay_within_declared_radius() {
+    let contracts = parse_footprints(FOOTPRINT_TOML);
+    let fp = footprint_for(&contracts, "SsspOp").expect("SsspOp blessed in FOOTPRINT.toml");
+    assert!(fp.bounded, "SsspOp contract must be bounded");
+    for workers in [1usize, 4] {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gen::random_with_avg_degree(200, 4.0, &mut rng);
+        let input = SsspInput::random(g, 0, 1000, &mut rng);
+        let (space, op) = SsspOp::new(input);
+        let base = op.dist.region().base();
+        space.audit().set_mode(CheckerMode::Collect);
+        space
+            .audit()
+            .set_radius_policy(Some(graph_policy(&op.input.graph, base, fp.radius)));
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut ws = WorkSet::from_vec(op.initial_tasks());
+        let mut rounds = 0;
+        while !ws.is_empty() && rounds < 100_000 {
+            ex.run_round(&mut ws, 16, &mut rng);
+            rounds += 1;
+        }
+        assert!(ws.is_empty(), "sssp did not drain at w{workers}");
+        let reports = space.audit().take_reports();
+        assert_eq!(
+            reports,
+            vec![],
+            "sssp at w{workers} must stay within its declared radius"
+        );
+    }
+}
+
+/// A deliberately widened operator on a line graph: it declares (via
+/// its seed + the installed policy) a radius of 1 but locks the slot
+/// *two* hops away. The cross-check must produce a structured
+/// `RadiusExceeded` naming the offending coordinates — this is the
+/// failure mode the contract exists to catch (analyzer unsoundness or
+/// a stale blessed radius).
+struct WideOp {
+    vals: SpecStore<u64>,
+    n: usize,
+}
+
+impl Operator for WideOp {
+    type Task = u32;
+
+    fn execute(&self, &i: &u32, cx: &mut TaskCtx<'_>) -> Result<Vec<u32>, Abort> {
+        let i = i as usize;
+        cx.lock(&self.vals, i)?;
+        // Out-of-contract acquisition: 2 hops along the line.
+        cx.lock(&self.vals, (i + 2) % self.n)?;
+        *cx.write(&self.vals, i)? += 1;
+        Ok(vec![])
+    }
+
+    fn conflict_seed(&self, &i: &u32) -> Option<u64> {
+        Some(self.vals.region().lock_of(i as usize) as u64)
+    }
+}
+
+#[test]
+fn widened_operator_trips_radius_exceeded() {
+    const N: usize = 32;
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut b = LockSpace::builder();
+    let r = b.region(N);
+    let space = b.build();
+    let op = WideOp {
+        vals: SpecStore::filled(r, N, 0u64),
+        n: N,
+    };
+    let base = op.vals.region().base();
+    space.audit().set_mode(CheckerMode::Collect);
+    // Line-graph metric: hop distance = index distance (mod the ring).
+    space.audit().set_radius_policy(Some(RadiusPolicy {
+        radius: 1,
+        dist: Box::new(move |seed, lock| {
+            let s = (seed as usize).checked_sub(base)?;
+            let l = lock.checked_sub(base)?;
+            if s >= N || l >= N {
+                return None;
+            }
+            let d = s.abs_diff(l);
+            Some(d.min(N - d) as u32)
+        }),
+    }));
+    let ex = Executor::new(
+        &op,
+        &space,
+        ExecutorConfig {
+            workers: 2,
+            ..ExecutorConfig::default()
+        },
+    );
+    let mut ws = WorkSet::from_vec((0..N as u32).collect::<Vec<_>>());
+    let mut rounds = 0;
+    while !ws.is_empty() && rounds < 10_000 {
+        ex.run_round(&mut ws, 8, &mut rng);
+        rounds += 1;
+    }
+    let reports = space.audit().take_reports();
+    let exceeded: Vec<_> = reports
+        .iter()
+        .filter_map(|r| match r {
+            Report::RadiusExceeded {
+                seed,
+                lock,
+                dist,
+                radius,
+                ..
+            } => Some((*seed, *lock, *dist, *radius)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !exceeded.is_empty(),
+        "widened op must be flagged; got {reports:?}"
+    );
+    for (seed, lock, dist, radius) in exceeded {
+        assert_eq!(radius, 1);
+        assert_eq!(dist, 2, "the wide lock is exactly 2 hops out");
+        let (s, l) = (seed as usize - base, lock - base);
+        assert_eq!(l, (s + 2) % N, "flagged lock is the widened one");
+    }
+}
+
+/// boruvka and delaunay carry *unbounded* contracts and do not
+/// implement `conflict_seed`: with a policy installed their traces
+/// have no seed, so the radius check is vacuous — by design, since an
+/// unbounded footprint admits no sound hop bound to assert. The runs
+/// must stay clean (no spurious RadiusExceeded) and still drain.
+#[test]
+fn unbounded_operators_are_exempt_from_the_radius_check() {
+    let contracts = parse_footprints(FOOTPRINT_TOML);
+    for name in ["BoruvkaOp", "DelaunayOp"] {
+        let fp = footprint_for(&contracts, name).expect("blessed");
+        assert!(!fp.bounded, "{name} contract must be unbounded");
+    }
+    let strict = |space: &LockSpace| {
+        space.audit().set_mode(CheckerMode::Collect);
+        // radius 0 with an everything-is-far metric: any seeded trace
+        // would be flagged instantly, so a clean run proves the
+        // operators are exempt (no seed), not merely lucky.
+        space.audit().set_radius_policy(Some(RadiusPolicy {
+            radius: 0,
+            dist: Box::new(|_, _| Some(u32::MAX)),
+        }));
+    };
+    let mut rng = StdRng::seed_from_u64(9);
+
+    // Boruvka on a small random graph.
+    let g = gen::random_with_avg_degree(120, 4.0, &mut rng);
+    let wg = WeightedGraph::random(g, &mut rng);
+    let (space, op) = BoruvkaOp::new(&wg);
+    strict(&space);
+    let ex = Executor::new(&op, &space, ExecutorConfig::default());
+    let mut ws = WorkSet::from_vec(op.initial_tasks());
+    let mut rounds = 0;
+    while !ws.is_empty() && rounds < 100_000 {
+        ex.run_round(&mut ws, 8, &mut rng);
+        rounds += 1;
+    }
+    assert!(ws.is_empty(), "boruvka did not drain");
+    assert_eq!(space.audit().take_reports(), vec![]);
+
+    // Delaunay refinement on a small point set.
+    let mut pts = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(1.0, 1.0),
+        Point::new(0.0, 1.0),
+    ];
+    pts.extend((0..30).map(|i| {
+        let t = i as f64 / 30.0;
+        Point::new(0.07 + 0.9 * t, 0.11 + 0.8 * (1.0 - t) * t * 3.7 % 0.89)
+    }));
+    let mesh = Mesh::delaunay(&pts);
+    let (space, mut op) = DelaunayOp::with_auto_capacity(&mesh, RefineConfig::area_only(5e-3));
+    strict(&space);
+    let tasks = op.initial_tasks();
+    let ex = Executor::new(&op, &space, ExecutorConfig::default());
+    let mut ws = WorkSet::from_vec(tasks);
+    let mut rounds = 0;
+    while !ws.is_empty() && rounds < 100_000 {
+        ex.run_round(&mut ws, 8, &mut rng);
+        rounds += 1;
+    }
+    assert!(ws.is_empty(), "delaunay did not drain");
+    assert_eq!(space.audit().take_reports(), vec![]);
+}
+
+/// The core-side line parser and the analyzer-blessed manifest agree:
+/// the contracts the controller consumes are the contracts the
+/// analyzer wrote.
+#[test]
+fn core_parser_reads_the_blessed_manifest() {
+    let contracts = parse_footprints(FOOTPRINT_TOML);
+    assert_eq!(contracts.len(), 10, "all ten app operators blessed");
+    let sssp = footprint_for(&contracts, "SsspOp").expect("SsspOp");
+    assert!(sssp.bounded);
+    assert_eq!(sssp.radius, 1);
+    let preflow = footprint_for(&contracts, "PreflowOp").expect("PreflowOp");
+    assert!(preflow.bounded);
+    assert_eq!(preflow.radius, 2);
+    for unbounded in ["BoruvkaOp", "ClusteringOp", "DelaunayOp"] {
+        assert!(
+            !footprint_for(&contracts, unbounded)
+                .expect(unbounded)
+                .bounded,
+            "{unbounded} must be unbounded"
+        );
+    }
+}

@@ -40,8 +40,9 @@ use optpar_apps::geometry::Point;
 use optpar_apps::sssp::{SsspInput, SsspOp};
 use optpar_apps::triangulation::Mesh;
 use optpar_bench::{f, Table, SEED};
-use optpar_core::control::FixedController;
-use optpar_graph::gen;
+use optpar_core::control::{FixedController, HybridController, HybridParams};
+use optpar_core::footprint::{footprint_for, parse_footprints, smart_m_from_contract};
+use optpar_graph::{gen, ConflictGraph};
 use optpar_runtime::{
     Executor, ExecutorConfig, LockSpace, Operator, Phase, PhaseBreakdown, PhaseClock,
     PipelinedConfig, WorkSet,
@@ -206,6 +207,84 @@ where
     best.expect("reps >= 1")
 }
 
+/// The blessed static footprint manifest, baked in at compile time so
+/// the smart-start A/B always reflects HEAD's contracts.
+const FOOTPRINT_TOML: &str =
+    include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../FOOTPRINT.toml"));
+
+/// One arm of the smart-start A/B: a controller-driven drain from a
+/// given `m₀`.
+struct SmartArm {
+    m0: usize,
+    rounds: usize,
+    rps: f64,
+    /// First round (1-based) whose pressure ratio landed within ±0.1
+    /// of the controller's target ρ — the convergence metric. `None`
+    /// if the drain finished without ever entering the band.
+    converge: Option<usize>,
+}
+
+/// Smart-start A/B for one app: Cor. 3 `m₀` seeded from the static
+/// conflict-radius contract vs. the paper's default `m₀ = 2`.
+struct SmartAb {
+    app: &'static str,
+    workers: usize,
+    /// Declared radius d̂, `None` for an unbounded contract (the
+    /// static analysis promises nothing; the smart arm is skipped and
+    /// the runtime falls back to the baseline `m₀`).
+    radius: Option<u32>,
+    baseline: SmartArm,
+    smart: Option<SmartArm>,
+}
+
+/// Drain a workload under the hybrid controller starting from `m0`,
+/// `reps` times; keep the best-rounds/s rep (min-noise, as `drain`).
+fn drain_hybrid<O, F>(make: &F, workers: usize, m0: usize, seed: u64, reps: usize) -> SmartArm
+where
+    O: Operator,
+    F: Fn() -> (LockSpace, O, Vec<O::Task>),
+{
+    let mut best: Option<SmartArm> = None;
+    for _ in 0..reps.max(1) {
+        let (space, op, tasks) = make();
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers,
+                ..ExecutorConfig::default()
+            },
+        );
+        let params = HybridParams {
+            m0,
+            ..HybridParams::default()
+        };
+        let rho = params.rho;
+        let mut ctl = HybridController::new(params);
+        let mut ws = WorkSet::from_vec(tasks);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t0 = Instant::now();
+        let run = ex.run_with_controller(&mut ws, &mut ctl, MAX_ROUNDS, &mut rng);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        assert!(ws.is_empty(), "smart-start drain did not finish");
+        let converge = run
+            .rounds
+            .iter()
+            .position(|rs| (rs.pressure_ratio() - rho).abs() <= 0.1)
+            .map(|i| i + 1);
+        let arm = SmartArm {
+            m0,
+            rounds: run.rounds.len(),
+            rps: run.rounds.len() as f64 / secs,
+            converge,
+        };
+        if best.as_ref().is_none_or(|b| arm.rps > b.rps) {
+            best = Some(arm);
+        }
+    }
+    best.expect("reps >= 1")
+}
+
 /// One obs-on/obs-off A/B measurement: rounds/s with the recorder
 /// detached vs. attached, best of `reps` drains each.
 struct ObsAb {
@@ -279,6 +358,7 @@ fn to_json(
     rows: &[Row],
     speedups: &[(String, f64)],
     pipe_scaling: &[(String, f64)],
+    smart_ab: &[SmartAb],
     obs_ab: &[ObsAb],
 ) -> String {
     let mut s = String::new();
@@ -331,6 +411,39 @@ fn to_json(
         } else {
             "\n"
         });
+    }
+    s.push_str("  },\n");
+    s.push_str("  \"smart_start_ab\": {\n");
+    if !smart_ab.is_empty() {
+        s.push_str(
+            "    \"_note\": \"hybrid-controller drains: m0 = 2 (paper default) vs \
+             m0 from the static conflict-radius contract in FOOTPRINT.toml \
+             (Cor. 3 over the 2r-ball conflict degree). radius = null means the \
+             contract is unbounded and the smart arm falls back to the baseline. \
+             converge_round = first round with pressure within 0.1 of rho\",\n",
+        );
+    }
+    for (i, ab) in smart_ab.iter().enumerate() {
+        let arm = |a: &SmartArm| {
+            format!(
+                "{{\"m0\": {}, \"rounds\": {}, \"rounds_per_s\": {:.1}, \
+                 \"converge_round\": {}}}",
+                a.m0,
+                a.rounds,
+                a.rps,
+                a.converge.map_or("null".to_string(), |c| c.to_string()),
+            )
+        };
+        let _ = write!(
+            s,
+            "    \"{}/w{}\": {{\"radius\": {}, \"baseline\": {}, \"smart\": {}}}",
+            ab.app,
+            ab.workers,
+            ab.radius.map_or("null".to_string(), |r| r.to_string()),
+            arm(&ab.baseline),
+            ab.smart.as_ref().map_or("null".to_string(), arm),
+        );
+        s.push_str(if i + 1 < smart_ab.len() { ",\n" } else { "\n" });
     }
     s.push_str("  },\n");
     s.push_str("  \"obs_overhead_rounds_per_s\": {\n");
@@ -511,6 +624,99 @@ fn main() {
         println!("  {key:<16} {v:>6.2}x");
     }
 
+    // --- Smart-start A/B (static radius contract → Cor. 3 m₀) ----------
+    // Baseline: hybrid controller from the paper's default m₀ = 2.
+    // Smart: m₀ seeded from FOOTPRINT.toml via the 2r-ball conflict
+    // degree. Unbounded contracts (boruvka, delaunay) have no smart arm
+    // — the bench reports the fallback so the JSON shows which apps the
+    // static analysis can and cannot help.
+    let mut smart_ab: Vec<SmartAb> = Vec::new();
+    {
+        let contracts = parse_footprints(FOOTPRINT_TOML);
+        let ab_workers = 4;
+        let ab_reps = if smoke { 2 } else { 3 };
+        let mut ab_rng = StdRng::seed_from_u64(SEED);
+        // sssp: bounded contract (radius 1).
+        {
+            let n = if smoke { 1500 } else { 10_000 };
+            let g = gen::random_with_avg_degree(n, 8.0, &mut ab_rng);
+            let avg_degree = g.average_degree();
+            let input = SsspInput::random(g, 0, 1000, &mut ab_rng);
+            let make = || {
+                let (space, op) = SsspOp::new(input.clone());
+                let tasks = op.initial_tasks();
+                (space, op, tasks)
+            };
+            let fp = footprint_for(&contracts, "SsspOp").expect("SsspOp in FOOTPRINT.toml");
+            let radius = fp.bounded.then_some(fp.radius);
+            let baseline = drain_hybrid(&make, ab_workers, 2, 5, ab_reps);
+            let smart = smart_m_from_contract(n, avg_degree, fp)
+                .map(|m0| drain_hybrid(&make, ab_workers, m0.clamp(2, 1024), 5, ab_reps));
+            smart_ab.push(SmartAb {
+                app: "sssp",
+                workers: ab_workers,
+                radius,
+                baseline,
+                smart,
+            });
+        }
+        // boruvka: unbounded contract — fallback arm only.
+        {
+            let n = if smoke { 400 } else { 3000 };
+            let g = gen::random_with_avg_degree(n, 8.0, &mut ab_rng);
+            let avg_degree = g.average_degree();
+            let wg = WeightedGraph::random(g, &mut ab_rng);
+            let make = || {
+                let (space, op) = BoruvkaOp::new(&wg);
+                let tasks = op.initial_tasks();
+                (space, op, tasks)
+            };
+            let fp = footprint_for(&contracts, "BoruvkaOp").expect("BoruvkaOp in FOOTPRINT.toml");
+            let radius = fp.bounded.then_some(fp.radius);
+            let baseline = drain_hybrid(&make, ab_workers, 2, 3, ab_reps);
+            let smart = smart_m_from_contract(n, avg_degree, fp)
+                .map(|m0| drain_hybrid(&make, ab_workers, m0.clamp(2, 1024), 3, ab_reps));
+            smart_ab.push(SmartAb {
+                app: "boruvka",
+                workers: ab_workers,
+                radius,
+                baseline,
+                smart,
+            });
+        }
+        println!("\nsmart-start A/B (hybrid controller, w{ab_workers}, best of {ab_reps}):");
+        for ab in &smart_ab {
+            let rad = ab
+                .radius
+                .map_or("unbounded".to_string(), |r| format!("d\u{302} = {r}"));
+            let conv = |a: &SmartArm| {
+                a.converge
+                    .map_or("never".to_string(), |c| format!("round {c}"))
+            };
+            match &ab.smart {
+                Some(sm) => println!(
+                    "  {:<10} {rad}: baseline m0={} {:>8.1} r/s (conv {}) | smart m0={} \
+                     {:>8.1} r/s (conv {})",
+                    ab.app,
+                    ab.baseline.m0,
+                    ab.baseline.rps,
+                    conv(&ab.baseline),
+                    sm.m0,
+                    sm.rps,
+                    conv(sm),
+                ),
+                None => println!(
+                    "  {:<10} {rad}: baseline m0={} {:>8.1} r/s (conv {}) | smart arm \
+                     skipped (no bounded contract)",
+                    ab.app,
+                    ab.baseline.m0,
+                    ab.baseline.rps,
+                    conv(&ab.baseline),
+                ),
+            }
+        }
+    }
+
     // --- Observability overhead A/B ------------------------------------
     #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
     let mut obs_ab: Vec<ObsAb> = Vec::new();
@@ -596,7 +802,7 @@ fn main() {
         }
     }
 
-    let json = to_json(smoke, &rows, &speedups, &pipe_scaling, &obs_ab);
+    let json = to_json(smoke, &rows, &speedups, &pipe_scaling, &smart_ab, &obs_ab);
     std::fs::write("BENCH_runtime.json", &json).expect("write BENCH_runtime.json");
     println!("\nwrote BENCH_runtime.json ({} configs)", rows.len());
 }

@@ -156,6 +156,7 @@ mod tests {
             epoch: 11,
             events,
             outcome,
+            seed: None,
         }
     }
 

@@ -191,6 +191,8 @@ impl<O: Operator> Executor<'_, O> {
                 // Use the worker index as the (recycled) slot.
                 states[w].store(state::ACQUIRING, Ordering::Release);
                 let mut cx = TaskCtx::new(w, self.space(), &states, ConflictPolicy::FirstWins);
+                #[cfg(feature = "checker")]
+                cx.note_seed(self.op().conflict_seed(&task));
                 cx.attach_probe(probe);
                 obs_emit!(
                     probe,

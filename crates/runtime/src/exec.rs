@@ -852,6 +852,8 @@ impl<'a, O: Operator> Executor<'a, O> {
             }
         );
         let mut cx = TaskCtx::new(slot, self.space, states, self.cfg.policy);
+        #[cfg(feature = "checker")]
+        cx.note_seed(self.op.conflict_seed(task));
         cx.attach_probe(probe);
         #[cfg(feature = "faults")]
         if let Some(plan) = self.fault_plan {

@@ -404,6 +404,8 @@ impl<O: Operator> Executor<'_, O> {
                         ConflictPolicy::FirstWins,
                         lane,
                     );
+                    #[cfg(feature = "checker")]
+                    cx.note_seed(self.op().conflict_seed(&entry.task));
                     cx.attach_probe(probe);
                     obs_emit!(
                         probe,

@@ -65,6 +65,17 @@ pub trait Operator: Sync {
     /// spawned by this commit (amorphous data-parallelism); they are
     /// added to the work-set. Propagate [`Abort`] on conflict.
     fn execute(&self, task: &Self::Task, cx: &mut TaskCtx<'_>) -> Result<Vec<Self::Task>, Abort>;
+
+    /// The global lock index of `task`'s seed element, if the operator
+    /// wants the checker's static↔dynamic radius cross-check: every
+    /// lock the task acquires is then audited to lie within the
+    /// statically inferred conflict radius (`FOOTPRINT.toml`) of this
+    /// seed. Default `None` opts out — the check is only meaningful
+    /// for operators whose footprint is a ball around one element.
+    fn conflict_seed(&self, task: &Self::Task) -> Option<u64> {
+        let _ = task;
+        None
+    }
 }
 
 /// An undo-log entry: restores one slot's pre-write value.
@@ -239,6 +250,14 @@ impl<'rt> TaskCtx<'rt> {
     /// under the priority-wins policy).
     pub fn slot(&self) -> usize {
         self.slot
+    }
+
+    /// Record the task's seed element (from [`Operator::conflict_seed`])
+    /// on the audit trace, anchoring the static↔dynamic radius
+    /// cross-check for this task.
+    #[cfg(feature = "checker")]
+    pub(crate) fn note_seed(&mut self, seed: Option<u64>) {
+        self.trace.seed = seed;
     }
 
     /// Acquire the abstract lock of `store` slot `i` without touching
