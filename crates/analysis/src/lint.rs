@@ -36,6 +36,10 @@ const INSTANT_BANLIST: &[&str] = &[
     "crates/runtime/src/store.rs",
     "crates/runtime/src/exec.rs",
     "crates/runtime/src/pipelined.rs",
+    // The job service drives rounds directly; its timing (deadlines,
+    // latency, wedge detection) must go through the phase module's
+    // Deadline/Stopwatch plumbing, never a raw Instant.
+    "crates/runtime/src/service.rs",
 ];
 
 /// Round-critical runtime modules in which `.unwrap()` / `.expect(`
@@ -51,6 +55,9 @@ pub const UNWRAP_BANLIST: &[&str] = &[
     "crates/runtime/src/continuous.rs",
     "crates/runtime/src/faults.rs",
     "crates/runtime/src/pipelined.rs",
+    // A panicking service lane would take its clients' reports down
+    // with it; every error must surface as a structured JobError.
+    "crates/runtime/src/service.rs",
 ];
 
 /// Does the `unsafe` token on 1-indexed line `ln` have a `// SAFETY:`

@@ -38,6 +38,10 @@ const ROUND_CRITICAL: &[&str] = &[
     "crates/runtime/src/continuous.rs",
     "crates/runtime/src/faults.rs",
     "crates/runtime/src/pipelined.rs",
+    // Service lanes hold client report channels; a reachable panic
+    // there loses the report and wedges the client. Deliberately NOT
+    // in INDEX_AUDITED: service code must stay indexing-free.
+    "crates/runtime/src/service.rs",
 ];
 
 /// Files whose slice indexing has been audited (bounds always hold by

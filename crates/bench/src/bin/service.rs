@@ -1,0 +1,516 @@
+//! **BENCH-SVC** — resilient job-service benchmark: closed-loop
+//! multi-tenant load against one [`serve`] instance.
+//!
+//! A fleet of client threads submits a mixed workload (sssp, Boruvka,
+//! Delaunay refinement) through the service's admission boundary; each
+//! job drives its operator on the shared worker pool under its
+//! priority slice of the global in-flight budget, verifies its result
+//! against the app's sequential reference inside the job closure, and
+//! reports back. The bench measures job throughput, p50/p99
+//! admission-to-report latency, and shed behaviour, then (with
+//! `--chaos`, requires `--features faults`) repeats the whole phase
+//! under a deterministic ~10% injected-fault schedule and times how
+//! long a probe job takes to complete after the burst — the service's
+//! recovery figure.
+//!
+//! Emits `BENCH_service.json` (schema in EXPERIMENTS.md) next to the
+//! invocation directory in addition to the text table. Exits non-zero
+//! if any job's self-verification failed or a worker thread died —
+//! the CI chaos gate.
+//!
+//! Usage: `cargo run --release -p optpar-bench --bin service
+//! --features faults [--smoke] [--chaos]`
+
+use optpar_apps::boruvka::{BoruvkaOp, WeightedGraph};
+use optpar_apps::delaunay::{bad_count, DelaunayOp, RefineConfig};
+use optpar_apps::geometry::Point;
+use optpar_apps::sssp::{SsspInput, SsspOp};
+use optpar_apps::triangulation::Mesh;
+use optpar_bench::{f, Table, SEED};
+use optpar_core::control::{HybridController, HybridParams};
+use optpar_graph::gen;
+use optpar_runtime::{
+    serve, JobCx, JobOutput, JobSpec, Rejection, ServiceConfig, ServiceStats, WorkSet,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Workload scale: `--smoke` keeps CI fast, the default exercises the
+/// queue and budget harder.
+#[derive(Clone, Copy)]
+struct Scale {
+    clients: usize,
+    jobs_per_client: usize,
+    sssp_n: usize,
+    boruvka_n: usize,
+    delaunay_extra: usize,
+}
+
+const FULL: Scale = Scale {
+    clients: 8,
+    jobs_per_client: 4,
+    sssp_n: 1500,
+    boruvka_n: 1000,
+    delaunay_extra: 60,
+};
+
+const SMOKE: Scale = Scale {
+    clients: 4,
+    jobs_per_client: 2,
+    sssp_n: 500,
+    boruvka_n: 400,
+    delaunay_extra: 30,
+};
+
+fn controller() -> HybridController {
+    HybridController::new(HybridParams {
+        rho: 0.25,
+        m_max: 2048,
+        ..HybridParams::default()
+    })
+}
+
+/// Per-attempt drive RNG: reproducible, distinct across retries.
+fn drive_rng(seed: u64, attempt: u32) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (u64::from(attempt) << 48))
+}
+
+/// sssp job: random graph, drive the speculative relaxation, compare
+/// against Dijkstra.
+fn sssp_job(n: usize, seed: u64) -> JobSpec {
+    JobSpec::new(format!("sssp-{seed:x}"), move |cx: &mut JobCx<'_>| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_with_avg_degree(n, 6.0, &mut rng);
+        let input = SsspInput::random(g, 0, 100, &mut rng);
+        let reference = input.dijkstra();
+        let (space, op) = SsspOp::new(input);
+        let mut ws = WorkSet::from_vec(op.initial_tasks());
+        let mut ctl = controller();
+        cx.drive(
+            &op,
+            &space,
+            &mut ws,
+            &mut ctl,
+            &mut drive_rng(seed, cx.attempt()),
+        )?;
+        let mut op = op;
+        Ok(JobOutput {
+            verified: op.distances() == reference,
+            committed: 0,
+            detail: format!("sssp n={n}"),
+        })
+    })
+}
+
+/// Boruvka job: random weighted graph, compare the speculative forest
+/// weight against Kruskal.
+fn boruvka_job(n: usize, seed: u64) -> JobSpec {
+    JobSpec::new(format!("boruvka-{seed:x}"), move |cx: &mut JobCx<'_>| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gen::random_with_avg_degree(n, 6.0, &mut rng);
+        let wg = WeightedGraph::random(g, &mut rng);
+        let reference = wg.kruskal();
+        let (space, op) = BoruvkaOp::new(&wg);
+        let mut ws = WorkSet::from_vec(op.initial_tasks());
+        let mut ctl = controller();
+        cx.drive(
+            &op,
+            &space,
+            &mut ws,
+            &mut ctl,
+            &mut drive_rng(seed, cx.attempt()),
+        )?;
+        let mut op = op;
+        Ok(JobOutput {
+            verified: op.msf() == reference,
+            committed: 0,
+            detail: format!("boruvka n={n}"),
+        })
+    })
+}
+
+/// Delaunay refinement job: refine until no bad triangles remain,
+/// then check mesh validity and conservation of total area.
+fn delaunay_job(extra: usize, seed: u64) -> JobSpec {
+    JobSpec::new(format!("delaunay-{seed:x}"), move |cx: &mut JobCx<'_>| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+        ];
+        pts.extend((0..extra).map(|_| Point::new(rng.random::<f64>(), rng.random::<f64>())));
+        let mesh = Mesh::delaunay(&pts);
+        let cfg = RefineConfig::area_only(1e-3);
+        let (space, mut op) = DelaunayOp::with_auto_capacity(&mesh, cfg);
+        let mut ws = WorkSet::from_vec(op.initial_tasks());
+        let mut ctl = controller();
+        cx.drive(
+            &op,
+            &space,
+            &mut ws,
+            &mut ctl,
+            &mut drive_rng(seed, cx.attempt()),
+        )?;
+        let refined = op.into_mesh();
+        let verified = refined.check_valid().is_ok()
+            && bad_count(&refined, cfg) == 0
+            && (refined.total_area() - 1.0).abs() < 1e-6;
+        Ok(JobOutput {
+            verified,
+            committed: 0,
+            detail: format!("delaunay extra={extra}"),
+        })
+    })
+}
+
+/// Build job `j` of client `c`: kinds rotate so every client runs a
+/// mixed tenancy, seeds are unique per (phase, client, job).
+fn make_job(scale: Scale, phase_salt: u64, c: usize, j: usize) -> JobSpec {
+    let seed = SEED ^ phase_salt ^ ((c as u64) << 20) ^ ((j as u64) << 8);
+    let spec = match (c + j) % 3 {
+        0 => sssp_job(scale.sssp_n, seed),
+        1 => boruvka_job(scale.boruvka_n, seed),
+        _ => delaunay_job(scale.delaunay_extra, seed),
+    };
+    // Tenants get different budget weights; priority shares are part
+    // of the surface under load.
+    spec.priority(1 + (c as u64 % 3))
+}
+
+/// One finished job as the client fleet saw it.
+struct JobRow {
+    ok: bool,
+    verified: bool,
+    latency: Duration,
+    attempts: u32,
+    rounds: usize,
+}
+
+/// One measured phase (clean or chaos) of the closed-loop load.
+struct PhaseResult {
+    label: &'static str,
+    jobs: usize,
+    completed: usize,
+    failed: usize,
+    unverified: usize,
+    elapsed: Duration,
+    latencies: Vec<Duration>,
+    max_attempts: u32,
+    total_rounds: usize,
+    recovery: Option<Duration>,
+    stats: ServiceStats,
+}
+
+impl PhaseResult {
+    fn throughput(&self) -> f64 {
+        self.completed as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile(&self, p: f64) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((self.latencies.len() as f64 - 1.0) * p).round() as usize;
+        self.latencies[idx.min(self.latencies.len() - 1)]
+    }
+
+    fn shed_rate(&self) -> f64 {
+        let shed = self.stats.rejected_backpressure + self.stats.rejected_overload;
+        let seen = self.stats.admitted + shed + self.stats.rejected_expired;
+        if seen == 0 {
+            0.0
+        } else {
+            shed as f64 / seen as f64
+        }
+    }
+}
+
+/// Drive one full closed-loop phase: `scale.clients` threads each
+/// submit `scale.jobs_per_client` mixed jobs and block on the report
+/// (re-submitting on shed), then — in a chaos phase — a probe job
+/// times recovery after the burst.
+fn run_phase(
+    label: &'static str,
+    cfg: ServiceConfig,
+    scale: Scale,
+    phase_salt: u64,
+    probe_recovery: bool,
+) -> PhaseResult {
+    let rows: Mutex<Vec<JobRow>> = Mutex::new(Vec::new());
+    let t0 = Instant::now();
+    let ((elapsed, recovery), stats) = serve(cfg, |svc| {
+        std::thread::scope(|s| {
+            for c in 0..scale.clients {
+                let rows = &rows;
+                s.spawn(move || {
+                    for j in 0..scale.jobs_per_client {
+                        // Closed loop with client-side retry on shed:
+                        // backpressure and overload are the service
+                        // asking us to slow down, not errors.
+                        let report = loop {
+                            match svc.submit(make_job(scale, phase_salt, c, j)) {
+                                Ok(ticket) => break ticket.wait(),
+                                Err(Rejection::Backpressure) => {
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                Err(Rejection::Overload) => {
+                                    std::thread::sleep(Duration::from_millis(5));
+                                }
+                                Err(Rejection::Expired) => {
+                                    unreachable!("bench jobs carry no deadline")
+                                }
+                            }
+                        };
+                        let verified = matches!(
+                            &report.result,
+                            Ok(out) if out.verified
+                        );
+                        rows.lock().expect("client rows").push(JobRow {
+                            ok: report.result.is_ok(),
+                            verified,
+                            latency: report.latency,
+                            attempts: report.attempts,
+                            rounds: report.rounds,
+                        });
+                    }
+                });
+            }
+        });
+        let elapsed = t0.elapsed();
+        // Recovery probe: after the chaos burst has fully drained, how
+        // long until the service completes a fresh job end-to-end?
+        let recovery = probe_recovery.then(|| {
+            let p0 = Instant::now();
+            let ticket = loop {
+                match svc.submit(make_job(SMOKE, phase_salt ^ 0xF00D, 0, 0)) {
+                    Ok(t) => break t,
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            };
+            let report = ticket.wait();
+            assert!(
+                matches!(&report.result, Ok(out) if out.verified),
+                "recovery probe failed: {:?}",
+                report.result
+            );
+            p0.elapsed()
+        });
+        (elapsed, recovery)
+    });
+    let rows = rows.into_inner().expect("client rows");
+    let jobs = rows.len();
+    let completed = rows.iter().filter(|r| r.ok).count();
+    let unverified = rows.iter().filter(|r| r.ok && !r.verified).count();
+    let mut latencies: Vec<Duration> = rows.iter().map(|r| r.latency).collect();
+    latencies.sort_unstable();
+    PhaseResult {
+        label,
+        jobs,
+        completed,
+        failed: jobs - completed,
+        unverified,
+        elapsed,
+        latencies,
+        max_attempts: rows.iter().map(|r| r.attempts).max().unwrap_or(0),
+        total_rounds: rows.iter().map(|r| r.rounds).sum(),
+        recovery,
+        stats,
+    }
+}
+
+fn service_config(scale: Scale) -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        lanes: if scale.clients >= 8 { 3 } else { 2 },
+        queue_cap: 8,
+        global_budget: 512,
+        ..ServiceConfig::default()
+    }
+}
+
+fn to_json(smoke: bool, chaos_rate: Option<f64>, phases: &[PhaseResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"service\",");
+    let _ = writeln!(s, "  \"seed\": {SEED},");
+    let _ = writeln!(s, "  \"smoke\": {smoke},");
+    match chaos_rate {
+        Some(r) => {
+            let _ = writeln!(s, "  \"chaos_rate\": {r},");
+        }
+        None => {
+            let _ = writeln!(s, "  \"chaos_rate\": null,");
+        }
+    }
+    s.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let _ = writeln!(s, "    {{\"phase\": \"{}\",", p.label);
+        let _ = writeln!(
+            s,
+            "     \"jobs\": {}, \"completed\": {}, \"failed\": {}, \
+             \"unverified\": {},",
+            p.jobs, p.completed, p.failed, p.unverified
+        );
+        let _ = writeln!(
+            s,
+            "     \"elapsed_s\": {:.6}, \"throughput_jobs_per_s\": {:.3},",
+            p.elapsed.as_secs_f64(),
+            p.throughput()
+        );
+        let _ = writeln!(
+            s,
+            "     \"p50_ms\": {:.3}, \"p99_ms\": {:.3},",
+            p.percentile(0.50).as_secs_f64() * 1e3,
+            p.percentile(0.99).as_secs_f64() * 1e3
+        );
+        let _ = writeln!(
+            s,
+            "     \"shed_rate\": {:.4}, \"shed_backpressure\": {}, \
+             \"shed_overload\": {},",
+            p.shed_rate(),
+            p.stats.rejected_backpressure,
+            p.stats.rejected_overload
+        );
+        let _ = writeln!(
+            s,
+            "     \"job_retries\": {}, \"max_attempts\": {}, \
+             \"rounds\": {}, \"wedges\": {}, \"pool_swaps\": {},",
+            p.stats.job_retries, p.max_attempts, p.total_rounds, p.stats.wedges, p.stats.pool_swaps
+        );
+        let _ = writeln!(
+            s,
+            "     \"worker_panics\": {}, \"live_workers\": {}, \
+             \"final_pressure\": {:.4},",
+            p.stats.worker_panics, p.stats.live_workers, p.stats.pressure
+        );
+        match p.recovery {
+            Some(r) => {
+                let _ = writeln!(s, "     \"recovery_ms\": {:.3},", r.as_secs_f64() * 1e3);
+            }
+            None => {
+                let _ = writeln!(s, "     \"recovery_ms\": null,");
+            }
+        }
+        let _ = write!(s, "     \"obs_events\": {}}}", obs_events(&p.stats));
+        s.push_str(if i + 1 < phases.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(feature = "obs")]
+fn obs_events(stats: &ServiceStats) -> String {
+    match &stats.obs_log {
+        Some(log) => log.events.len().to_string(),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+fn obs_events(_stats: &ServiceStats) -> String {
+    "null".to_string()
+}
+
+fn main() {
+    // Injected panics are contained and accounted by the executor;
+    // skip the default hook's per-panic backtrace so chaos runs stay
+    // readable.
+    #[cfg(feature = "faults")]
+    optpar_runtime::silence_injected_panics();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let scale = if smoke { SMOKE } else { FULL };
+
+    let mut phases: Vec<PhaseResult> = Vec::new();
+    #[cfg_attr(not(feature = "faults"), allow(unused_mut))]
+    let mut chaos_rate: Option<f64> = None;
+
+    #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+    let mut cfg = service_config(scale);
+    #[cfg(feature = "obs")]
+    {
+        cfg.obs = true;
+    }
+    phases.push(run_phase("clean", cfg.clone(), scale, 0x11, false));
+
+    if chaos {
+        #[cfg(feature = "faults")]
+        {
+            // ~10% total injection: panics and spurious aborts at 5%
+            // each, replayable from the fixed seed.
+            let rate = 0.05;
+            chaos_rate = Some(2.0 * rate);
+            let mut ccfg = cfg.clone();
+            ccfg.chaos = Some(optpar_runtime::ChaosConfig::with_rates(SEED, rate));
+            phases.push(run_phase("chaos", ccfg, scale, 0x22, true));
+        }
+        #[cfg(not(feature = "faults"))]
+        eprintln!("--chaos ignored: build with --features faults to inject faults");
+    }
+
+    let mut table = Table::new([
+        "phase",
+        "jobs",
+        "ok",
+        "fail",
+        "jobs/s",
+        "p50 ms",
+        "p99 ms",
+        "shed",
+        "retries",
+        "recovery ms",
+    ]);
+    for p in &phases {
+        table.row([
+            p.label.to_string(),
+            p.jobs.to_string(),
+            p.completed.to_string(),
+            p.failed.to_string(),
+            f(p.throughput(), 2),
+            f(p.percentile(0.50).as_secs_f64() * 1e3, 2),
+            f(p.percentile(0.99).as_secs_f64() * 1e3, 2),
+            f(p.shed_rate(), 3),
+            p.stats.job_retries.to_string(),
+            p.recovery
+                .map_or_else(|| "-".to_string(), |r| f(r.as_secs_f64() * 1e3, 2)),
+        ]);
+    }
+    table.print("job service under closed-loop multi-tenant load");
+
+    let json = to_json(smoke, chaos_rate, &phases);
+    std::fs::write("BENCH_service.json", &json).expect("write BENCH_service.json");
+    println!("\nwrote BENCH_service.json");
+
+    // CI gate: every job verified (or failed structured), no worker
+    // thread ever died, and the clean phase completed everything.
+    let mut bad = false;
+    for p in &phases {
+        if p.unverified > 0 {
+            eprintln!(
+                "FAIL[{}]: {} job(s) failed self-verification",
+                p.label, p.unverified
+            );
+            bad = true;
+        }
+        if p.stats.worker_panics > 0 {
+            eprintln!(
+                "FAIL[{}]: {} worker panic(s) escaped",
+                p.label, p.stats.worker_panics
+            );
+            bad = true;
+        }
+        if p.label == "clean" && p.failed > 0 {
+            eprintln!("FAIL[clean]: {} job(s) failed without chaos", p.failed);
+            bad = true;
+        }
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

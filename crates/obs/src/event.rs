@@ -148,6 +148,39 @@ pub enum EventKind {
         /// Tasks the batch completed (committed + re-queued).
         tasks: u32,
     },
+    /// The job service admitted a job into its queue.
+    JobAdmit {
+        /// Service-assigned job id.
+        job: u64,
+        /// Priority weight the job was admitted with.
+        priority: u64,
+    },
+    /// The job service shed a submission at the admission boundary;
+    /// `code` is the service's `Rejection::code()` (1 backpressure,
+    /// 2 overload, 3 expired).
+    JobReject {
+        /// Id the submission would have received.
+        job: u64,
+        /// Numeric rejection reason.
+        code: u8,
+    },
+    /// A job stopped at a round boundary because its deadline passed.
+    JobDeadline {
+        /// Service-assigned job id.
+        job: u64,
+    },
+    /// A job was cancelled (client request) or wedge-detached.
+    JobCancel {
+        /// Service-assigned job id.
+        job: u64,
+    },
+    /// A fault-killed job was granted a retry attempt.
+    JobRetry {
+        /// Service-assigned job id.
+        job: u64,
+        /// The attempt that just failed (the retry is attempt + 1).
+        attempt: u32,
+    },
 }
 
 impl EventKind {
@@ -169,6 +202,11 @@ impl EventKind {
             EventKind::Audit { .. } => "audit",
             EventKind::WindowAdvance { .. } => "window_advance",
             EventKind::BatchRetire { .. } => "batch_retire",
+            EventKind::JobAdmit { .. } => "job_admit",
+            EventKind::JobReject { .. } => "job_reject",
+            EventKind::JobDeadline { .. } => "job_deadline",
+            EventKind::JobCancel { .. } => "job_cancel",
+            EventKind::JobRetry { .. } => "job_retry",
         }
     }
 }

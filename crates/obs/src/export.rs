@@ -179,6 +179,31 @@ pub fn chrome_trace(log: &EventLog) -> String {
                     "{{\"name\":\"batch retire\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"worker\":{worker},\"tag\":{tag},\"tasks\":{tasks}}}}}"
                 ));
             }
+            EventKind::JobAdmit { job, priority } => {
+                lines.push(format!(
+                    "{{\"name\":\"job {job} admit\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"priority\":{priority}}}}}"
+                ));
+            }
+            EventKind::JobReject { job, code } => {
+                lines.push(format!(
+                    "{{\"name\":\"job {job} reject\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"code\":{code}}}}}"
+                ));
+            }
+            EventKind::JobDeadline { job } => {
+                lines.push(format!(
+                    "{{\"name\":\"job {job} deadline\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"
+                ));
+            }
+            EventKind::JobCancel { job } => {
+                lines.push(format!(
+                    "{{\"name\":\"job {job} cancel\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{tid},\"ts\":{ts}}}"
+                ));
+            }
+            EventKind::JobRetry { job, attempt } => {
+                lines.push(format!(
+                    "{{\"name\":\"job {job} retry\",\"ph\":\"i\",\"s\":\"g\",\"pid\":0,\"tid\":{tid},\"ts\":{ts},\"args\":{{\"attempt\":{attempt}}}}}"
+                ));
+            }
         }
     }
     let mut out = String::from("{\"traceEvents\":[\n");
@@ -306,6 +331,18 @@ pub fn events_jsonl(log: &EventLog) -> String {
             }
             EventKind::BatchRetire { worker, tag, tasks } => {
                 let _ = write!(out, ",\"worker\":{worker},\"tag\":{tag},\"tasks\":{tasks}");
+            }
+            EventKind::JobAdmit { job, priority } => {
+                let _ = write!(out, ",\"job\":{job},\"priority\":{priority}");
+            }
+            EventKind::JobReject { job, code } => {
+                let _ = write!(out, ",\"job\":{job},\"code\":{code}");
+            }
+            EventKind::JobDeadline { job } | EventKind::JobCancel { job } => {
+                let _ = write!(out, ",\"job\":{job}");
+            }
+            EventKind::JobRetry { job, attempt } => {
+                let _ = write!(out, ",\"job\":{job},\"attempt\":{attempt}");
             }
         }
         out.push_str("}\n");

@@ -160,6 +160,11 @@ impl MetricsRegistry {
                     reg.inc("batches_retired", 1);
                     reg.inc("batch_tasks_retired", u64::from(tasks));
                 }
+                EventKind::JobAdmit { .. } => reg.inc("jobs_admitted", 1),
+                EventKind::JobReject { .. } => reg.inc("jobs_rejected", 1),
+                EventKind::JobDeadline { .. } => reg.inc("job_deadline_misses", 1),
+                EventKind::JobCancel { .. } => reg.inc("jobs_cancelled", 1),
+                EventKind::JobRetry { .. } => reg.inc("job_retries", 1),
             }
         }
         for &nanos in &log.round_nanos {

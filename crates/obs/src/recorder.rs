@@ -310,6 +310,38 @@ impl Recorder {
         );
     }
 
+    /// The job service admitted a job (controller track; the service
+    /// has no worker rings of its own).
+    pub fn job_admit(&self, job: u64, priority: u64) {
+        let mut inner = recover(self.inner.lock());
+        Self::ctl_emit(&mut inner, EventKind::JobAdmit { job, priority });
+    }
+
+    /// The job service shed a submission; `code` is the rejection
+    /// reason (1 backpressure, 2 overload, 3 expired).
+    pub fn job_reject(&self, job: u64, code: u8) {
+        let mut inner = recover(self.inner.lock());
+        Self::ctl_emit(&mut inner, EventKind::JobReject { job, code });
+    }
+
+    /// A job's deadline expired at a round boundary.
+    pub fn job_deadline(&self, job: u64) {
+        let mut inner = recover(self.inner.lock());
+        Self::ctl_emit(&mut inner, EventKind::JobDeadline { job });
+    }
+
+    /// A job was cancelled or wedge-detached.
+    pub fn job_cancel(&self, job: u64) {
+        let mut inner = recover(self.inner.lock());
+        Self::ctl_emit(&mut inner, EventKind::JobCancel { job });
+    }
+
+    /// A fault-killed job attempt was granted a retry.
+    pub fn job_retry(&self, job: u64, attempt: u32) {
+        let mut inner = recover(self.inner.lock());
+        Self::ctl_emit(&mut inner, EventKind::JobRetry { job, attempt });
+    }
+
     /// Drain every worker ring into the staged log without emitting
     /// any controller event — the barrier-free modes' window flush,
     /// and the final sweep after a run.

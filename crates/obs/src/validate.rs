@@ -225,6 +225,22 @@ pub fn validate(log: &EventLog, checks: &[RoundCheck]) -> Result<ValidationRepor
                     te.event.kind.label()
                 ));
             }
+            // Job-service lifecycle events: controller-track-only and
+            // segment-neutral — admission/shedding/cancellation happen
+            // outside any round, and a service log with no rounds at
+            // all must still validate against zero RoundChecks.
+            EventKind::JobAdmit { .. }
+            | EventKind::JobReject { .. }
+            | EventKind::JobDeadline { .. }
+            | EventKind::JobCancel { .. }
+            | EventKind::JobRetry { .. } => {
+                if !on_ctl {
+                    errors.push(format!(
+                        "event {i}: {} off the controller track",
+                        te.event.kind.label()
+                    ));
+                }
+            }
         }
     }
     if open.is_some() {

@@ -243,6 +243,14 @@ pub struct ExecutorConfig {
     /// Prop. 1 gives `r̄(1) = 0` and forward progress. `u32::MAX`
     /// disables the watchdog.
     pub watchdog_stall: u32,
+    /// Dead-letter budget `K`: a task that *faults* (not merely
+    /// aborts) while already at `retries ≥ K` is retired to the
+    /// executor's dead-letter list ([`Executor::take_dead_letters`])
+    /// instead of being re-queued — an always-faulting task launches
+    /// at most `K + 1` times. `u32::MAX` disables retirement
+    /// (faults re-queue forever, the pre-service behavior). Conflict
+    /// aborts are never dead-lettered: aging guarantees they commit.
+    pub dead_letter_budget: u32,
 }
 
 impl Default for ExecutorConfig {
@@ -254,6 +262,31 @@ impl Default for ExecutorConfig {
             policy: ConflictPolicy::FirstWins,
             retry_budget: 8,
             watchdog_stall: 4,
+            dead_letter_budget: u32::MAX,
+        }
+    }
+}
+
+/// How an executor reaches its worker threads: none (inline), an
+/// owned pool (the classic standalone construction), or a borrowed
+/// pool shared with other executors (the job-service construction,
+/// where one persistent pool outlives many short-lived executors).
+enum PoolHandle<'a> {
+    /// `workers == 1`: inline execution, no threads at all.
+    Inline,
+    /// Pool created by and torn down with this executor.
+    Owned(WorkerPool),
+    /// Pool borrowed from a longer-lived owner (e.g. `JobService`);
+    /// dropping the executor leaves it running.
+    Shared(&'a WorkerPool),
+}
+
+impl PoolHandle<'_> {
+    fn get(&self) -> Option<&WorkerPool> {
+        match self {
+            PoolHandle::Inline => None,
+            PoolHandle::Owned(p) => Some(p),
+            PoolHandle::Shared(p) => Some(p),
         }
     }
 }
@@ -264,9 +297,9 @@ pub struct Executor<'a, O: Operator> {
     op: &'a O,
     space: &'a LockSpace,
     cfg: ExecutorConfig,
-    /// Persistent parked threads; `None` when `workers == 1` (inline
-    /// execution needs no threads at all).
-    pool: Option<WorkerPool>,
+    /// Persistent parked threads; inline when `workers == 1`, owned or
+    /// borrowed otherwise.
+    pool: PoolHandle<'a>,
     /// Per-task speculation states, reused across rounds (grown on
     /// demand, reset per round). Behind a mutex so `run_round` can
     /// take `&self`; rounds on one executor are serialized anyway.
@@ -274,6 +307,9 @@ pub struct Executor<'a, O: Operator> {
     /// Structured record of every contained fault (operator panics,
     /// injected faults, poisoned mutexes, lost result slots).
     faults: Mutex<FaultLog>,
+    /// Tasks retired past [`ExecutorConfig::dead_letter_budget`],
+    /// awaiting [`Executor::take_dead_letters`].
+    dead_letters: Mutex<Vec<crate::faults::DeadLetter>>,
     /// Deterministic fault-injection plan (feature `faults`).
     #[cfg(feature = "faults")]
     fault_plan: Option<&'a crate::faults::FaultPlan>,
@@ -291,7 +327,7 @@ impl<O: Operator> std::fmt::Debug for Executor<'_, O> {
         f.debug_struct("Executor")
             .field("workers", &self.cfg.workers)
             .field("policy", &self.cfg.policy)
-            .field("pooled", &self.pool.is_some())
+            .field("pooled", &self.pool.get().is_some())
             .finish_non_exhaustive()
     }
 }
@@ -332,7 +368,35 @@ impl<'a, O: Operator> Executor<'a, O> {
     /// Spawns the persistent worker pool when `workers > 1`.
     pub fn new(op: &'a O, space: &'a LockSpace, cfg: ExecutorConfig) -> Self {
         assert!(cfg.workers >= 1, "need at least one worker");
-        let pool = (cfg.workers > 1).then(|| WorkerPool::new(cfg.workers));
+        let pool = if cfg.workers > 1 {
+            PoolHandle::Owned(WorkerPool::new(cfg.workers))
+        } else {
+            PoolHandle::Inline
+        };
+        Self::with_handle(op, space, cfg, pool)
+    }
+
+    /// Pair an operator with its lock space, executing on a *borrowed*
+    /// pool instead of spawning one. `cfg.workers` is overridden by
+    /// the pool's thread count; dropping the executor leaves the pool
+    /// running, so many short-lived executors (one per job, per
+    /// round) can time-slice one persistent pool.
+    pub fn with_pool(
+        op: &'a O,
+        space: &'a LockSpace,
+        mut cfg: ExecutorConfig,
+        pool: &'a WorkerPool,
+    ) -> Self {
+        cfg.workers = pool.workers();
+        Self::with_handle(op, space, cfg, PoolHandle::Shared(pool))
+    }
+
+    fn with_handle(
+        op: &'a O,
+        space: &'a LockSpace,
+        cfg: ExecutorConfig,
+        pool: PoolHandle<'a>,
+    ) -> Self {
         Executor {
             op,
             space,
@@ -340,6 +404,7 @@ impl<'a, O: Operator> Executor<'a, O> {
             pool,
             scratch: Mutex::new(Vec::new()),
             faults: Mutex::new(FaultLog::default()),
+            dead_letters: Mutex::new(Vec::new()),
             #[cfg(feature = "faults")]
             fault_plan: None,
             phases: None,
@@ -372,6 +437,30 @@ impl<'a, O: Operator> Executor<'a, O> {
         crate::faults::recover(self.faults.lock()).drain()
     }
 
+    /// Faults dropped by the bounded log because its undrained buffer
+    /// was full (monotone; see [`FaultLog::dropped`]).
+    pub fn dropped_faults(&self) -> usize {
+        crate::faults::recover(self.faults.lock()).dropped()
+    }
+
+    /// Replace the fault log with an empty one bounded at `cap`
+    /// undrained entries (long-running services drain rarely; the
+    /// default [`crate::faults::DEFAULT_FAULT_LOG_CAP`] applies
+    /// otherwise). Any undrained entries are returned.
+    pub fn set_fault_log_capacity(&self, cap: usize) -> Vec<TaskFault> {
+        let mut log = crate::faults::recover(self.faults.lock());
+        let old = log.drain();
+        *log = FaultLog::with_capacity(cap);
+        old
+    }
+
+    /// Drain and return the dead-letter list: tasks that faulted past
+    /// [`ExecutorConfig::dead_letter_budget`] and were retired from
+    /// the work-set instead of re-queued.
+    pub fn take_dead_letters(&self) -> Vec<crate::faults::DeadLetter> {
+        std::mem::take(&mut *crate::faults::recover(self.dead_letters.lock()))
+    }
+
     /// Record one contained fault.
     pub(crate) fn log_fault(&self, fault: TaskFault) {
         crate::faults::recover(self.faults.lock()).push(fault);
@@ -381,13 +470,13 @@ impl<'a, O: Operator> Executor<'a, O> {
     /// execution, which has no threads). Panic containment keeps this
     /// at `workers` even under injected panics.
     pub fn live_workers(&self) -> Option<usize> {
-        self.pool.as_ref().map(WorkerPool::live_workers)
+        self.pool.get().map(WorkerPool::live_workers)
     }
 
     /// Worker-level job panics that escaped the per-task containment
     /// (should stay 0: operator panics are caught inside the round).
     pub fn worker_panics(&self) -> u64 {
-        self.pool.as_ref().map_or(0, WorkerPool::job_panics)
+        self.pool.get().map_or(0, WorkerPool::job_panics)
     }
 
     /// The lock space this executor arbitrates over.
@@ -402,7 +491,7 @@ impl<'a, O: Operator> Executor<'a, O> {
 
     /// The persistent worker pool (`None` when `workers == 1`).
     pub(crate) fn pool(&self) -> Option<&WorkerPool> {
-        self.pool.as_ref()
+        self.pool.get()
     }
 
     /// The installed fault-injection plan, if any.
@@ -556,7 +645,7 @@ impl<'a, O: Operator> Executor<'a, O> {
         #[cfg(feature = "checker")]
         self.space.audit().arm(self.cfg.workers == 1);
 
-        let results: Vec<TaskResult<O::Task>> = match self.pool.as_ref() {
+        let results: Vec<TaskResult<O::Task>> = match self.pool.get() {
             Some(pool) if self.cfg.workers > 1 => self.run_parallel(pool, &batch, states),
             _ => {
                 let t_exec = phase::maybe_start(self.phases);
@@ -721,11 +810,28 @@ impl<'a, O: Operator> Executor<'a, O> {
                 TaskResult::Faulted { fault, acquires } => {
                     stats.faulted += 1;
                     stats.lock_acquires += acquires;
+                    if entry.retries >= self.cfg.dead_letter_budget {
+                        // Faulting again at retries ≥ K: retire the
+                        // task instead of re-queuing it forever. An
+                        // always-faulting task therefore launches at
+                        // most K + 1 times.
+                        stats.dead_lettered += 1;
+                        crate::faults::recover(self.dead_letters.lock()).push(
+                            crate::faults::DeadLetter {
+                                epoch: fault.epoch,
+                                slot: fault.slot,
+                                retries: entry.retries,
+                                cause: fault.cause.clone(),
+                                detail: fault.detail.clone(),
+                            },
+                        );
+                    } else {
+                        ws.push_entry(Entry {
+                            retries: entry.retries.saturating_add(1),
+                            ..entry
+                        });
+                    }
                     self.log_fault(*fault);
-                    ws.push_entry(Entry {
-                        retries: entry.retries.saturating_add(1),
-                        ..entry
-                    });
                 }
             }
         }

@@ -108,19 +108,93 @@ impl std::fmt::Display for TaskFault {
     }
 }
 
+/// A task retired from the work-set for good: it faulted again while
+/// already at `retries ≥` the executor's
+/// [`dead_letter_budget`](crate::exec::ExecutorConfig::dead_letter_budget).
+/// Instead of being silently re-queued forever it is surfaced to the
+/// job owner via [`Executor::take_dead_letters`](crate::exec::Executor::take_dead_letters).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// Epoch of the round in which the final fault occurred.
+    pub epoch: u64,
+    /// Round slot of the final fault (mirrors [`TaskFault::slot`]).
+    pub slot: Option<usize>,
+    /// Retry count at retirement (≥ the configured budget).
+    pub retries: u32,
+    /// Cause of the final fault.
+    pub cause: FaultCause,
+    /// Detail string of the final fault.
+    pub detail: String,
+}
+
+impl std::fmt::Display for DeadLetter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dead-lettered after {} retries at epoch {}: {} ({})",
+            self.retries, self.epoch, self.cause, self.detail
+        )
+    }
+}
+
+/// Default bound on undrained [`FaultLog`] entries: far above any
+/// single run's fault volume, small enough that a long-running
+/// service under sustained injection cannot grow without limit.
+pub const DEFAULT_FAULT_LOG_CAP: usize = 4096;
+
 /// Accumulated faults of an executor. Entries can be drained for
 /// inspection ([`FaultLog::drain`]); the total count is monotone.
-#[derive(Debug, Default)]
+///
+/// The undrained buffer is bounded (like the obs layer's `EventRing`):
+/// once [`FaultLog::capacity`] entries sit undrained, further pushes
+/// drop the *incoming* fault and bump [`FaultLog::dropped`] instead of
+/// growing — [`FaultLog::total`] still counts every push, so the loss
+/// is visible, never silent.
+#[derive(Debug)]
 pub struct FaultLog {
     entries: Vec<TaskFault>,
     total: usize,
+    cap: usize,
+    dropped: usize,
+}
+
+impl Default for FaultLog {
+    fn default() -> Self {
+        FaultLog::with_capacity(DEFAULT_FAULT_LOG_CAP)
+    }
 }
 
 impl FaultLog {
-    /// Record one fault.
+    /// A log holding at most `cap` (≥ 1) undrained entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        FaultLog {
+            entries: Vec::new(),
+            total: 0,
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Record one fault. Dropped (not stored) when the undrained
+    /// buffer is at capacity; draining frees space again.
     pub fn push(&mut self, fault: TaskFault) {
         self.total += 1;
-        self.entries.push(fault);
+        if self.entries.len() >= self.cap {
+            self.dropped += 1;
+        } else {
+            self.entries.push(fault);
+        }
+    }
+
+    /// Bound on undrained entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Faults dropped because the undrained buffer was full
+    /// (monotone; 0 means [`FaultLog::entries`] is complete).
+    pub fn dropped(&self) -> usize {
+        self.dropped
     }
 
     /// Faults recorded and not yet drained.
@@ -184,6 +258,23 @@ pub(crate) fn classify_panic(payload: &(dyn std::any::Any + Send)) -> (FaultCaus
 /// containment layer can tell them apart from genuine operator bugs.
 #[cfg(feature = "faults")]
 pub(crate) struct InjectedPanic(pub String);
+
+/// Install a process-global panic hook that suppresses the default
+/// stderr report (message plus backtrace) for *injected* panics,
+/// delegating every other panic to the previously-installed hook.
+/// Chaos harnesses call this once at startup so a ~10% injection
+/// schedule does not flood logs with thousands of backtraces; the
+/// executor still contains and accounts each injected panic exactly
+/// as before — only the default hook's printing is skipped.
+#[cfg(feature = "faults")]
+pub fn silence_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<InjectedPanic>().is_none() {
+            prev(info);
+        }
+    }));
+}
 
 /// The kind of an injected fault.
 #[cfg(feature = "faults")]
@@ -440,6 +531,42 @@ mod tests {
         assert_eq!(log.total(), 2, "total is monotone across drains");
         assert_eq!(drained[0].cause, FaultCause::OperatorPanic);
         assert!(drained[1].to_string().contains("poisoned scratch"));
+    }
+
+    #[test]
+    fn fault_log_is_bounded_and_counts_drops() {
+        let mut log = FaultLog::with_capacity(3);
+        assert_eq!(log.capacity(), 3);
+        let fault = |i: u64| TaskFault {
+            epoch: i,
+            slot: Some(0),
+            cause: FaultCause::OperatorPanic,
+            detail: "boom".into(),
+        };
+        for i in 0..5 {
+            log.push(fault(i));
+        }
+        // The buffer holds the first `cap` entries; the overflow is
+        // dropped but still counted.
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.total(), 5, "total counts dropped pushes too");
+        assert_eq!(log.entries()[2].epoch, 2, "incoming entries are dropped");
+        // Draining frees space: pushes land again, the drop counter
+        // stays monotone.
+        let drained = log.drain();
+        assert_eq!(drained.len(), 3);
+        log.push(fault(9));
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(log.total(), 6);
+    }
+
+    #[test]
+    fn fault_log_capacity_floor_is_one() {
+        let log = FaultLog::with_capacity(0);
+        assert_eq!(log.capacity(), 1);
+        assert_eq!(FaultLog::default().capacity(), DEFAULT_FAULT_LOG_CAP);
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod phase;
 pub mod pipelined;
 pub mod pool;
 mod probe;
+pub mod service;
 pub mod stats;
 pub mod store;
 pub mod task;
@@ -89,13 +90,19 @@ pub use optpar_obs as obs;
 
 pub use arena::AppendArena;
 pub use exec::{Executor, ExecutorConfig, WorkSet};
-pub use faults::{FaultCause, FaultLog, TaskFault};
 #[cfg(feature = "faults")]
-pub use faults::{FaultKind, FaultPlan, FaultRecord};
+pub use faults::{silence_injected_panics, FaultKind, FaultPlan, FaultRecord};
+pub use faults::{DeadLetter, FaultCause, FaultLog, TaskFault, DEFAULT_FAULT_LOG_CAP};
 pub use lock::{ConflictPolicy, LockSpace, Region};
-pub use phase::{Phase, PhaseBreakdown, PhaseClock};
+pub use phase::{Deadline, Phase, PhaseBreakdown, PhaseClock, Stopwatch};
 pub use pipelined::PipelinedConfig;
 pub use pool::WorkerPool;
+#[cfg(feature = "faults")]
+pub use service::ChaosConfig;
+pub use service::{
+    serve, JobCx, JobError, JobFn, JobOutput, JobReport, JobService, JobSpec, JobTicket, Rejection,
+    ServiceConfig, ServiceStats,
+};
 pub use stats::{RoundStats, RunStats};
 pub use store::SpecStore;
 pub use task::{Abort, Operator, TaskCtx};

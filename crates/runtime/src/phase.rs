@@ -16,6 +16,11 @@
 //! per task, so the attached cost stays far below the effects being
 //! measured.
 //!
+//! The job service's timing needs go through the same chokepoint:
+//! [`Deadline`] and [`Stopwatch`] wrap the clock so `service.rs`
+//! stays `Instant`-free under the lint — deadline checks happen at
+//! round boundaries, never inside one.
+//!
 //! [`Executor`]: crate::exec::Executor
 //! [`Executor::set_phase_clock`]: crate::exec::Executor::set_phase_clock
 
@@ -97,6 +102,60 @@ pub fn span_ns(s: Stamp) -> u64 {
     u64::try_from(s.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// A wall-clock deadline, checked at round boundaries (never inside a
+/// round: the round path is `Instant`-free by lint, and a round holds
+/// locks that a deadline must not interrupt mid-flight).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: std::time::Duration) -> Self {
+        Deadline {
+            at: Instant::now().checked_add(d).unwrap_or_else(Instant::now),
+        }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> std::time::Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// A monotone elapsed-time counter for job latency and watchdog
+/// accounting — the service-side sibling of [`Stamp`], kept here so
+/// `service.rs` never touches `Instant` directly.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start counting now.
+    pub fn started() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since the start.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed nanoseconds since the start (saturating).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
 /// Stamp helper for an optional clock: `None` clock, no syscall.
 #[inline]
 pub(crate) fn maybe_start(pc: Option<&PhaseClock>) -> Option<Stamp> {
@@ -174,6 +233,28 @@ mod tests {
         let snap = PhaseClock::new().snapshot();
         assert_eq!(snap.total_ns(), 0);
         assert_eq!(snap.share(Phase::Wait), 0.0);
+    }
+
+    #[test]
+    fn deadline_expires_and_remaining_saturates() {
+        let d = Deadline::after(std::time::Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), std::time::Duration::ZERO);
+        let far = Deadline::after(std::time::Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining() > std::time::Duration::from_secs(3000));
+        // An overflowing deadline degrades to "already expired", not
+        // a panic.
+        let huge = Deadline::after(std::time::Duration::from_secs(u64::MAX));
+        let _ = huge.expired();
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::started();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(sw.elapsed() >= std::time::Duration::from_millis(2));
+        assert!(sw.elapsed_ns() >= 2_000_000);
     }
 
     #[test]

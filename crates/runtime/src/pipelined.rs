@@ -328,6 +328,7 @@ impl<O: Operator> Executor<'_, O> {
                 faulted: df,
                 spawned: 0,
                 lock_acquires: 0,
+                dead_lettered: 0,
             });
         };
 

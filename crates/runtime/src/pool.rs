@@ -445,6 +445,108 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_shutdown_calls_are_idempotent() {
+        // Two racing shutdowns: both must return, exactly one joins
+        // each handle, no worker is reported wedged, and a third call
+        // on the drained pool is a no-op.
+        let pool = WorkerPool::new(3);
+        std::thread::scope(|s| {
+            let a = s.spawn(|| pool.shutdown(Duration::from_secs(5)));
+            let b = s.spawn(|| pool.shutdown(Duration::from_secs(5)));
+            let (wa, wb) = (a.join().unwrap(), b.join().unwrap());
+            assert!(wa.is_empty() && wb.is_empty(), "{wa:?} {wb:?}");
+        });
+        assert_eq!(pool.live_workers(), 0);
+        assert!(pool.shutdown(Duration::from_millis(1)).is_empty());
+    }
+
+    #[test]
+    fn shutdown_after_publish_still_runs_the_job() {
+        // The worker loop gives a published-but-unseen job priority
+        // over the shutdown flag: once run() has published, a racing
+        // shutdown must not strand the submitter or skip workers.
+        for _ in 0..20 {
+            let pool = WorkerPool::new(2);
+            let hits = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let pool_ref = &pool;
+                let hits_ref = &hits;
+                let submit = s.spawn(move || {
+                    let job = |_w: usize| {
+                        // Give shutdown a window while workers are
+                        // mid-job.
+                        std::thread::sleep(Duration::from_micros(200));
+                        hits_ref.fetch_add(1, Ordering::Relaxed);
+                    };
+                    pool_ref.run(&job);
+                });
+                // Wait for the publish, then race the teardown.
+                while recover(pool_ref.shared.state.lock()).job.is_none() {
+                    std::thread::yield_now();
+                }
+                let wedged = pool_ref.shutdown(Duration::from_secs(5));
+                assert!(wedged.is_empty(), "{wedged:?}");
+                submit.join().unwrap();
+            });
+            assert_eq!(
+                hits.load(Ordering::Relaxed),
+                2,
+                "every worker ran the published job before honoring shutdown"
+            );
+            assert_eq!(pool.live_workers(), 0);
+        }
+    }
+
+    #[test]
+    fn replacement_pool_works_after_a_timed_out_detach() {
+        // The service's wedge-recovery path: a timed-out shutdown
+        // detaches a stuck worker, and a fresh pool swapped in its
+        // place must be fully functional while the old one drains.
+        let pool = WorkerPool::new(2);
+        let release = Arc::new(AtomicBool::new(false));
+        let wedged_release = Arc::clone(&release);
+        let job = move |w: usize| {
+            if w == 0 {
+                while !wedged_release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+        };
+        std::thread::scope(|s| {
+            let pool_ref = &pool;
+            let job_ref = &job;
+            let submit = s.spawn(move || pool_ref.run(job_ref));
+            loop {
+                if recover(pool_ref.shared.state.lock()).remaining == 1 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            let wedged = pool_ref.shutdown(Duration::from_millis(20));
+            assert_eq!(wedged, vec![0]);
+            // The replacement accepts and completes work immediately,
+            // while the old pool still holds its wedged task.
+            let fresh = WorkerPool::new(2);
+            let done = AtomicUsize::new(0);
+            let ok = |_w: usize| {
+                done.fetch_add(1, Ordering::Relaxed);
+            };
+            fresh.run(&ok);
+            assert_eq!(done.load(Ordering::Relaxed), 2);
+            assert_eq!(fresh.live_workers(), 2);
+            assert!(fresh.shutdown(Duration::from_secs(5)).is_empty());
+            // A second timed-out shutdown on the old pool is a no-op:
+            // the wedged handle is already detached, not re-reported.
+            assert!(pool_ref.shutdown(Duration::from_millis(5)).is_empty());
+            release.store(true, Ordering::Release);
+            let _ = submit.join();
+        });
+        while pool.live_workers() > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
     fn concurrent_submitters_serialize() {
         let pool = WorkerPool::new(2);
         let count = AtomicUsize::new(0);

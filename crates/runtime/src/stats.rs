@@ -20,6 +20,12 @@ pub struct RoundStats {
     pub spawned: usize,
     /// Abstract-lock acquisitions across all tasks.
     pub lock_acquires: usize,
+    /// Tasks retired to the dead-letter list this round: they faulted
+    /// at `retries ≥` the executor's dead-letter budget and left the
+    /// system instead of re-queuing. A subset of `faulted`, so the
+    /// round identity `launched = committed + aborted + faulted` is
+    /// unchanged.
+    pub dead_lettered: usize,
 }
 
 impl RoundStats {
@@ -87,6 +93,12 @@ impl RunStats {
         self.rounds.iter().map(|r| r.faulted).sum()
     }
 
+    /// Total tasks dead-lettered over the run (faulted past the
+    /// dead-letter budget and retired instead of re-queued).
+    pub fn total_dead_lettered(&self) -> usize {
+        self.rounds.iter().map(|r| r.dead_lettered).sum()
+    }
+
     /// Number of rounds executed.
     pub fn round_count(&self) -> usize {
         self.rounds.len()
@@ -140,6 +152,7 @@ mod tests {
             faulted: 0,
             spawned,
             lock_acquires: 0,
+            dead_lettered: 0,
         }
     }
 
@@ -205,6 +218,7 @@ mod tests {
             faulted: 0,
             spawned: 0,
             lock_acquires: 0,
+            dead_lettered: 0,
         };
         for ratio in [r.conflict_ratio(), r.pressure_ratio(), r.fault_ratio()] {
             assert!(!ratio.is_nan(), "0/0 must not leak NaN into the controller");

@@ -1,0 +1,30 @@
+//! Deliberately non-compliant job-service fixture for xtask's lint
+//! tests: service-flavored code that a careless patch might introduce
+//! into `crates/runtime/src/service.rs`, every line of which the
+//! banlists must catch. The workspace walk skips `fixtures/`, so this
+//! file is only seen by tests feeding it to the engine directly.
+
+use std::time::{Duration, Instant};
+
+pub struct Lane {
+    pub deadline: Option<Instant>,
+}
+
+impl Lane {
+    /// Raw `Instant::now` instead of the phase module's
+    /// Deadline/Stopwatch plumbing: instant-in-round-path.
+    pub fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Panicking report delivery in a lane: unwrap-in-round-path. A
+    /// real lane must surface this as a structured JobError instead.
+    pub fn report(&self, out: Option<Duration>) -> Duration {
+        out.unwrap()
+    }
+
+    /// `.expect(` is the same rule as `.unwrap()`.
+    pub fn admit(&self, slot: Result<usize, ()>) -> usize {
+        slot.expect("queue slot")
+    }
+}

@@ -123,6 +123,38 @@ mod tests {
         assert!(rules_of(&vs).contains(&"unwrap-in-round-path"), "{vs:?}");
     }
 
+    /// The job service is on both round-critical banlists: a patch
+    /// that sneaks a raw `Instant::now` or a panicking
+    /// `.unwrap()`/`.expect(` into `service.rs` must trip the lint.
+    #[test]
+    fn service_fixture_trips_the_service_banlist_rules() {
+        const SERVICE_FIXTURE: &str = include_str!("../fixtures/bad_service.rs");
+        let vs = lint_file("crates/runtime/src/service.rs", SERVICE_FIXTURE);
+        let rules = rules_of(&vs);
+        assert_eq!(
+            rules
+                .iter()
+                .filter(|r| **r == "instant-in-round-path")
+                .count(),
+            1,
+            "{vs:?}"
+        );
+        assert_eq!(
+            rules
+                .iter()
+                .filter(|r| **r == "unwrap-in-round-path")
+                .count(),
+            2,
+            "one .unwrap() and one .expect(: {vs:?}"
+        );
+        // The same source under a non-banlisted path only reports
+        // rules that apply everywhere (none here).
+        assert!(
+            lint_file("crates/bench/src/bin/service.rs", SERVICE_FIXTURE).is_empty(),
+            "the bench driver is not on the round-critical banlists"
+        );
+    }
+
     #[test]
     fn unwrap_is_banned_only_in_round_critical_modules() {
         let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n\
