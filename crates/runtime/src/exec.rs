@@ -1120,7 +1120,15 @@ impl<'a, O: Operator> Executor<'a, O> {
         };
         let exec_before = pc.map(|c| c.snapshot().execute_ns);
         let t_wall = phase::maybe_start(pc);
-        pool.run(&job);
+        if pool.run(&job).is_err() {
+            // The pool was retired under us (the service supervisor
+            // swaps pools when detaching a wedged job, and a round can
+            // hold the old Arc across that swap). Nothing ran on the
+            // pool, so drain the whole batch inline through the same
+            // chunk-claiming closure; the caller picks up the
+            // replacement pool on its next round.
+            job(0);
+        }
         // Wait = worker-seconds the rendezvous held that nobody spent
         // executing (the barrier's straggler cost).
         if let (Some(c), Some(before)) = (pc, exec_before) {

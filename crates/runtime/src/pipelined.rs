@@ -563,9 +563,15 @@ impl<O: Operator> Executor<'_, O> {
             }
         };
         // Dispatch on the executor's persistent pool; workers == 1
-        // runs inline on the calling thread.
+        // runs inline on the calling thread. A retired pool (shut down
+        // under us) degrades to the same inline path: the claim loop
+        // drains every shard to completion either way.
         match self.pool() {
-            Some(pool) => pool.run(&worker),
+            Some(pool) => {
+                if pool.run(&worker).is_err() {
+                    worker(0);
+                }
+            }
             None => worker(0),
         }
         // Flush the final partial window.

@@ -43,6 +43,22 @@ use std::time::{Duration, Instant};
 /// shutdown barrier before detaching wedged workers.
 const DEFAULT_SHUTDOWN_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// The pool has been (or is being) shut down: [`WorkerPool::run`]
+/// refused to publish, or bailed out of a rendezvous no worker can
+/// complete. No part of the job ran on any worker that had already
+/// exited; the caller may rerun the job elsewhere (e.g. inline, or on
+/// a replacement pool).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolRetired;
+
+impl std::fmt::Display for PoolRetired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker pool retired (shutdown) before the job could run")
+    }
+}
+
+impl std::error::Error for PoolRetired {}
+
 /// Type-erased job pointer shipped to workers. The pointee is only
 /// dereferenced while [`WorkerPool::run`] is blocked, which keeps the
 /// erased borrow alive.
@@ -181,10 +197,18 @@ impl WorkerPool {
     /// until all invocations return (a rendezvous). Concurrent callers
     /// are serialized.
     ///
+    /// # Errors
+    /// Returns [`PoolRetired`] — without running the job on any
+    /// worker — if the pool is shutting down or any worker has already
+    /// exited. A rendezvous published while every worker was alive
+    /// always completes (a published-but-unseen job takes priority
+    /// over the shutdown flag in the worker loop), so a `Ok(())` means
+    /// the job ran on all `workers` threads.
+    ///
     /// # Panics
     /// Re-raises (as a fresh panic) if any worker's invocation
     /// panicked.
-    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) {
+    pub fn run(&self, job: &(dyn Fn(usize) + Sync)) -> Result<(), PoolRetired> {
         let ptr: *const (dyn Fn(usize) + Sync) = job;
         // SAFETY: lifetime erasure only — same fat-pointer layout. The
         // pointee outlives every dereference because this function
@@ -196,9 +220,22 @@ impl WorkerPool {
             >(ptr)
         });
         let mut st = recover(self.shared.state.lock());
-        // Serialize with any in-flight submission.
+        // Serialize with any in-flight submission. Bail if shutdown
+        // arrives while queued: the in-flight job may never finish
+        // (that is exactly why a supervisor retires a pool), and
+        // exiting workers only notify `done_cv` — they will never
+        // clear `job`.
         while st.job.is_some() {
+            if st.shutdown {
+                return Err(PoolRetired);
+            }
             st = recover(self.shared.done_cv.wait(st));
+        }
+        // Refuse to publish into a retired (or retiring) pool: with
+        // fewer than `workers` threads alive, `remaining` could never
+        // reach 0 and this rendezvous would block forever.
+        if st.shutdown || st.alive < self.workers {
+            return Err(PoolRetired);
         }
         st.job = Some(job);
         st.seq += 1;
@@ -209,6 +246,18 @@ impl WorkerPool {
 
         let mut st = recover(self.shared.state.lock());
         while st.remaining > 0 {
+            // Defensive unhang: every thread has left its loop, so no
+            // one can decrement `remaining` — and, equally, no one can
+            // still be holding the erased job pointer, so returning is
+            // sound. Unreachable given the publish-time alive check
+            // and the job-before-shutdown priority in `worker_loop`,
+            // but a hang here would wedge the whole service.
+            if st.alive == 0 {
+                st.job = None;
+                drop(st);
+                self.shared.done_cv.notify_all();
+                return Err(PoolRetired);
+            }
             st = recover(self.shared.done_cv.wait(st));
         }
         st.job = None;
@@ -221,6 +270,7 @@ impl WorkerPool {
             // a job's own containment; swallowing it would corrupt the round.
             panic!("worker pool job panicked");
         }
+        Ok(())
     }
 
     /// Tear the pool down, waiting at most `timeout` for every worker
@@ -234,6 +284,11 @@ impl WorkerPool {
             st.shutdown = true;
         }
         self.shared.work_cv.notify_all();
+        // Submitters queued in `run`'s serialize wait park on `done_cv`;
+        // wake them so they observe the flag and bail with
+        // [`PoolRetired`] instead of waiting on a job that may never
+        // clear.
+        self.shared.done_cv.notify_all();
 
         let deadline = Instant::now() + timeout;
         let mut st = recover(self.shared.state.lock());
@@ -328,7 +383,7 @@ mod tests {
         let job = |w: usize| {
             hits[w].fetch_add(1, Ordering::Relaxed);
         };
-        pool.run(&job);
+        pool.run(&job).expect("live pool");
         for h in &hits {
             assert_eq!(h.load(Ordering::Relaxed), 1);
         }
@@ -342,7 +397,7 @@ mod tests {
             let job = |_w: usize| {
                 total.fetch_add(1, Ordering::Relaxed);
             };
-            pool.run(&job);
+            pool.run(&job).expect("live pool");
         }
         assert_eq!(total.load(Ordering::Relaxed), 300);
     }
@@ -356,7 +411,7 @@ mod tests {
         let job = |w: usize| {
             sum.fetch_add(w + 1, Ordering::Relaxed);
         };
-        pool.run(&job);
+        pool.run(&job).expect("live pool");
         assert_eq!(sum.load(Ordering::Relaxed), (1..=8).sum::<usize>());
     }
 
@@ -377,7 +432,7 @@ mod tests {
         let good = |_w: usize| {
             ok.fetch_add(1, Ordering::Relaxed);
         };
-        pool.run(&good);
+        pool.run(&good).expect("live pool");
         assert_eq!(ok.load(Ordering::Relaxed), 2);
     }
 
@@ -478,7 +533,7 @@ mod tests {
                         std::thread::sleep(Duration::from_micros(200));
                         hits_ref.fetch_add(1, Ordering::Relaxed);
                     };
-                    pool_ref.run(&job);
+                    pool_ref.run(&job).expect("live pool");
                 });
                 // Wait for the publish, then race the teardown.
                 while recover(pool_ref.shared.state.lock()).job.is_none() {
@@ -531,7 +586,7 @@ mod tests {
             let ok = |_w: usize| {
                 done.fetch_add(1, Ordering::Relaxed);
             };
-            fresh.run(&ok);
+            fresh.run(&ok).expect("fresh pool is live");
             assert_eq!(done.load(Ordering::Relaxed), 2);
             assert_eq!(fresh.live_workers(), 2);
             assert!(fresh.shutdown(Duration::from_secs(5)).is_empty());
@@ -540,6 +595,99 @@ mod tests {
             assert!(pool_ref.shutdown(Duration::from_millis(5)).is_empty());
             release.store(true, Ordering::Release);
             let _ = submit.join();
+        });
+        while pool.live_workers() > 0 {
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn run_on_a_shut_down_pool_returns_retired_promptly() {
+        // The service pool-swap race: a lane that cloned the pool Arc
+        // just before the supervisor retired it must get a prompt
+        // error, not a forever-blocked rendezvous against exited
+        // workers.
+        let pool = WorkerPool::new(2);
+        assert!(pool.shutdown(Duration::from_secs(5)).is_empty());
+        assert_eq!(pool.live_workers(), 0);
+        let ran = AtomicUsize::new(0);
+        let job = |_w: usize| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        };
+        assert_eq!(pool.run(&job), Err(PoolRetired));
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "the job never started");
+    }
+
+    #[test]
+    fn run_racing_shutdown_either_completes_or_reports_retired() {
+        // Hammer the publish/shutdown race: every submission must
+        // either run on all workers or fail with PoolRetired — never
+        // hang, never run partially.
+        for _ in 0..50 {
+            let pool = WorkerPool::new(2);
+            let hits = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let pool_ref = &pool;
+                let hits_ref = &hits;
+                let submit = s.spawn(move || {
+                    let job = |_w: usize| {
+                        hits_ref.fetch_add(1, Ordering::Relaxed);
+                    };
+                    pool_ref.run(&job)
+                });
+                let wedged = pool_ref.shutdown(Duration::from_secs(5));
+                assert!(wedged.is_empty(), "{wedged:?}");
+                let outcome = submit.join().unwrap();
+                let ran = hits.load(Ordering::Relaxed);
+                match outcome {
+                    Ok(()) => assert_eq!(ran, 2, "accepted jobs run everywhere"),
+                    Err(PoolRetired) => assert_eq!(ran, 0, "rejected jobs run nowhere"),
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn queued_submitter_behind_a_wedged_job_is_released_by_shutdown() {
+        // Lane A's job wedges worker 0; lane B queues behind it in
+        // run()'s serialize wait. Retiring the pool must release B with
+        // PoolRetired (so it can rerun elsewhere) instead of leaving it
+        // parked on a job slot that will never clear.
+        let pool = WorkerPool::new(2);
+        let release = Arc::new(AtomicBool::new(false));
+        let wedged_release = Arc::clone(&release);
+        let wedge = move |w: usize| {
+            if w == 0 {
+                while !wedged_release.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+        };
+        std::thread::scope(|s| {
+            let pool_ref = &pool;
+            let wedge_ref = &wedge;
+            let lane_a = s.spawn(move || pool_ref.run(wedge_ref));
+            // Wait until only the wedged worker is still in the job, so
+            // lane B is guaranteed to queue behind a held slot.
+            loop {
+                if recover(pool_ref.shared.state.lock()).remaining == 1 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            let lane_b = s.spawn(move || {
+                let noop = |_w: usize| {};
+                pool_ref.run(&noop)
+            });
+            let wedged = pool_ref.shutdown(Duration::from_millis(50));
+            assert_eq!(wedged, vec![0], "the spinning worker is detached");
+            assert_eq!(
+                lane_b.join().unwrap(),
+                Err(PoolRetired),
+                "the queued submitter is released, not stranded"
+            );
+            release.store(true, Ordering::Release);
+            let _ = lane_a.join();
         });
         while pool.live_workers() > 0 {
             std::thread::yield_now();
@@ -559,7 +707,7 @@ mod tests {
                         let job = |_w: usize| {
                             count.fetch_add(1, Ordering::Relaxed);
                         };
-                        pool.run(&job);
+                        pool.run(&job).expect("live pool");
                     }
                 });
             }

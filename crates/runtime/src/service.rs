@@ -18,7 +18,9 @@
 //!   (aborts + faults over launches, fed by every job's rounds)
 //!   crosses [`ServiceConfig::admit_watermark`], when the bounded
 //!   queue is full (backpressure), or when a job arrives already past
-//!   its deadline.
+//!   its deadline. While the service is idle the supervisor decays the
+//!   EWMA toward zero each poll, so a post-storm service recovers
+//!   admission instead of rejecting forever on a stale reading.
 //! * **Deadlines & cancellation** — both are checked at *round
 //!   boundaries*, where the executor holds no locks, no work-set
 //!   entries are in flight, and the epoch is already bumped: stopping
@@ -111,7 +113,10 @@ pub struct ServiceConfig {
     /// slices handed to active jobs (each gets its priority share).
     pub global_budget: usize,
     /// Admission watermark on the pressure EWMA: submissions are shed
-    /// with [`Rejection::Overload`] while the EWMA exceeds it.
+    /// with [`Rejection::Overload`] while the EWMA exceeds it. The
+    /// supervisor folds a zero sample per [`ServiceConfig::wedge_poll`]
+    /// while the service is idle, so a reading stranded above the
+    /// watermark by a drained abort storm decays back under it.
     pub admit_watermark: f64,
     /// EWMA smoothing factor in `(0, 1]` for the service-wide
     /// pressure ratio.
@@ -854,7 +859,12 @@ impl JobCx<'_> {
     ///
     /// Each round builds a short-lived [`Executor`] borrowing the
     /// *current* pool, so a supervisor pool swap is picked up at the
-    /// next round. The round's `m` is the controller's allocation
+    /// next round. A round that loses that race — publishing to a
+    /// pool the supervisor retired right after the clone — is not
+    /// lost and cannot hang: [`WorkerPool::run`] refuses retired
+    /// pools, the executor drains the batch inline, and the next
+    /// round rebinds to the replacement pool. The round's `m` is the
+    /// controller's allocation
     /// clamped to this job's priority share of
     /// [`ServiceConfig::global_budget`]. Stops happen only at round
     /// boundaries, where no locks or tasks are in flight — the
@@ -1192,11 +1202,24 @@ fn supervisor_loop(shared: &Shared, lanes: &[LaneState]) {
         })
         .collect();
     loop {
-        if shared.shutdown.load(Ordering::Acquire)
-            && shared.busy.load(Ordering::Acquire) == 0
-            && recover(shared.queue.lock()).is_empty()
-        {
+        // Read queue emptiness BEFORE busy: a lane increments `busy`
+        // while it still holds the queue lock for the pop, so once the
+        // queue is observed empty, any job popped from it is already
+        // visible in `busy` — "empty then idle" is a consistent
+        // snapshot. The reverse order could miss a job popped between
+        // the two reads and exit with it still running.
+        let queue_empty = recover(shared.queue.lock()).is_empty();
+        let idle = queue_empty && shared.busy.load(Ordering::Acquire) == 0;
+        if idle && shared.shutdown.load(Ordering::Acquire) {
             return;
+        }
+        // Idle decay for admission: the pressure EWMA is otherwise fed
+        // only by running rounds, so an abort storm that drives it over
+        // the watermark and then drains the queue would pin every
+        // future submission at Overload forever. Fold a zero sample per
+        // idle poll so admission recovers once the storm ends.
+        if idle && shared.pressure() > 0.0 {
+            shared.observe_pressure(0.0);
         }
         std::thread::sleep(shared.cfg.wedge_poll);
         for (lane, tracker) in lanes.iter().zip(trackers.iter_mut()) {
@@ -1604,6 +1627,156 @@ mod tests {
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.worker_panics, 0);
         assert_eq!(stats.live_workers, 2, "the fresh pool is intact");
+    }
+
+    #[test]
+    fn healthy_job_survives_a_pool_swap_mid_drive() {
+        // Drive rounds continuously across the wedge-detach window: a
+        // lane that cloned the old pool Arc just before the supervisor
+        // swapped it must drain that round (inline, via the
+        // PoolRetired fallback) and rebind to the fresh pool — not
+        // block forever in a rendezvous against exited workers.
+        let cfg = ServiceConfig {
+            lanes: 2,
+            wedge_grace: Duration::from_millis(30),
+            wedge_poll: Duration::from_millis(5),
+            detach_timeout: Duration::from_millis(50),
+            ..quick_cfg()
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let job_stop = Arc::clone(&stop);
+        let ((), stats) = serve(cfg, move |svc| {
+            let wedge = svc
+                .submit(JobSpec::new("wedge", |cx: &mut JobCx<'_>| {
+                    while !cx.cancelled() {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(JobError::Cancelled)
+                }))
+                .expect("admitted");
+            let healthy = svc
+                .submit(JobSpec::new("healthy", move |cx: &mut JobCx<'_>| {
+                    let mut laps = 0usize;
+                    loop {
+                        let n = 32usize;
+                        let mut b = LockSpace::builder();
+                        let r = b.region(n);
+                        let space = b.build();
+                        let store = SpecStore::filled(r, n, 0i64);
+                        let op = RingOp { store: &store, n };
+                        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+                        let mut ctl = FixedController::new(4);
+                        let mut rng = StdRng::seed_from_u64(laps as u64);
+                        cx.drive(&op, &space, &mut ws, &mut ctl, &mut rng)?;
+                        let mut store = store;
+                        let sum: i64 = store.snapshot().iter().sum();
+                        if sum != 0 {
+                            return Ok(JobOutput {
+                                verified: false,
+                                committed: 0,
+                                detail: format!("lap {laps} sum {sum}"),
+                            });
+                        }
+                        laps += 1;
+                        if job_stop.load(Ordering::Acquire) {
+                            return Ok(JobOutput {
+                                verified: true,
+                                committed: laps,
+                                detail: String::new(),
+                            });
+                        }
+                    }
+                }))
+                .expect("admitted");
+            assert_eq!(wedge.wait().result, Err(JobError::Wedged));
+            // Keep the healthy job lapping on the fresh pool for a
+            // while after the swap before releasing it.
+            std::thread::sleep(Duration::from_millis(30));
+            stop.store(true, Ordering::Release);
+            let out = healthy
+                .wait()
+                .result
+                .expect("healthy job survives the swap");
+            assert!(out.verified, "every lap matched its reference");
+            assert!(out.committed > 0);
+        });
+        assert_eq!(stats.wedges, 1);
+        assert_eq!(stats.pool_swaps, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn admission_recovers_after_pressure_storm_drains() {
+        let cfg = ServiceConfig {
+            admit_watermark: 0.5,
+            wedge_poll: Duration::from_millis(2),
+            ..quick_cfg()
+        };
+        let ((), stats) = serve(cfg, |svc| {
+            // Simulate a drained abort storm: saturate the EWMA with
+            // no job left running to feed it further samples.
+            for _ in 0..50 {
+                svc.shared.observe_pressure(1.0);
+            }
+            assert!(svc.pressure() > 0.5);
+            let err = svc
+                .submit(JobSpec::new("shed", ring_job(8, 1)))
+                .expect_err("storm pressure sheds");
+            assert_eq!(err, Rejection::Overload);
+            // The supervisor decays the EWMA while the service idles;
+            // without that, admission would reject forever.
+            let waited = Stopwatch::started();
+            while svc.pressure() > 0.5 {
+                assert!(
+                    waited.elapsed() < Duration::from_secs(10),
+                    "pressure EWMA must decay while idle"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let after = svc
+                .submit(JobSpec::new("after", ring_job(32, 2)))
+                .expect("admission recovered");
+            assert!(after.wait().result.expect("success").verified);
+        });
+        assert_eq!(stats.rejected_overload, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn shutdown_racing_busy_lanes_still_reports_every_job() {
+        // The body returns (flipping shutdown) the instant the jobs
+        // are admitted, so lanes pop and run them entirely inside the
+        // shutdown window while the supervisor is deciding whether it
+        // may exit. Every ticket must still get a real report and
+        // teardown must not hang.
+        for round in 0..10u64 {
+            let cfg = ServiceConfig {
+                lanes: 3,
+                queue_cap: 64,
+                ..quick_cfg()
+            };
+            let (tickets, stats) = serve(cfg, |svc| {
+                (0..6u64)
+                    .map(|i| {
+                        svc.submit(JobSpec::new(
+                            format!("racer-{i}"),
+                            ring_job(16, round * 100 + i),
+                        ))
+                        .expect("admitted")
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for t in tickets {
+                let report = t.wait();
+                assert!(
+                    report.result.expect("ran to completion").verified,
+                    "round {round}"
+                );
+            }
+            assert_eq!(stats.completed, 6);
+            assert_eq!(stats.failed, 0);
+        }
     }
 
     #[test]
