@@ -1,0 +1,18 @@
+//! Seeded violation: the wait loop's exit condition no longer reads
+//! one of the flags the checked-in BLOCKING.toml says it does — the
+//! minimized PR-8 supervisor-exit race, where a lane stopped checking
+//! queue emptiness on the way out. Exactly one finding.
+
+use crate::recover;
+
+pub fn lane_loop(shared: &Shared) {
+    let mut q = recover(shared.queue.lock());
+    loop {
+        // VIOLATION (vs BLOCKING.toml): the blessed contract says this
+        // exit also reads `queue`; the emptiness check was dropped.
+        if q.shutdown {
+            break;
+        }
+        q = recover(shared.queue_cv.wait(q));
+    }
+}

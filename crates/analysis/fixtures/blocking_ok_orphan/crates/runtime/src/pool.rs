@@ -1,0 +1,11 @@
+//! Seeded violation: a stale `BLOCKING-OK` annotation with no finding
+//! left to suppress — the blocking call it excused was removed, and
+//! the orphaned waiver would silently swallow the next real finding on
+//! that line. Exactly one finding.
+
+pub fn tidy(s: &Shared) {
+    // BLOCKING-OK: the sender is this same thread's earlier push
+    // VIOLATION: the annotated recv was deleted; the waiver is stale.
+    let n = s.counter.get();
+    s.report(n);
+}

@@ -1,0 +1,17 @@
+//! Seeded violation: two functions acquire the same pair of mutexes in
+//! opposite orders, closing a cycle in the lock-order graph — the
+//! classic ABBA deadlock. Exactly one finding.
+
+use crate::recover;
+
+pub fn credit(s: &Shared) {
+    let _accounts = recover(s.accounts.lock());
+    // VIOLATION (with `audit` below): accounts -> ledger here,
+    // ledger -> accounts there.
+    let _ledger = recover(s.ledger.lock());
+}
+
+pub fn audit(s: &Shared) {
+    let _ledger = recover(s.ledger.lock());
+    let _accounts = recover(s.accounts.lock());
+}

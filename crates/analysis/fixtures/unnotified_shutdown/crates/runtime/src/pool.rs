@@ -1,0 +1,24 @@
+//! Seeded violation: the minimized PR-8 pool-swap hang. The waiter's
+//! exit predicate reads `shutdown`, but the function that sets the
+//! flag wakes only `work_cv` — the sleeper on `done_cv` never hears
+//! about it and the swap hangs forever. Exactly one finding.
+
+use crate::recover;
+
+pub fn waiter(shared: &Shared) {
+    let mut st = recover(shared.state.lock());
+    loop {
+        if st.shutdown {
+            break;
+        }
+        st = recover(shared.done_cv.wait(st));
+    }
+}
+
+pub fn swap_pool(shared: &Shared) {
+    let mut st = recover(shared.state.lock());
+    st.shutdown = true;
+    // VIOLATION: sets the waiter's exit flag but notifies the wrong
+    // condvar — `done_cv` sleepers are never woken.
+    shared.work_cv.notify_all();
+}

@@ -1,0 +1,18 @@
+//! Seeded violation: a condvar wait made while a *second* mutex is
+//! still held. The wait releases only its own guard, so every thread
+//! that needs `handles` — including the one that would signal the
+//! condvar — blocks behind the sleeper. Exactly one finding.
+
+use crate::recover;
+
+pub fn drain(s: &Shared) {
+    let _handles = recover(s.handles.lock());
+    let mut st = recover(s.state.lock());
+    loop {
+        if st.shutdown {
+            break;
+        }
+        // VIOLATION: sleeps on `state` with `handles` still held.
+        st = recover(s.done_cv.wait(st));
+    }
+}

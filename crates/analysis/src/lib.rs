@@ -1,7 +1,7 @@
 //! optpar-analysis: the speculation-footprint static analyzer.
 //!
 //! A dependency-free Rust front end (lexer → token trees → AST-lite →
-//! call graph) plus four analyses tuned to this workspace's
+//! call graph) plus five analyses tuned to this workspace's
 //! speculation contract:
 //!
 //! * **lexical lint** ([`lint`]) — the five historical xtask rules,
@@ -13,7 +13,11 @@
 //!   reachable from the round-critical runtime functions outside the
 //!   `catch_unwind` containment boundary;
 //! * **atomic-protocol** ([`protocol`]) — the atomics of
-//!   `lock.rs`/`pool.rs` must match the checked-in `PROTOCOL.toml`.
+//!   `lock.rs`/`pool.rs` must match the checked-in `PROTOCOL.toml`;
+//! * **blocking-protocol** ([`blocking`]) — lock-order cycles,
+//!   blocking calls made while holding locks, condvar
+//!   notify-discipline, and the wait-loop shutdown-liveness contract
+//!   in `BLOCKING.toml`.
 //!
 //! Everything is best-effort syntactic analysis: no type information,
 //! no macro expansion. The analyses are tuned to this codebase's
@@ -22,6 +26,7 @@
 //! Run via `cargo run -p xtask -- analyze`.
 
 pub mod ast;
+pub mod blocking;
 pub mod callgraph;
 pub mod footprint;
 pub mod lexer;
@@ -57,6 +62,8 @@ pub struct Workspace {
     pub protocol: Option<String>,
     /// `FOOTPRINT.toml` text at the root, if present.
     pub footprint: Option<String>,
+    /// `BLOCKING.toml` text at the root, if present.
+    pub blocking: Option<String>,
 }
 
 impl Workspace {
@@ -79,6 +86,7 @@ impl Workspace {
             files,
             protocol: None,
             footprint: None,
+            blocking: None,
         }
     }
 
@@ -101,6 +109,7 @@ impl Workspace {
         let mut ws = Workspace::from_sources(sources);
         ws.protocol = std::fs::read_to_string(root.join("PROTOCOL.toml")).ok();
         ws.footprint = std::fs::read_to_string(root.join("FOOTPRINT.toml")).ok();
+        ws.blocking = std::fs::read_to_string(root.join("BLOCKING.toml")).ok();
         ws
     }
 }
@@ -145,6 +154,7 @@ pub fn analyze_workspace(ws: &Workspace) -> Vec<Violation> {
     out.extend(panicpath::analyze(ws));
     out.extend(protocol::analyze(ws));
     out.extend(radius::analyze(ws));
+    out.extend(blocking::analyze(ws));
     sort_violations(&mut out);
     out
 }
@@ -163,6 +173,11 @@ pub fn protocol_toml(ws: &Workspace) -> String {
 /// The blessed FOOTPRINT.toml text for a workspace's current code.
 pub fn footprint_toml(ws: &Workspace) -> String {
     radius::to_toml(&radius::extract(ws))
+}
+
+/// The blessed BLOCKING.toml text for a workspace's current code.
+pub fn blocking_toml(ws: &Workspace) -> String {
+    blocking::to_toml(&blocking::extract(ws))
 }
 
 /// Locate the workspace root: the nearest ancestor of `start` whose
@@ -246,6 +261,64 @@ mod tests {
         assert_eq!(vs.len(), 1, "{vs:?}");
         assert_eq!(vs[0].rule, "footprint-ctx");
         assert!(vs[0].detail.contains("lock_raw"), "{}", vs[0].detail);
+    }
+
+    #[test]
+    fn lock_order_cycle_fixture_trips_exactly_the_cycle_rule() {
+        let vs = analyze_tree(&fixture("lock_order_cycle"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "lock-order-cycle");
+        assert!(
+            vs[0].detail.contains("accounts") && vs[0].detail.contains("ledger"),
+            "{}",
+            vs[0].detail
+        );
+    }
+
+    #[test]
+    fn wait_outside_loop_fixture_trips_exactly_the_bare_wait_rule() {
+        let vs = analyze_tree(&fixture("wait_outside_loop"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "bare-condvar-wait");
+    }
+
+    #[test]
+    fn wait_second_lock_fixture_trips_exactly_the_blocking_rule() {
+        let vs = analyze_tree(&fixture("wait_second_lock"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "blocking-while-locked");
+        assert!(vs[0].detail.contains("handles"), "{}", vs[0].detail);
+    }
+
+    #[test]
+    fn unnotified_shutdown_fixture_trips_exactly_the_unnotified_rule() {
+        let vs = analyze_tree(&fixture("unnotified_shutdown"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "condvar-unnotified");
+        assert!(
+            vs[0].detail.contains("swap_pool") && vs[0].detail.contains("done_cv"),
+            "{}",
+            vs[0].detail
+        );
+    }
+
+    #[test]
+    fn blocking_drift_fixture_trips_exactly_the_contract_rule() {
+        let vs = analyze_tree(&fixture("blocking_drift"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "blocking-contract");
+        assert!(
+            vs[0].detail.contains("no longer reads [queue]"),
+            "{}",
+            vs[0].detail
+        );
+    }
+
+    #[test]
+    fn blocking_ok_orphan_fixture_trips_exactly_the_orphan_rule() {
+        let vs = analyze_tree(&fixture("blocking_ok_orphan"));
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].rule, "blocking-ok-orphan");
     }
 
     /// The workspace itself is clean under the full analysis — the

@@ -1,4 +1,4 @@
-//! The five lexical audit rules, ported from `xtask` onto the token
+//! The lexical audit rules, ported from `xtask` onto the token
 //! stream.
 //!
 //! Rule semantics and wording are identical to the historical lexical
@@ -11,7 +11,7 @@
 use crate::ast::parse_items;
 use crate::lexer::{line_of, line_starts, tokenize, Delim, TokKind, Token};
 use crate::report::Violation;
-use crate::tree::build_trees;
+use crate::tree::{build_trees, Tree};
 
 /// Files allowed to use `Ordering::Relaxed`.
 const RELAXED_ALLOWLIST: &[&str] = &[
@@ -193,6 +193,30 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         }
     }
 
+    if crate::blocking::is_blocking_critical(rel) {
+        // Bare `Condvar::wait` (outside any loop) in a blocking-critical
+        // module: spurious wakeups and missed notifications make a single
+        // un-looped wait a liveness bug. Span-based test exemption, like
+        // the unwrap rule.
+        let ast = parse_items(&build_trees(toks.clone()));
+        let mut waits = Vec::new();
+        find_bare_waits(&build_trees(toks.clone()), false, &mut waits);
+        for off in waits {
+            if ast.in_test_span(off) {
+                continue;
+            }
+            push(
+                off,
+                "bare-condvar-wait",
+                "Condvar wait outside a predicate loop in a blocking-critical \
+                 module; spurious wakeups and missed notifications require \
+                 `while !pred { guard = cv.wait(guard); }`"
+                    .to_string(),
+                &mut out,
+            );
+        }
+    }
+
     if INSTANT_BANLIST.contains(&rel) {
         for off in path_pair_offsets(&toks, "Instant", "now") {
             push(
@@ -207,6 +231,52 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
     }
 
     out
+}
+
+/// Collects offsets of `.wait(..)` / `.wait_timeout(..)` method calls (with
+/// at least one argument — the guard) that are not lexically inside any
+/// loop body. Loop bodies set `in_loop`; other groups inherit it.
+fn find_bare_waits(trees: &[Tree], in_loop: bool, out: &mut Vec<usize>) {
+    let mut i = 0;
+    while i < trees.len() {
+        let t = &trees[i];
+        if t.is_ident("loop") || t.is_ident("while") || t.is_ident("for") {
+            if let Some(p) = trees[i + 1..]
+                .iter()
+                .position(|x| x.group(crate::lexer::Delim::Brace).is_some())
+            {
+                let body_at = i + 1 + p;
+                find_bare_waits(&trees[i + 1..body_at], in_loop, out);
+                let body = trees[body_at].group(crate::lexer::Delim::Brace).unwrap();
+                find_bare_waits(body, true, out);
+                i = body_at + 1;
+                continue;
+            }
+        }
+        if let Some(tok) = t.leaf() {
+            if (tok.text == "wait" || tok.text == "wait_timeout")
+                && tok.kind == TokKind::Ident
+                && i > 0
+                && trees[i - 1].is_punct(".")
+                && !in_loop
+            {
+                if let Some(args) = trees
+                    .get(i + 1)
+                    .and_then(|x| x.group(crate::lexer::Delim::Paren))
+                {
+                    if !args.is_empty() {
+                        out.push(tok.off);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        if let Tree::Group { children, .. } = t {
+            find_bare_waits(children, in_loop, out);
+        }
+        i += 1;
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +345,59 @@ mod tests {
         assert_eq!(
             rules_of(&lint_source("src/a.rs", bad)),
             vec!["unsafe-without-safety"]
+        );
+    }
+
+    #[test]
+    fn bare_condvar_wait_is_flagged_in_blocking_critical_files() {
+        let bare = "fn park(shared: &Shared) {\n\
+                        let st = recover(shared.state.lock());\n\
+                        let _g = recover(shared.cv.wait(st));\n\
+                    }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/runtime/src/pool.rs", bare)),
+            vec!["bare-condvar-wait"]
+        );
+        // Not a blocking-critical file: exempt.
+        assert!(lint_source("crates/apps/src/sssp.rs", bare).is_empty());
+    }
+
+    #[test]
+    fn looped_and_argless_waits_are_not_bare() {
+        let looped = "fn park(shared: &Shared) {\n\
+                          let mut st = recover(shared.state.lock());\n\
+                          while !st.ready {\n\
+                              st = recover(shared.cv.wait(st));\n\
+                          }\n\
+                      }\n";
+        assert!(lint_source("crates/runtime/src/pool.rs", looped).is_empty());
+        // A 0-arg `.wait()` is not a condvar wait (the pipelined barrier's
+        // spin-wait method is named `wait`).
+        let spin = "fn sync(b: &Barrier) { b.wait(); }\n";
+        assert!(lint_source("crates/runtime/src/pipelined.rs", spin).is_empty());
+    }
+
+    #[test]
+    fn bare_wait_in_a_test_span_is_exempt() {
+        let src = "pub fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t(shared: &Shared) {\n\
+                           let _g = shared.cv.wait(shared.state.lock().unwrap());\n\
+                       }\n\
+                   }\n";
+        assert!(lint_source("crates/runtime/src/service.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_wait_timeout_is_flagged_too() {
+        let src = "fn park(shared: &Shared, d: Duration) {\n\
+                       let st = recover(shared.state.lock());\n\
+                       let _r = recover(shared.cv.wait_timeout(st, d));\n\
+                   }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/runtime/src/continuous.rs", src)),
+            vec!["bare-condvar-wait"]
         );
     }
 

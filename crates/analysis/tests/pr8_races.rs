@@ -1,0 +1,176 @@
+//! Regression tests pinning the PR-8 service-layer race class to the
+//! blocking analyzer: each minimized pre-fix shape must be flagged by
+//! the rule that would have caught it, and the post-fix shape must be
+//! clean. These are the analyzer-level regression tests for the
+//! corresponding runtime fixes (pool-swap hang, supervisor exit, and
+//! the shutdown join made under the `handles` lock).
+
+use optpar_analysis::blocking::{self, WaitEntry};
+use optpar_analysis::Workspace;
+
+fn ws_of(files: &[(&str, &str)]) -> Workspace {
+    let mut ws = Workspace::from_sources(
+        files
+            .iter()
+            .map(|(r, s)| (r.to_string(), s.to_string()))
+            .collect(),
+    );
+    // Bless the shape's own contract so only the rule under test fires.
+    let entries = blocking::extract(&ws);
+    if !entries.is_empty() {
+        ws.blocking = Some(blocking::to_toml(&entries));
+    }
+    ws
+}
+
+fn rules_of(vs: &[optpar_analysis::Violation]) -> Vec<&'static str> {
+    vs.iter().map(|v| v.rule).collect()
+}
+
+/// PR-8 pool-swap hang: `swap_pool` set the shutdown flag that the
+/// round waiter's exit condition reads, but woke only the workers'
+/// condvar — the waiter on `done_cv` slept forever.
+#[test]
+fn pool_swap_hang_is_flagged_pre_fix() {
+    let ws = ws_of(&[(
+        "crates/runtime/src/pool.rs",
+        "fn run_round(shared: &Shared) {\n\
+             let mut st = recover(shared.state.lock());\n\
+             loop {\n\
+                 if st.shutdown { break; }\n\
+                 if st.remaining == 0 { break; }\n\
+                 st = recover(shared.done_cv.wait(st));\n\
+             }\n\
+         }\n\
+         fn swap_pool(shared: &Shared) {\n\
+             let mut st = recover(shared.state.lock());\n\
+             st.shutdown = true;\n\
+             shared.work_cv.notify_all();\n\
+         }\n",
+    )]);
+    let vs = blocking::analyze(&ws);
+    assert_eq!(rules_of(&vs), vec!["condvar-unnotified"], "{vs:?}");
+    assert!(
+        vs[0].detail.contains("swap_pool") && vs[0].detail.contains("done_cv"),
+        "{}",
+        vs[0].detail
+    );
+}
+
+/// The fix: the swapper wakes every condvar whose waiters read the
+/// flag it set.
+#[test]
+fn pool_swap_hang_is_clean_post_fix() {
+    let ws = ws_of(&[(
+        "crates/runtime/src/pool.rs",
+        "fn run_round(shared: &Shared) {\n\
+             let mut st = recover(shared.state.lock());\n\
+             loop {\n\
+                 if st.shutdown { break; }\n\
+                 if st.remaining == 0 { break; }\n\
+                 st = recover(shared.done_cv.wait(st));\n\
+             }\n\
+         }\n\
+         fn swap_pool(shared: &Shared) {\n\
+             let mut st = recover(shared.state.lock());\n\
+             st.shutdown = true;\n\
+             shared.work_cv.notify_all();\n\
+             shared.done_cv.notify_all();\n\
+         }\n",
+    )]);
+    assert!(blocking::analyze(&ws).is_empty());
+}
+
+/// PR-8 supervisor-exit race, expressed as contract drift: the lane
+/// loop's exit condition stopped reading queue emptiness, so a lane
+/// could exit with work still queued. The checked-in contract pins the
+/// exit-flag set; dropping a flag is reported by name.
+#[test]
+fn supervisor_exit_race_surfaces_as_contract_drift() {
+    let declared = vec![WaitEntry {
+        file: "crates/runtime/src/service.rs".into(),
+        symbol: "lane_loop".into(),
+        condvar: "queue_cv".into(),
+        mutex: "queue".into(),
+        exits: vec!["queue".into(), "shutdown".into()],
+        count: 1,
+    }];
+    let mut ws = Workspace::from_sources(vec![(
+        "crates/runtime/src/service.rs".into(),
+        "fn lane_loop(shared: &Shared) {\n\
+             let mut q = recover(shared.queue.lock());\n\
+             loop {\n\
+                 if q.shutdown { break; }\n\
+                 q = recover(shared.queue_cv.wait(q));\n\
+             }\n\
+         }\n"
+        .into(),
+    )]);
+    ws.blocking = Some(blocking::to_toml(&declared));
+    let vs = blocking::analyze(&ws);
+    assert_eq!(rules_of(&vs), vec!["blocking-contract"], "{vs:?}");
+    assert!(
+        vs[0].detail.contains("no longer reads [queue]"),
+        "{}",
+        vs[0].detail
+    );
+}
+
+/// Restoring the emptiness check matches the contract again.
+#[test]
+fn supervisor_exit_contract_is_clean_when_both_flags_are_read() {
+    let ws = ws_of(&[(
+        "crates/runtime/src/service.rs",
+        "fn lane_loop(shared: &Shared) {\n\
+             let mut q = recover(shared.queue.lock());\n\
+             loop {\n\
+                 if q.shutdown { break; }\n\
+                 if q.is_empty() { break; }\n\
+                 q = recover(shared.queue_cv.wait(q));\n\
+             }\n\
+         }\n",
+    )]);
+    assert!(blocking::analyze(&ws).is_empty());
+}
+
+/// The shutdown path joined worker threads while still holding the
+/// `handles` lock: any concurrent shutdown (or the pool's `Drop`)
+/// stalled behind this thread's rendezvous with the worker.
+#[test]
+fn join_under_handles_lock_is_flagged_pre_fix() {
+    let ws = ws_of(&[(
+        "crates/runtime/src/pool.rs",
+        "fn stop(shared: &Shared) {\n\
+             let mut handles = recover(shared.handles.lock());\n\
+             let h = handles.take_handle();\n\
+             let _r = h.join();\n\
+         }\n",
+    )]);
+    let vs = blocking::analyze(&ws);
+    assert_eq!(rules_of(&vs), vec!["blocking-while-locked"], "{vs:?}");
+    assert!(
+        vs[0].detail.contains("thread join") && vs[0].detail.contains("handles"),
+        "{}",
+        vs[0].detail
+    );
+}
+
+/// The fix mirrors `WorkerPool::shutdown` on HEAD: partition the slots
+/// under the lock, join outside it.
+#[test]
+fn join_outside_handles_lock_is_clean_post_fix() {
+    let ws = ws_of(&[(
+        "crates/runtime/src/pool.rs",
+        "fn stop(shared: &Shared) {\n\
+             let mut to_join = Vec::new();\n\
+             {\n\
+                 let mut handles = recover(shared.handles.lock());\n\
+                 to_join.extend(handles.take_all());\n\
+             }\n\
+             for h in to_join {\n\
+                 let _r = h.join();\n\
+             }\n\
+         }\n",
+    )]);
+    assert!(blocking::analyze(&ws).is_empty());
+}

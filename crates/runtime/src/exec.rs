@@ -646,6 +646,11 @@ impl<'a, O: Operator> Executor<'a, O> {
         self.space.audit().arm(self.cfg.workers == 1);
 
         let results: Vec<TaskResult<O::Task>> = match self.pool.get() {
+            // BLOCKING-OK: `scratch` is the per-slot state-machine arena the
+            // workers themselves spin on; holding it across the pool
+            // rendezvous is the design (workers access the cells lock-free
+            // via the `states` borrow), and no other thread ever takes
+            // `scratch` while a round is in flight.
             Some(pool) if self.cfg.workers > 1 => self.run_parallel(pool, &batch, states),
             _ => {
                 let t_exec = phase::maybe_start(self.phases);

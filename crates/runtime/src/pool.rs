@@ -302,20 +302,30 @@ impl WorkerPool {
         }
         drop(st);
 
+        // Partition the slots under the lock, but join outside it: a join —
+        // even a bounded one — made while holding `handles` would stall any
+        // concurrent `shutdown` (or the pool's `Drop`) behind this thread's
+        // rendezvous with the worker.
         let mut wedged = Vec::new();
-        let mut handles = recover(self.handles.lock());
-        for (w, slot) in handles.iter_mut().enumerate() {
-            let Some(h) = slot.take() else { continue };
-            if self.shared.exited[w].load(Ordering::Acquire) {
-                // The worker has left its loop; the join is bounded.
-                let _ = h.join();
-            } else {
-                eprintln!(
-                    "optpar-worker-{w} missed the shutdown barrier after {timeout:?}; detaching"
-                );
-                wedged.push(w);
-                drop(h); // detach
+        let mut to_join = Vec::new();
+        {
+            let mut handles = recover(self.handles.lock());
+            for (w, slot) in handles.iter_mut().enumerate() {
+                let Some(h) = slot.take() else { continue };
+                if self.shared.exited[w].load(Ordering::Acquire) {
+                    // The worker has left its loop; the join is bounded.
+                    to_join.push(h);
+                } else {
+                    eprintln!(
+                        "optpar-worker-{w} missed the shutdown barrier after {timeout:?}; detaching"
+                    );
+                    wedged.push(w);
+                    drop(h); // detach
+                }
             }
+        }
+        for h in to_join {
+            let _ = h.join();
         }
         wedged
     }
