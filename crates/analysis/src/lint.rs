@@ -23,6 +23,17 @@ const RELAXED_ALLOWLIST: &[&str] = &[
 /// Files allowed to create OS threads.
 const SPAWN_ALLOWLIST: &[&str] = &["crates/runtime/src/pool.rs"];
 
+/// Files allowed to call `SpecStore::slot_ptr`: the store itself and
+/// the `TaskCtx` access layer. Everywhere else, raw slab pointers
+/// bypass the lock-ownership checks — and on a sharded store a slab
+/// index is a *physical* position, so "obvious" logical indexing is
+/// silently wrong. All other code goes through `TaskCtx`
+/// read/write/lock (or `lock_of` for lock addressing).
+const SLOT_PTR_ALLOWLIST: &[&str] = &[
+    "crates/runtime/src/store.rs",
+    "crates/runtime/src/task.rs",
+];
+
 /// Round-critical files in which `Instant::now` is banned.
 ///
 /// `pipelined.rs` is on the list deliberately: its batch loop is the
@@ -137,6 +148,26 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
                     t.off,
                     "unsafe-without-safety",
                     "`unsafe` without a `// SAFETY:` comment stating its invariant".to_string(),
+                    &mut out,
+                );
+            }
+        }
+    }
+
+    if !SLOT_PTR_ALLOWLIST.contains(&rel) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_ident("slot_ptr"))
+                && matches!(toks.get(i + 2), Some(n) if n.kind == TokKind::Open(Delim::Paren))
+            {
+                push(
+                    t.off,
+                    "slot-ptr-outside-store",
+                    ".slot_ptr( outside crates/runtime/src/{store,task}.rs \
+                     bypasses lock-checked access, and on a sharded store the \
+                     slab index is physical, not logical; go through TaskCtx \
+                     read/write/lock or SpecStore::lock_of"
+                        .to_string(),
                     &mut out,
                 );
             }
@@ -405,6 +436,27 @@ mod tests {
     fn scoped_threads_are_not_spawns() {
         let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
         assert!(lint_source("crates/runtime/src/exec.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slot_ptr_is_banned_outside_store_and_task() {
+        let src = "fn f(s: &SpecStore<u64>) { let _p = s.slot_ptr(3); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/runtime/src/exec.rs", src)),
+            vec!["slot-ptr-outside-store"]
+        );
+        assert_eq!(
+            rules_of(&lint_source("crates/apps/src/sssp.rs", src)),
+            vec!["slot-ptr-outside-store"]
+        );
+        // The access layer itself is allowlisted.
+        assert!(lint_source("crates/runtime/src/store.rs", src).is_empty());
+        assert!(lint_source("crates/runtime/src/task.rs", src).is_empty());
+        // Comments, strings, and similarly named methods don't match.
+        let ok = "// s.slot_ptr(3) would be wrong\n\
+                  fn g() -> &'static str { \".slot_ptr(\" }\n\
+                  fn h(s: &S) { s.slot_ptr_count(); }\n";
+        assert!(lint_source("crates/runtime/src/exec.rs", ok).is_empty());
     }
 
     #[test]

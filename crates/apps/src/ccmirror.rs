@@ -12,7 +12,8 @@
 //! distributions for many).
 
 use optpar_graph::{ConflictGraph, CsrGraph, NodeId};
-use optpar_runtime::{Abort, LockSpace, Operator, Region, SpecStore, TaskCtx};
+use optpar_runtime::{Abort, LockSpace, Operator, Region, ShardMap, SpecStore, TaskCtx};
+use std::sync::Arc;
 
 /// Precomputed lock layout for a conflict graph: one lock per node,
 /// one per edge.
@@ -37,6 +38,38 @@ impl CcMirror {
             node_region: b.region(n),
             edge_region: b.region(m),
             graph: g.clone(),
+            maps: None,
+        }
+    }
+
+    /// As [`CcMirror::layout`], but sharded by the k-way node
+    /// partition `parts`: node slots are grouped by part, and each
+    /// edge slot is grouped with its lower endpoint's part (an edge's
+    /// lock is first taken by tasks of that part, so cut edges — not
+    /// layout accidents — are what cross shards). Both slabs are
+    /// cache-line aligned via [`ShardMap`].
+    ///
+    /// # Panics
+    /// Panics unless `parts` covers every node with ids `< k`.
+    pub fn layout_sharded(
+        g: &CsrGraph,
+        b: &mut optpar_runtime::lock::LockSpaceBuilder,
+        parts: &[u32],
+        k: usize,
+    ) -> CcMirrorLayout {
+        assert_eq!(parts.len(), g.node_count(), "one part per node");
+        let node_map = Arc::new(ShardMap::from_parts(parts, k));
+        let edge_parts: Vec<u32> = g
+            .edge_list()
+            .iter()
+            .map(|&(u, _)| parts[u as usize])
+            .collect();
+        let edge_map = Arc::new(ShardMap::from_parts(&edge_parts, k));
+        CcMirrorLayout {
+            node_region: b.region_aligned(node_map.padded_len()),
+            edge_region: b.region_aligned(edge_map.padded_len()),
+            graph: g.clone(),
+            maps: Some((node_map, edge_map)),
         }
     }
 }
@@ -46,6 +79,8 @@ pub struct CcMirrorLayout {
     node_region: Region,
     edge_region: Region,
     graph: CsrGraph,
+    /// Shard layouts for the node and edge stores (sharded builds).
+    maps: Option<(Arc<ShardMap>, Arc<ShardMap>)>,
 }
 
 impl CcMirrorLayout {
@@ -59,9 +94,20 @@ impl CcMirrorLayout {
             incident[u as usize].push(eid as u32);
             incident[v as usize].push(eid as u32);
         }
+        let m = g.edge_count();
+        let (node_data, edge_data) = match self.maps {
+            Some((nmap, emap)) => (
+                SpecStore::new_sharded(self.node_region, vec![0; n], 0, nmap),
+                SpecStore::new_sharded(self.edge_region, vec![0; m], 0, emap),
+            ),
+            None => (
+                SpecStore::filled(self.node_region, n, 0),
+                SpecStore::filled(self.edge_region, m, 0),
+            ),
+        };
         CcMirror {
-            node_data: SpecStore::filled(self.node_region, n, 0),
-            edge_data: SpecStore::filled(self.edge_region, self.graph.edge_count(), 0),
+            node_data,
+            edge_data,
             incident,
         }
     }
@@ -201,6 +247,31 @@ mod tests {
             "runtime r {rt} vs model {}",
             est.mean
         );
+    }
+
+    /// A sharded layout must be behaviorally identical to the
+    /// unsharded one: same committed counters, same conflict
+    /// structure, locks all free at the end.
+    #[test]
+    fn sharded_layout_is_behaviorally_identical() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = gen::grid2d_diag(12, 12);
+        let parts = optpar_core::partition::bfs_partition(&g, 4, 1.25).parts;
+        let mut b = LockSpace::builder();
+        let layout = CcMirror::layout_sharded(&g, &mut b, &parts, 4);
+        let space = b.build();
+        let op = layout.finish(&space);
+        let ex = Executor::new(&op, &space, ExecutorConfig::default());
+        let n = g.node_count();
+        let mut ws = WorkSet::from_vec((0..n as u32).collect::<Vec<_>>());
+        let mut committed = 0;
+        while !ws.is_empty() {
+            committed += ex.run_round(&mut ws, 24, &mut rng).committed;
+        }
+        assert_eq!(committed, n);
+        assert!(space.check_all_free().is_ok());
+        let mut nd = op.node_data;
+        assert!(nd.snapshot().iter().all(|&c| c == 1));
     }
 
     #[test]

@@ -146,7 +146,7 @@ impl Operator for WideOp {
     }
 
     fn conflict_seed(&self, &i: &u32) -> Option<u64> {
-        Some(self.vals.region().lock_of(i as usize) as u64)
+        Some(self.vals.lock_of(i as usize) as u64)
     }
 }
 

@@ -42,6 +42,7 @@ pub mod estimate;
 pub mod footprint;
 pub mod model;
 pub mod ordered;
+pub mod partition;
 pub mod profile;
 pub mod seating;
 pub mod sim;

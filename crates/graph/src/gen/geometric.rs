@@ -37,35 +37,64 @@ pub fn geometric_from_points(pts: &[(f64, f64)], radius: f64) -> CsrGraph {
     if n == 0 || radius <= 0.0 {
         return CsrGraph::edgeless(n);
     }
-    // Grid bucketing by cell = radius.
-    let cells = (1.0 / radius).ceil().max(1.0) as i64;
-    let cell_of = |x: f64, y: f64| -> (i64, i64) {
-        (
-            ((x * cells as f64) as i64).clamp(0, cells - 1),
-            ((y * cells as f64) as i64).clamp(0, cells - 1),
-        )
+    // Grid bucketing with cell size ≥ radius, held in a counting-sort
+    // CSR-of-cells layout: three flat arrays (per-cell counts → prefix
+    // offsets → member scatter) instead of a HashMap of per-cell Vecs,
+    // so a million-point build performs O(1) allocations rather than
+    // one per occupied cell. The side length is clamped to O(√n) so
+    // the dense cell arrays stay O(n) even for tiny radii — a larger
+    // cell keeps the 3×3 neighbourhood scan correct, just less sharp.
+    let by_radius = (1.0 / radius).ceil().max(1.0);
+    let by_points = ((4 * n) as f64).sqrt().ceil().max(1.0);
+    let cells = by_radius.min(by_points) as usize;
+    let cell_of = |x: f64, y: f64| -> usize {
+        let cx = ((x * cells as f64) as i64).clamp(0, cells as i64 - 1) as usize;
+        let cy = ((y * cells as f64) as i64).clamp(0, cells as i64 - 1) as usize;
+        cx * cells + cy
     };
-    use std::collections::HashMap;
-    let mut grid: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+    let nc = cells * cells;
+    let mut cell_idx = vec![0u32; n];
+    let mut off = vec![0u32; nc + 1];
     for (i, &(x, y)) in pts.iter().enumerate() {
-        grid.entry(cell_of(x, y)).or_default().push(i as u32);
+        let c = cell_of(x, y);
+        cell_idx[i] = c as u32;
+        off[c + 1] += 1;
+    }
+    for c in 0..nc {
+        off[c + 1] += off[c];
+    }
+    let mut members = vec![0u32; n];
+    let mut cursor: Vec<u32> = off[..nc].to_vec();
+    for (i, &c) in cell_idx.iter().enumerate() {
+        members[cursor[c as usize] as usize] = i as u32;
+        cursor[c as usize] += 1;
     }
     let r2 = radius * radius;
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
-    for (&(cx, cy), members) in &grid {
-        for dx in -1..=1i64 {
-            for dy in -1..=1i64 {
-                let Some(other) = grid.get(&(cx + dx, cy + dy)) else {
-                    continue;
-                };
-                for &a in members {
-                    for &b in other {
-                        if a < b {
-                            let (ax, ay) = pts[a as usize];
-                            let (bx, by) = pts[b as usize];
-                            let (ddx, ddy) = (ax - bx, ay - by);
-                            if ddx * ddx + ddy * ddy <= r2 {
-                                edges.push((a, b));
+    for cx in 0..cells {
+        for cy in 0..cells {
+            let c = cx * cells + cy;
+            let mine = &members[off[c] as usize..off[c + 1] as usize];
+            if mine.is_empty() {
+                continue;
+            }
+            for dx in -1..=1i64 {
+                for dy in -1..=1i64 {
+                    let (ox, oy) = (cx as i64 + dx, cy as i64 + dy);
+                    if ox < 0 || oy < 0 || ox >= cells as i64 || oy >= cells as i64 {
+                        continue;
+                    }
+                    let oc = (ox as usize) * cells + oy as usize;
+                    let other = &members[off[oc] as usize..off[oc + 1] as usize];
+                    for &a in mine {
+                        for &b in other {
+                            if a < b {
+                                let (ax, ay) = pts[a as usize];
+                                let (bx, by) = pts[b as usize];
+                                let (ddx, ddy) = (ax - bx, ay - by);
+                                if ddx * ddx + ddy * ddy <= r2 {
+                                    edges.push((a, b));
+                                }
                             }
                         }
                     }
@@ -132,6 +161,33 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let g = geometric(20, 2.0, &mut rng);
         assert_eq!(g.edge_count(), 190);
+    }
+
+    #[test]
+    fn tiny_radius_stays_bounded() {
+        // A radius of 1e-6 would naively make a 10¹²-cell grid; the
+        // O(√n) side clamp must keep the build cheap and still exact.
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts: Vec<(f64, f64)> = (0..200)
+            .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+            .collect();
+        let g = geometric_from_points(&pts, 1e-6);
+        assert_eq!(g.edge_count(), 0);
+        // And with a clamped-but-active radius the result still matches
+        // the brute-force definition.
+        let r = 0.02;
+        let fast = geometric_from_points(&pts, r);
+        let mut brute = Vec::new();
+        for i in 0..pts.len() as u32 {
+            for j in (i + 1)..pts.len() as u32 {
+                let (ax, ay) = pts[i as usize];
+                let (bx, by) = pts[j as usize];
+                if (ax - bx).powi(2) + (ay - by).powi(2) <= r * r {
+                    brute.push((i, j));
+                }
+            }
+        }
+        assert_eq!(fast, CsrGraph::from_edges(pts.len(), &brute));
     }
 
     #[test]

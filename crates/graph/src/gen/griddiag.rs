@@ -1,0 +1,126 @@
+//! Grids with diagonals (Moore neighbourhoods) in two and three
+//! dimensions.
+//!
+//! The 4-neighbour [`grid`](super::grid) keeps conflict footprints
+//! minimal; mesh-refinement and stencil workloads conflict across
+//! diagonals too. These generators connect every pair of cells at
+//! Chebyshev distance 1 — degree ≤ 8 in 2-D, ≤ 26 in 3-D — and are
+//! fully deterministic, so they make reproducible million-node inputs
+//! whose partition structure (BFS-grown blocks) is near-ideal.
+
+use crate::{CsrGraph, NodeId};
+
+/// `rows × cols` 8-neighbour grid (king-move adjacency, open
+/// boundary): the 4-neighbour grid plus both diagonals.
+pub fn grid2d_diag(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows
+        .checked_mul(cols)
+        .expect("grid node count overflows usize");
+    assert!(n <= u32::MAX as usize, "grid too large for u32 node ids");
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut canon = Vec::with_capacity(4 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                canon.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                if c > 0 {
+                    canon.push((id(r, c), id(r + 1, c - 1)));
+                }
+                canon.push((id(r, c), id(r + 1, c)));
+                if c + 1 < cols {
+                    canon.push((id(r, c), id(r + 1, c + 1)));
+                }
+            }
+        }
+    }
+    canon.sort_unstable();
+    CsrGraph::from_sorted_unique_edges(n, &canon)
+}
+
+/// `nx × ny × nz` 26-neighbour grid (3-D Moore neighbourhood, open
+/// boundary). Node `(x, y, z)` has id `(z·ny + y)·nx + x`.
+pub fn grid3d_diag(nx: usize, ny: usize, nz: usize) -> CsrGraph {
+    let n = nx
+        .checked_mul(ny)
+        .and_then(|p| p.checked_mul(nz))
+        .expect("grid node count overflows usize");
+    assert!(n <= u32::MAX as usize, "grid too large for u32 node ids");
+    let id = |x: usize, y: usize, z: usize| ((z * ny + y) * nx + x) as NodeId;
+    // The 13 deltas with lexicographically positive (dz, dy, dx) cover
+    // each unordered Chebyshev-1 pair exactly once.
+    let mut deltas = Vec::with_capacity(13);
+    for dz in 0..=1i64 {
+        for dy in -1..=1i64 {
+            for dx in -1..=1i64 {
+                if (dz, dy, dx) > (0, 0, 0) {
+                    deltas.push((dx, dy, dz));
+                }
+            }
+        }
+    }
+    let mut canon = Vec::with_capacity(13 * n);
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                for &(dx, dy, dz) in &deltas {
+                    let (tx, ty, tz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                    if tx < 0 || ty < 0 || tz < 0 {
+                        continue;
+                    }
+                    let (tx, ty, tz) = (tx as usize, ty as usize, tz as usize);
+                    if tx >= nx || ty >= ny || tz >= nz {
+                        continue;
+                    }
+                    canon.push((id(x, y, z), id(tx, ty, tz)));
+                }
+            }
+        }
+    }
+    canon.sort_unstable();
+    CsrGraph::from_sorted_unique_edges(n, &canon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConflictGraph;
+
+    #[test]
+    fn grid2d_counts_and_degrees() {
+        let g = grid2d_diag(4, 5);
+        assert_eq!(g.node_count(), 20);
+        // Horizontal 4·4 + vertical 3·5 + 2 diagonal families 3·4 each.
+        assert_eq!(g.edge_count(), 16 + 15 + 12 + 12);
+        assert_eq!(g.degree(0), 3); // corner
+        assert_eq!(g.degree(1), 5); // boundary
+        assert_eq!(g.degree(6), 8); // interior
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn grid2d_degenerate() {
+        assert_eq!(grid2d_diag(1, 6).edge_count(), 5); // path: no diagonals
+        assert_eq!(grid2d_diag(0, 9).node_count(), 0);
+        // 2×2 with diagonals is K4.
+        assert_eq!(grid2d_diag(2, 2).edge_count(), 6);
+    }
+
+    #[test]
+    fn grid3d_counts_and_degrees() {
+        let g = grid3d_diag(3, 3, 3);
+        assert_eq!(g.node_count(), 27);
+        assert_eq!(g.degree(13), 26); // centre sees everything
+        for v in 0..27 {
+            assert!(g.degree(v) >= 7); // corners see their 2×2×2 block
+        }
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn grid3d_flat_is_grid2d() {
+        // A 1-deep 3-D grid must equal the 2-D Moore grid.
+        assert_eq!(grid3d_diag(5, 4, 1), grid2d_diag(4, 5));
+    }
+}

@@ -11,21 +11,31 @@
 //! | grid / torus meshes | unfriendly-seating setting | [`grid`], [`torus`] |
 //! | preferential attachment | skewed-degree stress | [`preferential_attachment`] |
 //! | random geometric (unit square) | spatial conflict footprints | [`geometric`] |
+//! | R-MAT / Kronecker | million-node skewed scale inputs | [`rmat`], [`rmat_with`] |
+//! | grid with diagonals (2-D/3-D Moore) | million-node mesh scale inputs | [`grid2d_diag`], [`grid3d_diag`] |
+//! | road-network-like (mesh + highway hierarchy) | million-node sparse scale inputs | [`road_like`] |
 //!
-//! Every randomized generator takes an explicit RNG so experiments are
+//! Every randomized generator takes an explicit RNG (or, for the
+//! scale generators, an explicit `u64` seed) so experiments are
 //! reproducible from a seed.
 
 mod cliques;
 mod geometric;
+mod griddiag;
 mod mesh;
 mod pref;
 mod random;
+mod rmat;
+mod roadnet;
 
 pub use cliques::{clique_trap, clique_union, cliques_plus_isolated, complete};
 pub use geometric::{geometric, geometric_from_points, radius_for_degree};
+pub use griddiag::{grid2d_diag, grid3d_diag};
 pub use mesh::{grid, torus};
 pub use pref::preferential_attachment;
 pub use random::{gnm, gnp, random_with_avg_degree};
+pub use rmat::{rmat, rmat_with, RMAT_GRAPH500};
+pub use roadnet::road_like;
 
 #[cfg(test)]
 mod tests {
@@ -51,6 +61,10 @@ mod tests {
             torus(8, 8),
             preferential_attachment(100, 3, &mut rng),
             geometric(100, 0.15, &mut rng),
+            rmat(7, 4, 11),
+            grid2d_diag(9, 11),
+            grid3d_diag(4, 5, 6),
+            road_like(120, 11),
         ];
         for g in graphs {
             // No self-loops / duplicates possible by construction of

@@ -1,0 +1,113 @@
+//! Road-network-like graphs: a jittered local mesh plus multi-level
+//! highway shortcuts.
+//!
+//! Real road networks are almost planar with degree ≈ 2–4, but carry a
+//! hierarchy of progressively sparser long-range links (arterials,
+//! highways) that collapse the diameter. This generator reproduces
+//! that shape deterministically in O(n): nodes sit on a √n × √n street
+//! grid whose local edges are randomly thinned (dead ends, irregular
+//! blocks), and every level-ℓ junction (grid positions divisible by
+//! 4^ℓ) gains shortcut edges spanning 4^ℓ blocks.
+
+use crate::{CsrGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Road-network-like graph on `n` nodes. Same `(n, seed)` ⇒
+/// byte-identical CSR.
+///
+/// Nodes are laid out row-major on a `side × side` grid with
+/// `side = ⌈√n⌉`; ids ≥ `n` simply don't exist, so the last row may be
+/// ragged. Local street edges (right/down, occasionally diagonal) are
+/// kept with fixed probabilities; the highway hierarchy is
+/// deterministic in the layout.
+pub fn road_like(n: usize, seed: u64) -> CsrGraph {
+    assert!(n <= u32::MAX as usize, "too many nodes for u32 node ids");
+    if n == 0 {
+        return CsrGraph::edgeless(0);
+    }
+    let side = (n as f64).sqrt().ceil() as usize;
+    let id = |r: usize, c: usize| r * side + c;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut canon: Vec<(NodeId, NodeId)> = Vec::with_capacity(2 * n + n / 4);
+    let push = |canon: &mut Vec<(NodeId, NodeId)>, a: usize, b: usize| {
+        if a < n && b < n {
+            let (a, b) = (a as NodeId, b as NodeId);
+            canon.push(if a < b { (a, b) } else { (b, a) });
+        }
+    };
+    // Local streets. The RNG is consumed in a fixed per-node order so
+    // the build is reproducible regardless of which edges survive.
+    for r in 0..side {
+        for c in 0..side {
+            let u = id(r, c);
+            if u >= n {
+                continue;
+            }
+            let (keep_right, keep_down, diag): (f64, f64, f64) =
+                (rng.random(), rng.random(), rng.random());
+            if c + 1 < side && keep_right < 0.92 {
+                push(&mut canon, u, id(r, c + 1));
+            }
+            if r + 1 < side && keep_down < 0.92 {
+                push(&mut canon, u, id(r + 1, c));
+            }
+            if r + 1 < side && c + 1 < side && diag < 0.15 {
+                push(&mut canon, u, id(r + 1, c + 1));
+            }
+        }
+    }
+    // Highway hierarchy: level-ℓ junctions every 4^ℓ blocks, linked to
+    // the next junction right and down at the same level.
+    let mut step = 4usize;
+    while step < side {
+        for r in (0..side).step_by(step) {
+            for c in (0..side).step_by(step) {
+                if c + step < side {
+                    push(&mut canon, id(r, c), id(r, c + step));
+                }
+                if r + step < side {
+                    push(&mut canon, id(r, c), id(r + step, c));
+                }
+            }
+        }
+        step *= 4;
+    }
+    canon.sort_unstable();
+    canon.dedup();
+    CsrGraph::from_sorted_unique_edges(n, &canon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConflictGraph;
+
+    #[test]
+    fn seed_determinism() {
+        assert_eq!(road_like(5000, 3), road_like(5000, 3));
+        assert_ne!(road_like(5000, 3), road_like(5000, 4));
+    }
+
+    #[test]
+    fn road_shape() {
+        let g = road_like(10_000, 1);
+        assert_eq!(g.node_count(), 10_000);
+        // Street-grid density: ≈ 2·0.92 + 0.15 surviving edges per
+        // node, i.e. average degree ≈ 4, plus a sliver of highways.
+        let avg = g.average_degree();
+        assert!((3.5..=4.6).contains(&avg), "avg degree {avg}");
+        // The hierarchy makes junction hubs but no power-law monsters:
+        // streets cap degree at 8, each highway level adds ≤ 4.
+        let max = g.max_degree();
+        assert!(max > 6 && max <= 24, "max degree {max}");
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(road_like(0, 9).node_count(), 0);
+        assert_eq!(road_like(1, 9).edge_count(), 0);
+        let g = road_like(7, 9); // ragged last row
+        assert_eq!(g.node_count(), 7);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the scale-harness generators (R-MAT, diagonal
+//! grids, road-network-like): seed determinism, structural simplicity,
+//! exact count formulas, degree bounds, and the R-MAT skew that the
+//! uniform families must *not* have.
+
+use optpar_graph::{gen, ConflictGraph, CsrGraph};
+use proptest::prelude::*;
+
+/// Structural sanity every generator must guarantee: neighbour lists
+/// strictly sorted (no duplicate edges), no self-loops, symmetric
+/// adjacency, degree sum = 2|E|.
+fn assert_simple(g: &CsrGraph) -> Result<(), TestCaseError> {
+    let n = g.node_count() as u32;
+    let mut degsum = 0usize;
+    for v in 0..n {
+        let nb = g.neighbors_slice(v);
+        prop_assert!(
+            nb.windows(2).all(|w| w[0] < w[1]),
+            "node {v}: unsorted or duplicate neighbours"
+        );
+        for &w in nb {
+            prop_assert_ne!(w, v, "self-loop at {}", v);
+            prop_assert!(g.has_edge(w, v), "asymmetric edge {v}-{w}");
+        }
+        degsum += nb.len();
+    }
+    prop_assert_eq!(degsum, 2 * g.edge_count());
+    Ok(())
+}
+
+proptest! {
+    /// Same `(scale, edge_factor, seed)` ⇒ byte-identical CSR; counts
+    /// are exact on nodes and bounded on edges (self-loops and
+    /// duplicates are dropped).
+    #[test]
+    fn rmat_is_seed_deterministic(scale in 6u32..=10, ef in 1usize..=8, seed in any::<u64>()) {
+        let g1 = gen::rmat(scale, ef, seed);
+        let g2 = gen::rmat(scale, ef, seed);
+        prop_assert_eq!(&g1, &g2);
+        prop_assert_eq!(g1.node_count(), 1usize << scale);
+        prop_assert!(g1.edge_count() <= ef << scale, "more edges than drawn");
+        prop_assert!(g1.edge_count() > 0);
+        assert_simple(&g1)?;
+    }
+
+    /// Different seeds give different graphs (at 2⁹ nodes and ≥ 2⁹
+    /// drawn edges, a collision would be astronomically unlikely).
+    #[test]
+    fn rmat_seeds_decorrelate(seed in any::<u64>()) {
+        let g1 = gen::rmat(9, 4, seed);
+        let g2 = gen::rmat(9, 4, seed.wrapping_add(1));
+        prop_assert_ne!(g1, g2);
+    }
+
+    /// GRAPH500 parameters are skewed (a = 0.57): the top decile of
+    /// nodes by degree must hold well over its uniform 10% share of
+    /// endpoints — the property the partitioner's worst case feeds on.
+    /// The same statistic on the diagonal grid stays near-uniform.
+    #[test]
+    fn rmat_degrees_are_skewed(seed in any::<u64>()) {
+        let top_decile_share = |g: &CsrGraph| {
+            let mut degs: Vec<usize> =
+                (0..g.node_count() as u32).map(|v| g.degree(v)).collect();
+            degs.sort_unstable_by(|a, b| b.cmp(a));
+            let top: usize = degs[..g.node_count() / 10].iter().sum();
+            top as f64 / degs.iter().sum::<usize>().max(1) as f64
+        };
+        let skewed = top_decile_share(&gen::rmat(10, 8, seed));
+        prop_assert!(skewed > 0.3, "top decile holds only {skewed:.3}");
+        let flat = top_decile_share(&gen::grid2d_diag(32, 32));
+        prop_assert!(skewed > 1.5 * flat, "rmat {skewed:.3} vs grid {flat:.3}");
+    }
+
+    /// 2-D Moore grid: exact node and edge counts (horizontal +
+    /// vertical + two diagonal families), degree ≤ 8 everywhere and
+    /// exactly 8 in the interior.
+    #[test]
+    fn grid2d_diag_counts_and_degrees(r in 1usize..=24, c in 1usize..=24) {
+        let g = gen::grid2d_diag(r, c);
+        prop_assert_eq!(g.node_count(), r * c);
+        prop_assert_eq!(
+            g.edge_count(),
+            r * (c - 1) + c * (r - 1) + 2 * (r - 1) * (c - 1)
+        );
+        for v in 0..(r * c) as u32 {
+            prop_assert!(g.degree(v) <= 8);
+        }
+        if r >= 3 && c >= 3 {
+            prop_assert_eq!(g.degree((c + 1) as u32), 8); // interior cell (1,1)
+        }
+        assert_simple(&g)?;
+    }
+
+    /// 3-D Moore grid: the edge count equals the sum over the 13
+    /// canonical deltas of the number of in-bounds placements, and
+    /// degrees stay ≤ 26.
+    #[test]
+    fn grid3d_diag_counts_and_degrees(x in 1usize..=7, y in 1usize..=7, z in 1usize..=7) {
+        let g = gen::grid3d_diag(x, y, z);
+        prop_assert_eq!(g.node_count(), x * y * z);
+        let mut expect = 0usize;
+        for dz in 0..=1i64 {
+            for dy in -1..=1i64 {
+                for dx in -1..=1i64 {
+                    if (dz, dy, dx) > (0, 0, 0) {
+                        expect += x.saturating_sub(dx.unsigned_abs() as usize)
+                            * y.saturating_sub(dy.unsigned_abs() as usize)
+                            * z.saturating_sub(dz.unsigned_abs() as usize);
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(g.edge_count(), expect);
+        for v in 0..(x * y * z) as u32 {
+            prop_assert!(g.degree(v) <= 26);
+        }
+        assert_simple(&g)?;
+    }
+
+    /// Road-network-like: deterministic per `(n, seed)`, simple, with
+    /// the low near-planar degrees of its family (streets cap at 8,
+    /// each highway level adds ≤ 4; sizes here see ≤ 2 levels).
+    #[test]
+    fn road_like_is_deterministic_and_local(n in 1usize..=4000, seed in any::<u64>()) {
+        let g1 = gen::road_like(n, seed);
+        let g2 = gen::road_like(n, seed);
+        prop_assert_eq!(&g1, &g2);
+        prop_assert_eq!(g1.node_count(), n);
+        prop_assert!(g1.max_degree() <= 16, "max degree {}", g1.max_degree());
+        if n >= 1000 {
+            let avg = g1.average_degree();
+            prop_assert!((3.0..=5.0).contains(&avg), "avg degree {avg}");
+        }
+        assert_simple(&g1)?;
+    }
+}

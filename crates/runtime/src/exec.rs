@@ -466,6 +466,12 @@ impl<'a, O: Operator> Executor<'a, O> {
         crate::faults::recover(self.faults.lock()).push(fault);
     }
 
+    /// Retire one task to the dead-letter list (shared by the round
+    /// and pipelined executors).
+    pub(crate) fn push_dead_letter(&self, letter: crate::faults::DeadLetter) {
+        crate::faults::recover(self.dead_letters.lock()).push(letter);
+    }
+
     /// Worker threads still alive in the pool (`None` for inline
     /// execution, which has no threads). Panic containment keeps this
     /// at `workers` even under injected panics.

@@ -73,6 +73,7 @@ pub mod pipelined;
 pub mod pool;
 mod probe;
 pub mod service;
+pub mod shard;
 pub mod stats;
 pub mod store;
 pub mod task;
@@ -95,7 +96,7 @@ pub use faults::{silence_injected_panics, FaultKind, FaultPlan, FaultRecord};
 pub use faults::{DeadLetter, FaultCause, FaultLog, TaskFault, DEFAULT_FAULT_LOG_CAP};
 pub use lock::{ConflictPolicy, LockSpace, Region};
 pub use phase::{Deadline, Phase, PhaseBreakdown, PhaseClock, Stopwatch};
-pub use pipelined::PipelinedConfig;
+pub use pipelined::{Placement, PipelinedConfig};
 pub use pool::WorkerPool;
 #[cfg(feature = "faults")]
 pub use service::ChaosConfig;
@@ -103,6 +104,7 @@ pub use service::{
     serve, JobCx, JobError, JobFn, JobOutput, JobReport, JobService, JobSpec, JobTicket, Rejection,
     ServiceConfig, ServiceStats,
 };
+pub use shard::{ShardMap, SHARD_ALIGN};
 pub use stats::{RoundStats, RunStats};
 pub use store::SpecStore;
 pub use task::{Abort, Operator, TaskCtx};

@@ -60,6 +60,21 @@ const LANE_EPOCH_MASK: u64 = 0x00FF_FFFF;
 /// worker), capping pipelined execution at 255 workers.
 pub const MAX_LANES: usize = 256;
 
+/// Owner words per 64-byte cache line. Sharded stores round their
+/// shard bases to multiples of this (in lock words) and declare their
+/// regions with [`LockSpaceBuilder::region_aligned`], so the owner
+/// words of two shards never share a cache line.
+pub const LINE_WORDS: usize = 8;
+
+/// One cache line of owner words. The backing array is allocated as
+/// lines, not words, so the first word of the space — and hence every
+/// line-multiple boundary inside an aligned region — sits on a real
+/// 64-byte boundary: intra-shard acquire/release traffic cannot
+/// false-share with a neighbouring shard's words.
+#[derive(Debug)]
+#[repr(C, align(64))]
+struct OwnerLine([AtomicU64; LINE_WORDS]);
+
 /// How a lock collision between two speculative tasks is resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ConflictPolicy {
@@ -139,12 +154,27 @@ impl LockSpaceBuilder {
         r
     }
 
+    /// Reserve `len` lock words whose base index is rounded up to a
+    /// cache-line boundary ([`LINE_WORDS`] words). Because the owner
+    /// array itself is allocated in 64-byte lines, every line-multiple
+    /// offset inside the returned region sits on a true cache-line
+    /// boundary — which is what lets a sharded store guarantee that no
+    /// two shards' lock words share a line. The (≤ 7) skipped words
+    /// belong to no region and are never acquired.
+    pub fn region_aligned(&mut self, len: usize) -> Region {
+        self.total = self.total.next_multiple_of(LINE_WORDS);
+        self.region(len)
+    }
+
     /// Freeze into an immutable lock space.
     pub fn build(self) -> LockSpace {
-        let owners = (0..self.total).map(|_| AtomicU64::new(0)).collect();
+        let lines = (0..self.total.div_ceil(LINE_WORDS))
+            .map(|_| OwnerLine(Default::default()))
+            .collect();
         let lanes = (0..MAX_LANES).map(|_| AtomicU64::new(0)).collect();
         LockSpace {
-            owners,
+            lines,
+            words: self.total,
             epoch: AtomicU64::new(0),
             lanes,
             regions: self.regions,
@@ -154,6 +184,10 @@ impl LockSpaceBuilder {
             contended: AtomicU64::new(0),
             #[cfg(feature = "obs")]
             cas_retries: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            shard_acquires: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            shard_crossings: AtomicU64::new(0),
         }
     }
 }
@@ -161,7 +195,12 @@ impl LockSpaceBuilder {
 /// The global table of epoch-stamped abstract-lock owner words.
 #[derive(Debug)]
 pub struct LockSpace {
-    owners: Box<[AtomicU64]>,
+    /// Owner words, allocated as 64-byte cache lines (see
+    /// [`OwnerLine`]); the flat word view is [`Self::owners`].
+    lines: Box<[OwnerLine]>,
+    /// Number of live lock words (the tail of the last line is
+    /// padding: always zero, never part of any region).
+    words: usize,
     /// Monotonic round counter; its low 24 bits are lane 0's epoch.
     epoch: AtomicU64,
     /// Per-lane epoch counters for lanes `1..MAX_LANES` (entry 0 is
@@ -181,6 +220,15 @@ pub struct LockSpace {
     /// owner word changed underfoot (feature `obs`).
     #[cfg(feature = "obs")]
     cas_retries: AtomicU64,
+    /// Total acquisitions by tasks that declared a home shard on a
+    /// sharded store (feature `obs`; statistic, `Relaxed` suffices).
+    #[cfg(feature = "obs")]
+    shard_acquires: AtomicU64,
+    /// The subset of `shard_acquires` that landed in a different shard
+    /// than the acquiring task's home — the cross-shard traffic the
+    /// partitioner exists to minimize (feature `obs`).
+    #[cfg(feature = "obs")]
+    shard_crossings: AtomicU64,
 }
 
 impl LockSpace {
@@ -191,12 +239,12 @@ impl LockSpace {
 
     /// Total number of lock words.
     pub fn len(&self) -> usize {
-        self.owners.len()
+        self.words
     }
 
     /// Is the space empty?
     pub fn is_empty(&self) -> bool {
-        self.owners.is_empty()
+        self.words == 0
     }
 
     /// The declared regions, in declaration order.
@@ -207,7 +255,14 @@ impl LockSpace {
     /// The raw owner words (used by [`crate::task::TaskCtx`]).
     #[inline]
     pub(crate) fn owners(&self) -> &[AtomicU64] {
-        &self.owners
+        // SAFETY: `OwnerLine` is `repr(C, align(64))` around exactly
+        // `LINE_WORDS` `AtomicU64`s — 64 bytes with no padding — so
+        // the boxed lines form one contiguous array of
+        // `lines.len() · LINE_WORDS ≥ words` words; the first `words`
+        // of them are the live lock words.
+        unsafe {
+            std::slice::from_raw_parts(self.lines.as_ptr().cast::<AtomicU64>(), self.words)
+        }
     }
 
     /// The current epoch counter (monotonic; one step per round).
@@ -270,13 +325,13 @@ impl LockSpace {
         #[cfg(feature = "checker")]
         self.audit.assert_epoch_step(old, new);
         if new & LANE_EPOCH_MASK == 0 {
-            for w in self.owners.iter() {
+            for w in self.owners().iter() {
                 w.store(0, Ordering::Release);
             }
             #[cfg(feature = "checker")]
             self.audit.assert_wrap_swept(
                 new,
-                self.owners
+                self.owners()
                     .iter()
                     .enumerate()
                     .map(|(i, w)| (i, w.load(Ordering::Acquire)))
@@ -307,7 +362,7 @@ impl LockSpace {
         let old = self.lanes[lane].fetch_add(1, Ordering::AcqRel);
         if old.wrapping_add(1) & LANE_EPOCH_MASK == 0 {
             let lane = lane as u64;
-            for w in self.owners.iter() {
+            for w in self.owners().iter() {
                 loop {
                     let cur = w.load(Ordering::Acquire);
                     if cur >> (EPOCH_SHIFT + LANE_SHIFT) != lane {
@@ -355,10 +410,33 @@ impl LockSpace {
         self.cas_retries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Lifetime shard-locality statistics:
+    /// `(shard_homed_acquires, cross_shard_acquires)`. Only tasks
+    /// whose first acquisition hit a sharded store contribute.
+    #[cfg(feature = "obs")]
+    pub fn shard_counts(&self) -> (u64, u64) {
+        (
+            self.shard_acquires.load(Ordering::Relaxed),
+            self.shard_crossings.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Count one shard-homed acquisition, `cross` if it left the
+    /// acquiring task's home shard (`obs` builds only; the caller is
+    /// compiled out otherwise).
+    #[cfg(feature = "obs")]
+    #[inline]
+    pub(crate) fn note_shard_acquire(&self, cross: bool) {
+        self.shard_acquires.fetch_add(1, Ordering::Relaxed);
+        if cross {
+            self.shard_crossings.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Current owner of lock `l`: `None` if free (including words
     /// whose stamping lane has moved on), else the owning slot.
     pub fn owner_of(&self, l: usize) -> Option<usize> {
-        let w = self.owners[l].load(Ordering::Acquire);
+        let w = self.owners()[l].load(Ordering::Acquire);
         if self.word_is_held(w) {
             Some((w & OWNER_MASK) as usize - 1)
         } else {
@@ -374,7 +452,7 @@ impl LockSpace {
     /// construction — the scan exists for tests and debug assertions,
     /// not for the hot path (which needs no check at all).
     pub fn check_all_free(&self) -> Result<(), usize> {
-        for (l, w) in self.owners.iter().enumerate() {
+        for (l, w) in self.owners().iter().enumerate() {
             if self.word_is_held(w.load(Ordering::Acquire)) {
                 return Err(l);
             }
@@ -577,6 +655,31 @@ mod tests {
         let r = b.region(3);
         let _ = b.build();
         let _ = r.lock_of(3);
+    }
+
+    #[test]
+    fn aligned_regions_start_on_cache_lines() {
+        let mut b = LockSpace::builder();
+        let r0 = b.region(3); // deliberately misalign the cursor
+        let r1 = b.region_aligned(20);
+        let r2 = b.region_aligned(5);
+        let space = b.build();
+        assert_eq!(r0.base(), 0);
+        assert_eq!(r1.base(), 8);
+        assert_eq!(r2.base(), 32);
+        assert_eq!(space.len(), 37);
+        // The word array itself starts on a 64-byte boundary, so every
+        // line-multiple base is absolutely 64-byte aligned.
+        let addr = space.owners().as_ptr() as usize;
+        assert_eq!(addr % 64, 0, "owner words must be cache-line aligned");
+        for r in [r1, r2] {
+            let base_addr = &space.owners()[r.base()] as *const _ as usize;
+            assert_eq!(base_addr % 64, 0, "region base must start a line");
+        }
+        // Skipped alignment-gap words exist but belong to no region
+        // and read free forever.
+        assert!(space.check_all_free().is_ok());
+        assert_eq!(space.owner_of(5), None);
     }
 
     #[test]
@@ -860,7 +963,7 @@ mod tests {
         // Stale words were physically swept, not merely out-tagged:
         // a zero tag is the one value a lazy (unswept) expiry scheme
         // would alias, so the sweep must leave literal zeros behind.
-        for w in space.owners.iter() {
+        for w in space.owners().iter() {
             assert_eq!(w.load(Ordering::Acquire), 0);
         }
         assert_eq!(space.owner_of(0), None);
@@ -891,13 +994,13 @@ mod tests {
             acquire(&space, &st, ConflictPolicy::FirstWins, 0, 0),
             Ok(true)
         );
-        let stamped = space.owners[0].load(Ordering::Acquire);
+        let stamped = space.owners()[0].load(Ordering::Acquire);
         assert_ne!(stamped, 0);
 
         space.advance_epoch();
 
         // Word untouched, yet the lock reads free and is reusable.
-        assert_eq!(space.owners[0].load(Ordering::Acquire), stamped);
+        assert_eq!(space.owners()[0].load(Ordering::Acquire), stamped);
         assert_eq!(space.owner_of(0), None);
         assert!(space.check_all_free().is_ok());
         let st = states(1);
@@ -1084,7 +1187,7 @@ mod tests {
         // physically swept (a zero tag is the one value lazy expiry
         // would alias).
         assert_eq!(space.lanes[3].load(Ordering::Acquire) & LANE_EPOCH_MASK, 0);
-        assert_eq!(space.owners[0].load(Ordering::Acquire), 0);
+        assert_eq!(space.owners()[0].load(Ordering::Acquire), 0);
         // The other lanes' words are physically untouched and still held.
         assert_eq!(space.owner_of(1), Some(1));
         assert_eq!(space.owner_of(2), Some(2));

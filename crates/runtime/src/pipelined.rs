@@ -27,8 +27,15 @@
 //!   forward progress.
 //!
 //! Aborted tasks release their own (tag-scoped) locks immediately and
-//! re-queue on the worker's home shard with a bumped retry count;
-//! spawned tasks are distributed round-robin across the shards.
+//! re-queue with a bumped retry count — on the worker's home shard by
+//! default, or on the task's affine shard when the run has a
+//! [`Placement`]; spawned tasks are distributed round-robin (or by the
+//! placement) across the shards. A task that *faults* again while
+//! already at `retries ≥` [`ExecutorConfig::dead_letter_budget`] is
+//! retired to the dead-letter list exactly as in round mode, so the
+//! K + 1 launch bound holds in both modes.
+//!
+//! [`ExecutorConfig::dead_letter_budget`]: crate::exec::ExecutorConfig::dead_letter_budget
 //!
 //! Fault injection keys on the **batch tag** instead of the (constant)
 //! global epoch: a re-queued task re-rolls its fault draw under a
@@ -97,28 +104,46 @@ struct Counters {
     /// Contained operator panics and injected faults (disjoint from
     /// `aborted`, mirroring [`RoundStats::faulted`]).
     faulted: AtomicUsize,
+    /// Tasks retired past the dead-letter budget (subset of
+    /// `faulted`, mirroring round mode's accounting).
+    dead_lettered: AtomicUsize,
 }
+
+/// A task-placement policy for pipelined mode: maps a task to the
+/// worker shard that should execute it (wrapped modulo the worker
+/// count). Partition-affine placement — tasks of one graph partition
+/// pinned to one worker — keeps each worker inside its own lock shard,
+/// which is what makes sharded [`SpecStore`](crate::store::SpecStore)
+/// layouts pay off at scale.
+pub type Placement<'p, T> = &'p (dyn Fn(&T) -> usize + Sync);
 
 /// The pending-task multiset sharded one queue per worker.
 ///
 /// Workers drain their own shard and steal from the others only when
-/// it runs dry; spawned tasks are placed round-robin so a spawn-heavy
-/// worker does not monopolize its own future work. Each shard keeps
-/// its own `seq` counter — stamps are only a tie-break within a drawn
-/// prefix, so cross-shard collisions are harmless.
+/// it runs dry; spawned tasks are placed by the run's [`Placement`]
+/// (round-robin when absent) so a spawn-heavy worker does not
+/// monopolize its own future work. Each shard keeps its own `seq`
+/// counter — stamps are only a tie-break within a drawn prefix, so
+/// cross-shard collisions are harmless.
 struct ShardedWorkSet<T> {
     shards: Box<[Mutex<WorkSet<T>>]>,
-    /// Round-robin placement cursor for spawned tasks.
+    /// Round-robin placement cursor for spawned tasks (no-placement
+    /// default).
     place: AtomicUsize,
 }
 
 impl<T> ShardedWorkSet<T> {
-    /// Shard `ws`'s entries round-robin across `n` per-worker queues
-    /// (retry counts and enqueue stamps ride along).
-    fn new(ws: &mut WorkSet<T>, n: usize) -> Self {
+    /// Shard `ws`'s entries across `n` per-worker queues — by `place`
+    /// when given, round-robin otherwise (retry counts and enqueue
+    /// stamps ride along).
+    fn new(ws: &mut WorkSet<T>, n: usize, place: Option<Placement<'_, T>>) -> Self {
         let mut shards: Vec<WorkSet<T>> = (0..n).map(|_| WorkSet::new()).collect();
         for (i, e) in ws.take_entries().into_iter().enumerate() {
-            if let Some(shard) = shards.get_mut(i % n.max(1)) {
+            let at = match place {
+                Some(p) => p(&e.task),
+                None => i,
+            };
+            if let Some(shard) = shards.get_mut(at % n.max(1)) {
                 shard.push_entry(e);
             }
         }
@@ -159,11 +184,17 @@ impl<T> ShardedWorkSet<T> {
         Vec::new()
     }
 
-    /// Re-queue an aborted or faulted entry on its worker's home
-    /// shard, retry count bumped (feeding the aging prefix on
-    /// redraw).
-    fn requeue(&self, home: usize, e: Entry<T>) {
-        if let Some(shard) = self.shard(home) {
+    /// Re-queue an aborted or faulted entry, retry count bumped
+    /// (feeding the aging prefix on redraw). With a placement the
+    /// entry returns to its *affine* shard — not the worker that
+    /// happened to steal-execute it — so retries stay shard-local;
+    /// without one it homes on the executing worker's shard.
+    fn requeue(&self, home: usize, e: Entry<T>, place: Option<Placement<'_, T>>) {
+        let at = match place {
+            Some(p) => p(&e.task),
+            None => home,
+        };
+        if let Some(shard) = self.shard(at) {
             recover(shard.lock()).push_entry(Entry {
                 retries: e.retries + 1,
                 ..e
@@ -171,10 +202,14 @@ impl<T> ShardedWorkSet<T> {
         }
     }
 
-    /// Distribute spawned tasks round-robin across all shards.
-    fn spawn(&self, tasks: Vec<T>) {
+    /// Distribute spawned tasks across all shards — by `place` when
+    /// given, round-robin otherwise.
+    fn spawn(&self, tasks: Vec<T>, place: Option<Placement<'_, T>>) {
         for t in tasks {
-            let at = self.place.fetch_add(1, Ordering::AcqRel);
+            let at = match place {
+                Some(p) => p(&t),
+                None => self.place.fetch_add(1, Ordering::AcqRel),
+            };
             if let Some(shard) = self.shard(at) {
                 recover(shard.lock()).push(t);
             }
@@ -211,6 +246,28 @@ impl<O: Operator> Executor<'_, O> {
         cfg: PipelinedConfig,
         rng: &mut R,
     ) -> RunStats {
+        self.run_pipelined_placed(ws, ctl, cfg, rng, None)
+    }
+
+    /// [`Executor::run_pipelined`] with an explicit task→worker
+    /// [`Placement`]: initial work, spawns, and re-queues all land on
+    /// the shard the placement names (wrapped modulo the worker
+    /// count), instead of round-robin. With a partition-affine
+    /// placement each worker drains tasks of one graph partition and —
+    /// over a sharded store — stays inside its own lock and data
+    /// slabs; work stealing still kicks in when a shard runs dry, so
+    /// drain and starvation-avoidance guarantees are unchanged.
+    ///
+    /// # Panics
+    /// As [`Executor::run_pipelined`].
+    pub fn run_pipelined_placed<C: Controller + Send, R: Rng + ?Sized>(
+        &self,
+        ws: &mut WorkSet<O::Task>,
+        ctl: &mut C,
+        cfg: PipelinedConfig,
+        rng: &mut R,
+        place: Option<Placement<'_, O::Task>>,
+    ) -> RunStats {
         assert!(cfg.window >= 1, "window must be positive");
         assert!(cfg.batch >= 1, "batch must be positive");
         assert_eq!(
@@ -225,6 +282,7 @@ impl<O: Operator> Executor<'_, O> {
             MAX_LANES - 1
         );
         let retry_budget = self.config().retry_budget;
+        let dead_budget = self.config().dead_letter_budget;
         let watchdog = self.config().watchdog_stall;
         let pc = self.phases();
         // Strided slot pool: worker w owns slots
@@ -240,7 +298,7 @@ impl<O: Operator> Executor<'_, O> {
         // empty draw alone is racy (a concurrent batch may still
         // re-queue an abort).
         let live = AtomicUsize::new(ws.len());
-        let shards = ShardedWorkSet::new(ws, workers);
+        let shards = ShardedWorkSet::new(ws, workers, place);
         let target = AtomicUsize::new(ctl.current_m().max(1));
         let done = AtomicBool::new(false);
         let inflight = AtomicUsize::new(0);
@@ -259,6 +317,7 @@ impl<O: Operator> Executor<'_, O> {
             last_committed: usize,
             last_aborted: usize,
             last_faulted: usize,
+            last_dead_lettered: usize,
             /// Consecutive commit-free windows (watchdog input).
             stalled: u32,
             rounds: Vec<RoundStats>,
@@ -268,6 +327,7 @@ impl<O: Operator> Executor<'_, O> {
             last_committed: 0,
             last_aborted: 0,
             last_faulted: 0,
+            last_dead_lettered: 0,
             stalled: 0,
             rounds: Vec::new(),
         });
@@ -275,9 +335,11 @@ impl<O: Operator> Executor<'_, O> {
             let c = counters.committed.load(Ordering::Acquire);
             let a = counters.aborted.load(Ordering::Acquire);
             let f = counters.faulted.load(Ordering::Acquire);
+            let dl = counters.dead_lettered.load(Ordering::Acquire);
             let dc = c - st.last_committed;
             let da = a - st.last_aborted;
             let df = f - st.last_faulted;
+            let ddl = dl - st.last_dead_lettered;
             let launched = dc + da + df;
             if launched == 0 {
                 return;
@@ -285,6 +347,7 @@ impl<O: Operator> Executor<'_, O> {
             st.last_committed = c;
             st.last_aborted = a;
             st.last_faulted = f;
+            st.last_dead_lettered = dl;
             let m = target.load(Ordering::Acquire);
             let r = (da + df) as f64 / launched as f64;
             st.ctl.observe(r, launched);
@@ -328,7 +391,7 @@ impl<O: Operator> Executor<'_, O> {
                 faulted: df,
                 spawned: 0,
                 lock_acquires: 0,
-                dead_lettered: 0,
+                dead_lettered: ddl,
             });
         };
 
@@ -393,7 +456,7 @@ impl<O: Operator> Executor<'_, O> {
                     // requeue arm keeps `live` honest rather than
                     // panicking past containment or leaking the task.
                     let Some(slot_state) = states.get(slot) else {
-                        shards.requeue(w, entry);
+                        shards.requeue(w, entry, place);
                         any_aborted = true;
                         continue;
                     };
@@ -444,7 +507,7 @@ impl<O: Operator> Executor<'_, O> {
                                 let spawned_n = spawned.len();
                                 if spawned_n > 0 {
                                     live.fetch_add(spawned_n, Ordering::AcqRel);
-                                    shards.spawn(spawned);
+                                    shards.spawn(spawned, place);
                                 }
                                 // The committed task leaves the
                                 // system only after its spawns were
@@ -466,7 +529,7 @@ impl<O: Operator> Executor<'_, O> {
                                         acquires: acquires as u32,
                                     }
                                 );
-                                shards.requeue(w, entry);
+                                shards.requeue(w, entry, place);
                                 any_aborted = true;
                             }
                         },
@@ -491,6 +554,26 @@ impl<O: Operator> Executor<'_, O> {
                                     cause: crate::faults::FaultCause::Injected,
                                     detail: "injected spurious abort".to_string(),
                                 });
+                                if entry.retries >= dead_budget {
+                                    // Faulting again at retries ≥ K:
+                                    // retire instead of re-queuing, so
+                                    // an always-faulting task launches
+                                    // at most K + 1 times in this mode
+                                    // too. Leaving `live` is what lets
+                                    // the drain terminate.
+                                    counters.dead_lettered.fetch_add(1, Ordering::AcqRel);
+                                    self.push_dead_letter(crate::faults::DeadLetter {
+                                        epoch: tag,
+                                        slot: Some(slot),
+                                        retries: entry.retries,
+                                        cause: crate::faults::FaultCause::Injected,
+                                        detail: "injected spurious abort".to_string(),
+                                    });
+                                    live.fetch_sub(1, Ordering::AcqRel);
+                                } else {
+                                    shards.requeue(w, entry, place);
+                                    any_aborted = true;
+                                }
                             } else {
                                 counters.aborted.fetch_add(1, Ordering::AcqRel);
                                 obs_emit!(
@@ -500,9 +583,9 @@ impl<O: Operator> Executor<'_, O> {
                                         acquires: acquires as u32,
                                     }
                                 );
+                                shards.requeue(w, entry, place);
+                                any_aborted = true;
                             }
-                            shards.requeue(w, entry);
-                            any_aborted = true;
                         }
                         Err(payload) => {
                             #[cfg(feature = "checker")]
@@ -520,11 +603,23 @@ impl<O: Operator> Executor<'_, O> {
                             self.log_fault(TaskFault {
                                 epoch: tag,
                                 slot: Some(slot),
-                                cause,
-                                detail,
+                                cause: cause.clone(),
+                                detail: detail.clone(),
                             });
-                            shards.requeue(w, entry);
-                            any_aborted = true;
+                            if entry.retries >= dead_budget {
+                                counters.dead_lettered.fetch_add(1, Ordering::AcqRel);
+                                self.push_dead_letter(crate::faults::DeadLetter {
+                                    epoch: tag,
+                                    slot: Some(slot),
+                                    retries: entry.retries,
+                                    cause,
+                                    detail,
+                                });
+                                live.fetch_sub(1, Ordering::AcqRel);
+                            } else {
+                                shards.requeue(w, entry, place);
+                                any_aborted = true;
+                            }
                         }
                     }
                 }
@@ -919,6 +1014,119 @@ mod tests {
             run.rounds.iter().any(|r| r.m > 1),
             "the clamp engaged after, not before, the stall"
         );
+    }
+
+    /// Partition-affine placement: every task pinned to one worker
+    /// still drains, serializes, and (single contended slot per
+    /// placement class) commits conflict-free, because one worker
+    /// executes each class sequentially.
+    #[test]
+    fn placed_run_drains_and_respects_affinity() {
+        let n = 256;
+        let workers = 4;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = RingOp { store: &store, n };
+        let ex = Executor::new(&op, &space, exec_cfg(workers));
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(8);
+        let mut rng = StdRng::seed_from_u64(29);
+        // Contiguous blocks of the ring go to the same worker, so the
+        // only possible conflicts are at the w block seams.
+        let block = n / workers;
+        let place = move |t: &usize| *t / block;
+        let run = ex.run_pipelined_placed(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 32,
+                batch: 4,
+                max_completions: usize::MAX,
+            },
+            &mut rng,
+            Some(&place),
+        );
+        assert!(ws.is_empty());
+        assert_eq!(run.total_committed(), n);
+        assert!(space.check_all_free().is_ok());
+        let mut store = store;
+        assert_eq!(store.snapshot().iter().sum::<i64>(), 0);
+    }
+
+    /// An operator that always panics on one task: with dead-letter
+    /// budget K the task must launch exactly K + 1 times and then
+    /// retire, and the run must still drain.
+    struct PoisonOne<'s> {
+        store: &'s SpecStore<i64>,
+        poison: usize,
+        launches: AtomicUsize,
+    }
+
+    impl Operator for PoisonOne<'_> {
+        type Task = usize;
+        fn execute(&self, &i: &usize, cx: &mut TaskCtx<'_>) -> Result<Vec<usize>, Abort> {
+            if i == self.poison {
+                self.launches.fetch_add(1, Ordering::AcqRel);
+                panic!("poison task {i}");
+            }
+            *cx.write(self.store, i)? += 1;
+            Ok(vec![])
+        }
+    }
+
+    #[test]
+    fn pipelined_dead_letter_bounds_poison_launches() {
+        let n = 64;
+        let k_budget = 3u32;
+        let mut b = LockSpace::builder();
+        let r = b.region(n);
+        let space = b.build();
+        let store = SpecStore::filled(r, n, 0i64);
+        let op = PoisonOne {
+            store: &store,
+            poison: 5,
+            launches: AtomicUsize::new(0),
+        };
+        let ex = Executor::new(
+            &op,
+            &space,
+            ExecutorConfig {
+                workers: 2,
+                policy: ConflictPolicy::FirstWins,
+                dead_letter_budget: k_budget,
+                ..ExecutorConfig::default()
+            },
+        );
+        let mut ws = WorkSet::from_vec((0..n).collect::<Vec<_>>());
+        let mut ctl = FixedController::new(8);
+        let mut rng = StdRng::seed_from_u64(31);
+        let place = move |t: &usize| *t % 2;
+        let run = ex.run_pipelined_placed(
+            &mut ws,
+            &mut ctl,
+            PipelinedConfig {
+                window: 16,
+                batch: 4,
+                max_completions: usize::MAX,
+            },
+            &mut rng,
+            Some(&place),
+        );
+        assert!(ws.is_empty(), "the poison task must not linger");
+        assert_eq!(run.total_committed(), n - 1);
+        assert_eq!(
+            op.launches.load(Ordering::Acquire),
+            k_budget as usize + 1,
+            "dead-letter budget K admits exactly K + 1 launches"
+        );
+        assert_eq!(run.total_dead_lettered(), 1);
+        let letters = ex.take_dead_letters();
+        assert_eq!(letters.len(), 1);
+        assert_eq!(letters[0].retries, k_budget);
+        assert!(letters[0].detail.contains("poison task 5"));
+        assert!(space.check_all_free().is_ok());
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Partition-derived physical layout for sharded stores.
+//!
+//! A [`ShardMap`] turns a k-way node partition (from
+//! `optpar_core::partition` or any other source) into a *physical
+//! permutation*: nodes of the same part become contiguous in memory,
+//! and every shard's slab starts at a physical index that is a
+//! multiple of [`SHARD_ALIGN`] elements. Because `SHARD_ALIGN` is 64,
+//! a shard's byte offset into any `SpecStore<T>` slab is a multiple of
+//! 64 bytes regardless of `size_of::<T>()`, and its abstract-lock
+//! words start on a fresh owner cache line
+//! ([`crate::lock::LINE_WORDS`] divides 64). Workers that stay inside
+//! their own shard therefore never write a cache line that another
+//! shard's workers read — no false sharing on either the data or the
+//! lock words.
+//!
+//! The map is a bijection from *logical* ids (the application's node
+//! ids, `0..n`) onto a padded physical range (`0..padded_len`);
+//! the padding gaps belong to no shard and are never touched.
+//! Applications keep using logical ids everywhere — only
+//! [`SpecStore`](crate::store::SpecStore) and the lock router look
+//! through the permutation.
+
+/// Shard alignment quantum, in elements. Shard slabs start at physical
+/// indices that are multiples of this, which makes their byte offsets
+/// multiples of 64 for every element size and their lock-word offsets
+/// multiples of [`crate::lock::LINE_WORDS`].
+pub const SHARD_ALIGN: usize = 64;
+
+/// A k-way shard layout: logical→physical permutation plus the part
+/// assignment it was built from.
+pub struct ShardMap {
+    k: usize,
+    /// Part id of each logical element.
+    part: Box<[u32]>,
+    /// Physical slot of each logical element.
+    phys: Box<[u32]>,
+    /// First physical slot of each shard (multiple of `SHARD_ALIGN`).
+    bases: Box<[usize]>,
+    /// Element count of each shard.
+    sizes: Box<[usize]>,
+    padded: usize,
+}
+
+impl ShardMap {
+    /// Build the layout from a part assignment (`parts[v] < k` for
+    /// every logical element `v`). Elements keep their relative order
+    /// within a shard, so the permutation is deterministic.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, any part id is out of range, or the padded
+    /// length would overflow `u32` physical indices.
+    pub fn from_parts(parts: &[u32], k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let mut sizes = vec![0usize; k];
+        for &p in parts {
+            assert!((p as usize) < k, "part id {p} out of range for k={k}");
+            sizes[p as usize] += 1;
+        }
+        let mut bases = vec![0usize; k];
+        let mut cursor = 0usize;
+        for s in 0..k {
+            bases[s] = cursor;
+            cursor += sizes[s].next_multiple_of(SHARD_ALIGN);
+        }
+        let padded = cursor;
+        assert!(
+            padded <= u32::MAX as usize,
+            "padded layout ({padded}) exceeds u32 physical indices"
+        );
+        let mut next = bases.clone();
+        let mut phys = vec![0u32; parts.len()];
+        for (v, &p) in parts.iter().enumerate() {
+            phys[v] = next[p as usize] as u32;
+            next[p as usize] += 1;
+        }
+        ShardMap {
+            k,
+            part: parts.into(),
+            phys: phys.into(),
+            bases: bases.into(),
+            sizes: sizes.into(),
+            padded,
+        }
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of logical elements.
+    pub fn len(&self) -> usize {
+        self.part.len()
+    }
+
+    /// Is the layout empty?
+    pub fn is_empty(&self) -> bool {
+        self.part.is_empty()
+    }
+
+    /// Physical capacity including alignment padding. Stores and lock
+    /// regions backing this layout must be sized to this.
+    pub fn padded_len(&self) -> usize {
+        self.padded
+    }
+
+    /// Physical slot of logical element `i`.
+    #[inline]
+    pub fn phys(&self, i: usize) -> usize {
+        self.phys[i] as usize
+    }
+
+    /// Shard (= part) of logical element `i`.
+    #[inline]
+    pub fn part_of(&self, i: usize) -> usize {
+        self.part[i] as usize
+    }
+
+    /// First physical slot of shard `s`.
+    pub fn shard_base(&self, s: usize) -> usize {
+        self.bases[s]
+    }
+
+    /// Element count of shard `s`.
+    pub fn shard_size(&self, s: usize) -> usize {
+        self.sizes[s]
+    }
+}
+
+impl std::fmt::Debug for ShardMap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardMap")
+            .field("k", &self.k)
+            .field("len", &self.part.len())
+            .field("padded_len", &self.padded)
+            .field("sizes", &self.sizes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_a_bijection_onto_shard_slabs() {
+        // 10 elements round-robin over 3 parts.
+        let parts: Vec<u32> = (0..10u32).map(|v| v % 3).collect();
+        let m = ShardMap::from_parts(&parts, 3);
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.k(), 3);
+        // Each shard slab is contiguous, in logical order, at its base.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..10 {
+            let p = m.part_of(v);
+            let ph = m.phys(v);
+            assert!(ph >= m.shard_base(p));
+            assert!(ph < m.shard_base(p) + m.shard_size(p));
+            assert!(seen.insert(ph), "physical slot {ph} assigned twice");
+        }
+        // Logical order preserved within a shard.
+        assert!(m.phys(0) < m.phys(3));
+        assert!(m.phys(3) < m.phys(6));
+    }
+
+    #[test]
+    fn bases_are_aligned_and_padding_is_counted() {
+        let parts: Vec<u32> = (0..200u32).map(|v| (v / 70).min(2)).collect();
+        let m = ShardMap::from_parts(&parts, 3);
+        assert_eq!(m.shard_size(0), 70);
+        assert_eq!(m.shard_size(1), 70);
+        assert_eq!(m.shard_size(2), 60);
+        for s in 0..3 {
+            assert_eq!(m.shard_base(s) % SHARD_ALIGN, 0);
+        }
+        // 70 → 128, 70 → 128, 60 → 64.
+        assert_eq!(m.padded_len(), 128 + 128 + 64);
+    }
+
+    #[test]
+    fn empty_shards_are_tolerated() {
+        let parts = vec![2u32, 2, 2];
+        let m = ShardMap::from_parts(&parts, 4);
+        assert_eq!(m.shard_size(0), 0);
+        assert_eq!(m.shard_size(3), 0);
+        assert_eq!(m.padded_len(), 64);
+        assert_eq!(m.phys(0), m.shard_base(2));
+    }
+
+    #[test]
+    fn empty_layout() {
+        let m = ShardMap::from_parts(&[], 2);
+        assert_eq!(m.len(), 0);
+        assert!(m.is_empty());
+        assert_eq!(m.padded_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_part_panics() {
+        let _ = ShardMap::from_parts(&[0, 3], 3);
+    }
+}

@@ -18,14 +18,23 @@
 //! of capacity is a panic, not UB.
 
 use crate::lock::Region;
+use crate::shard::ShardMap;
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A shared, lock-protected array of `T`.
 pub struct SpecStore<T> {
     region: Region,
     slots: Box<[UnsafeCell<T>]>,
     live: AtomicUsize,
+    /// Partition-derived physical layout (`None` = identity). When
+    /// present, logical index `i` lives at physical slot
+    /// `shard.phys(i)` and is protected by the lock at the same
+    /// physical offset, so a shard's data and lock words are
+    /// contiguous, cache-line-aligned slabs. The public API stays
+    /// logical throughout.
+    shard: Option<Arc<ShardMap>>,
     /// Checker builds count every raw slot-pointer handout, so audits
     /// can reconcile traced accesses against actual data touches (one
     /// `slot_ptr` call per `TaskCtx::read`/`TaskCtx::write`).
@@ -61,6 +70,45 @@ impl<T> SpecStore<T> {
             region,
             slots: init.into_iter().map(UnsafeCell::new).collect(),
             live: AtomicUsize::new(live),
+            shard: None,
+            #[cfg(feature = "checker")]
+            raw_accesses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Create a store laid out by `map`: logical element `i` of `init`
+    /// is placed at physical slot `map.phys(i)`, alignment gaps are
+    /// filled with clones of `pad` and never addressed. The region must
+    /// span the padded capacity (allocate it with
+    /// [`LockSpaceBuilder::region_aligned`](crate::lock::LockSpaceBuilder::region_aligned)
+    /// so shard lock slabs keep their cache-line alignment).
+    ///
+    /// Sharded stores are fixed-size: [`SpecStore::alloc`] panics on
+    /// them, because a fresh slot has no home shard.
+    ///
+    /// # Panics
+    /// Panics unless `init.len() == map.len()` and
+    /// `region.len() == map.padded_len()`.
+    pub fn new_sharded(region: Region, init: Vec<T>, pad: T, map: Arc<ShardMap>) -> Self
+    where
+        T: Clone,
+    {
+        assert_eq!(init.len(), map.len(), "one value per logical element");
+        assert_eq!(
+            region.len(),
+            map.padded_len(),
+            "region must span the padded capacity"
+        );
+        let mut slots: Vec<T> = vec![pad; map.padded_len()];
+        for (i, v) in init.into_iter().enumerate() {
+            slots[map.phys(i)] = v;
+        }
+        let live = map.len();
+        SpecStore {
+            region,
+            slots: slots.into_iter().map(UnsafeCell::new).collect(),
+            live: AtomicUsize::new(live),
+            shard: Some(map),
             #[cfg(feature = "checker")]
             raw_accesses: AtomicUsize::new(0),
         }
@@ -96,6 +144,39 @@ impl<T> SpecStore<T> {
         self.region
     }
 
+    /// The shard layout, if this store is sharded.
+    pub fn shard_map(&self) -> Option<&Arc<ShardMap>> {
+        self.shard.as_ref()
+    }
+
+    /// Physical slot of logical index `i` (identity when unsharded).
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        match &self.shard {
+            Some(m) => m.phys(i),
+            None => i,
+        }
+    }
+
+    /// Global lock index protecting logical slot `i`. This — not
+    /// `region().lock_of(i)` — is the routing every lock/read/write
+    /// must use: on a sharded store the protecting lock sits at the
+    /// *physical* offset, inside the shard's lock slab.
+    #[inline]
+    pub fn lock_of(&self, i: usize) -> usize {
+        self.region.lock_of(self.phys(i))
+    }
+
+    /// Shard of logical slot `i` (`0` when unsharded: the whole store
+    /// is one shard).
+    #[inline]
+    pub fn shard_of(&self, i: usize) -> usize {
+        match &self.shard {
+            Some(m) => m.part_of(i),
+            None => 0,
+        }
+    }
+
     /// Capacity (total slots ever available).
     pub fn capacity(&self) -> usize {
         self.slots.len()
@@ -114,8 +195,13 @@ impl<T> SpecStore<T> {
     /// Allocate a fresh slot, returning its index.
     ///
     /// # Panics
-    /// Panics when capacity is exhausted.
+    /// Panics when capacity is exhausted, or on a sharded store (a
+    /// fresh slot has no home shard; sharded stores are fixed-size).
     pub fn alloc(&self) -> usize {
+        assert!(
+            self.shard.is_none(),
+            "alloc on a sharded SpecStore: sharded stores are fixed-size"
+        );
         let i = self.live.fetch_add(1, Ordering::AcqRel);
         assert!(
             i < self.capacity(),
@@ -134,7 +220,7 @@ impl<T> SpecStore<T> {
         assert!(i < self.len(), "slot {i} beyond live prefix {}", self.len());
         #[cfg(feature = "checker")]
         self.raw_accesses.fetch_add(1, Ordering::AcqRel);
-        self.slots[i].get()
+        self.slots[self.phys(i)].get()
     }
 
     /// Total raw slot-pointer handouts so far (checker builds only).
@@ -151,22 +237,36 @@ impl<T> SpecStore<T> {
     /// quiescence — typically between rounds or after a run).
     pub fn get_mut(&mut self, i: usize) -> &mut T {
         assert!(i < self.len());
-        self.slots[i].get_mut()
+        let p = self.phys(i);
+        self.slots[p].get_mut()
     }
 
-    /// Immutable snapshot of the live prefix outside speculation.
+    /// Immutable snapshot of the live prefix outside speculation, in
+    /// logical order.
     pub fn snapshot(&mut self) -> Vec<T>
     where
         T: Clone,
     {
         let n = self.len();
-        (0..n).map(|i| self.slots[i].get_mut().clone()).collect()
+        (0..n)
+            .map(|i| {
+                let p = self.phys(i);
+                self.slots[p].get_mut().clone()
+            })
+            .collect()
     }
 
-    /// Iterate the live prefix outside speculation.
+    /// Iterate the live prefix outside speculation, in logical order.
     pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
         let n = self.len();
-        self.slots[..n].iter_mut().map(|c| c.get_mut())
+        (0..n).map(move |i| {
+            let ptr = self.slots[self.phys(i)].get();
+            // SAFETY: `&mut self` grants exclusive access to every
+            // slot, and `phys` is injective over `0..n`, so each slot
+            // is yielded at most once — the returned `&mut T`s never
+            // alias.
+            unsafe { &mut *ptr }
+        })
     }
 }
 
@@ -246,6 +346,41 @@ mod tests {
             *v += 10;
         }
         assert_eq!(s.snapshot(), vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn sharded_store_is_logically_transparent() {
+        // 6 elements alternating over 2 shards: the logical API must
+        // behave exactly as if the store were unsharded.
+        let parts = vec![0u32, 1, 0, 1, 0, 1];
+        let map = std::sync::Arc::new(crate::shard::ShardMap::from_parts(&parts, 2));
+        let r = region(map.padded_len());
+        let mut s = SpecStore::new_sharded(r, vec![10, 11, 12, 13, 14, 15], -1, map.clone());
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.capacity(), map.padded_len());
+        assert_eq!(s.snapshot(), vec![10, 11, 12, 13, 14, 15]);
+        for (i, v) in s.iter_mut().enumerate() {
+            *v += i as i32;
+        }
+        assert_eq!(s.snapshot(), vec![10, 12, 14, 16, 18, 20]);
+        *s.get_mut(5) = 99;
+        assert_eq!(s.snapshot()[5], 99);
+        // Lock routing follows the permutation: same-shard neighbours
+        // map to adjacent physical locks, cross-shard ones do not.
+        assert_eq!(s.lock_of(2), s.lock_of(0) + 1);
+        assert_eq!(s.shard_of(0), 0);
+        assert_eq!(s.shard_of(1), 1);
+        assert_ne!(s.lock_of(0) / 64, s.lock_of(1) / 64, "shard slabs share a line");
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-size")]
+    fn alloc_on_sharded_store_panics() {
+        let parts = vec![0u32; 4];
+        let map = std::sync::Arc::new(crate::shard::ShardMap::from_parts(&parts, 1));
+        let r = region(map.padded_len());
+        let s = SpecStore::new_sharded(r, vec![0u8; 4], 0, map);
+        let _ = s.alloc();
     }
 
     #[test]

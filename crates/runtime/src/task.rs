@@ -111,6 +111,12 @@ pub struct TaskCtx<'rt> {
     /// every context operation).
     #[cfg(feature = "faults")]
     inject: Option<crate::faults::ArmedFault<'rt>>,
+    /// Home shard of this task: the shard of the first lock it
+    /// acquired through a store. Fresh acquisitions in any *other*
+    /// shard are booked as cross-shard crossings on the
+    /// [`LockSpace`] — the scale harness's locality metric.
+    #[cfg(feature = "obs")]
+    home_shard: Option<usize>,
     /// This worker's event-ring probe (feature `obs`): lock
     /// acquisitions and contentions are recorded through it.
     #[cfg(feature = "obs")]
@@ -192,6 +198,8 @@ impl<'rt> TaskCtx<'rt> {
             #[cfg(feature = "faults")]
             inject: None,
             #[cfg(feature = "obs")]
+            home_shard: None,
+            #[cfg(feature = "obs")]
             probe: None,
             #[cfg(feature = "obs")]
             obs_epoch: 0,
@@ -264,8 +272,25 @@ impl<'rt> TaskCtx<'rt> {
     /// the data (useful for cautious operators that lock their whole
     /// neighbourhood up front).
     pub fn lock<T>(&mut self, store: &SpecStore<T>, i: usize) -> Result<(), Abort> {
-        let l = store.region().lock_of(i);
-        self.lock_raw(l)
+        let l = store.lock_of(i);
+        #[cfg(feature = "obs")]
+        let before = self.acquires;
+        self.lock_raw(l)?;
+        #[cfg(feature = "obs")]
+        self.note_shard(store.shard_of(i), before);
+        Ok(())
+    }
+
+    /// Book a fresh store acquisition against this task's home shard
+    /// (the shard of its first acquisition — a placement-independent
+    /// definition that works identically in round and pipelined
+    /// modes). Re-acquisitions (`acquires` unchanged) don't count.
+    #[cfg(feature = "obs")]
+    fn note_shard(&mut self, shard: usize, acquires_before: usize) {
+        if self.acquires > acquires_before {
+            let home = *self.home_shard.get_or_insert(shard);
+            self.space.note_shard_acquire(shard != home);
+        }
     }
 
     /// Acquire a raw lock index.
@@ -363,8 +388,12 @@ impl<'rt> TaskCtx<'rt> {
     /// the next context operation — references never dangle across
     /// lock transitions.
     pub fn read<'c, T: Send>(&'c mut self, store: &SpecStore<T>, i: usize) -> Result<&'c T, Abort> {
-        let l = store.region().lock_of(i);
+        let l = store.lock_of(i);
+        #[cfg(feature = "obs")]
+        let before = self.acquires;
         self.lock_raw(l)?;
+        #[cfg(feature = "obs")]
+        self.note_shard(store.shard_of(i), before);
         self.enter_access()?;
         self.verify_owned(l)?;
         #[cfg(feature = "checker")]
@@ -394,8 +423,12 @@ impl<'rt> TaskCtx<'rt> {
         store: &SpecStore<T>,
         i: usize,
     ) -> Result<&'c mut T, Abort> {
-        let l = store.region().lock_of(i);
+        let l = store.lock_of(i);
+        #[cfg(feature = "obs")]
+        let before = self.acquires;
         self.lock_raw(l)?;
+        #[cfg(feature = "obs")]
+        self.note_shard(store.shard_of(i), before);
         self.enter_access()?;
         self.verify_owned(l)?;
         #[cfg(feature = "checker")]
@@ -725,6 +758,30 @@ mod tests {
             )),
             "expected a race on lock 0 naming tasks 0 and 1: {reports:?}"
         );
+    }
+
+    /// Home shard = shard of the first acquisition; later fresh
+    /// acquisitions in other shards are crossings, re-acquisitions
+    /// count nothing.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn cross_shard_acquires_are_counted() {
+        use crate::shard::ShardMap;
+        use std::sync::Arc;
+        let map = Arc::new(ShardMap::from_parts(&[0u32, 0, 1, 1], 2));
+        let mut b = LockSpace::builder();
+        let r = b.region_aligned(map.padded_len());
+        let space = b.build();
+        let states: Vec<AtomicU8> = vec![AtomicU8::new(state::ACQUIRING)];
+        let store = SpecStore::new_sharded(r, vec![0u32; 4], 0, map);
+        let mut cx = TaskCtx::new(0, &space, &states, ConflictPolicy::FirstWins);
+        cx.lock(&store, 1).unwrap(); // home shard = 0
+        cx.lock(&store, 0).unwrap(); // same shard
+        *cx.write(&store, 2).unwrap() = 1; // cross into shard 1
+        cx.lock(&store, 2).unwrap(); // re-acquire: no count
+        assert_eq!(space.shard_counts(), (3, 1));
+        cx.finish_abort();
+        assert!(space.check_all_free().is_ok());
     }
 
     #[test]

@@ -1,0 +1,12 @@
+//! Deliberately non-compliant fixture for the slot-ptr lint: raw slab
+//! access outside the store/TaskCtx layer. The workspace walk skips
+//! `fixtures/` directories, so this file is only ever seen by the
+//! tests that feed it to the engine directly.
+
+use optpar_runtime::SpecStore;
+
+pub fn sneak_read(store: &SpecStore<u64>, i: usize) -> u64 {
+    // SAFETY: it isn't — that is the point of the fixture; the lint
+    // must flag the raw slab access regardless.
+    unsafe { *store.slot_ptr(i) }
+}

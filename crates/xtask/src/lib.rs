@@ -155,6 +155,32 @@ mod tests {
         );
     }
 
+    /// Raw slab access must be flagged anywhere outside the store and
+    /// the TaskCtx layer — app, bench, and test code included: on a
+    /// sharded store a slab index is physical, so logical indexing
+    /// through `slot_ptr` is silently wrong even when it compiles.
+    #[test]
+    fn slot_ptr_fixture_trips_everywhere_but_the_access_layer() {
+        const SLOT_FIXTURE: &str = include_str!("../fixtures/bad_slot_ptr.rs");
+        for rel in [
+            "crates/apps/src/sssp.rs",
+            "crates/bench/src/bin/scale.rs",
+            "crates/runtime/src/exec.rs",
+        ] {
+            let vs = lint_file(rel, SLOT_FIXTURE);
+            assert_eq!(
+                rules_of(&vs)
+                    .iter()
+                    .filter(|r| **r == "slot-ptr-outside-store")
+                    .count(),
+                1,
+                "{rel}: {vs:?}"
+            );
+        }
+        assert!(lint_file("crates/runtime/src/store.rs", SLOT_FIXTURE).is_empty());
+        assert!(lint_file("crates/runtime/src/task.rs", SLOT_FIXTURE).is_empty());
+    }
+
     #[test]
     fn unwrap_is_banned_only_in_round_critical_modules() {
         let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n\
